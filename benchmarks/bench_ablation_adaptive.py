@@ -1,0 +1,21 @@
+"""Benchmark A5 — static vs adaptive repair thresholds.
+
+The paper's future work (section 6) made executable: each peer raises
+its threshold after a blocked repair and lowers it when recruitment
+starves.  Expected shape: the adaptive controller never loses more
+archives than the static threshold it starts from.
+"""
+
+from repro.experiments.ablation_adaptive import (
+    check_shape,
+    run_ablation_adaptive,
+)
+from repro.experiments.common import QUICK
+
+
+def test_ablation_adaptive(run_once):
+    result = run_once(run_ablation_adaptive, scale=QUICK, seeds=(0,))
+    print()
+    print(result.render())
+    problems = check_shape(result)
+    assert not problems, problems

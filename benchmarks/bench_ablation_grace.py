@@ -1,0 +1,25 @@
+"""Benchmark A3 — grace period before abandoning an invisible partner.
+
+The paper's stated future work ("delaying the repair to allow peers to
+come back").  Expected shape: longer graces regenerate fewer blocks
+(offline-but-alive partners get to return) at the cost of riding closer
+to the loss boundary.
+"""
+
+from repro.churn.profiles import ROUNDS_PER_DAY
+from repro.experiments.ablation_grace import run_ablation_grace
+from repro.experiments.common import QUICK
+
+
+def test_ablation_grace(run_once):
+    result = run_once(
+        run_ablation_grace,
+        scale=QUICK,
+        graces=(0, ROUNDS_PER_DAY, 3 * ROUNDS_PER_DAY),
+        seeds=(0,),
+    )
+    print()
+    print(result.render())
+    rows = result.rows()
+    regenerated = [row[2] for row in rows]  # ordered by growing grace
+    assert regenerated[-1] <= regenerated[0]

@@ -1,0 +1,25 @@
+"""Benchmark A4 — reactive threshold repair vs proactive replication.
+
+Related-work comparison ([10], Duminuco et al.): add proactive top-ups
+at the analytically estimated churn rate on top of the reactive
+protocol.  Expected shape: proactive regeneration absorbs part of the
+reactive repair load.
+"""
+
+from repro.experiments.ablation_proactive import run_ablation_proactive
+from repro.experiments.common import QUICK
+
+
+def test_ablation_proactive(run_once):
+    result = run_once(
+        run_ablation_proactive,
+        scale=QUICK,
+        safety_factors=(0.0, 1.0, 2.0),
+        seeds=(0,),
+    )
+    print()
+    print(result.render())
+    rows = result.rows()
+    reactive_repairs = [row[2] for row in rows]  # by growing proactive rate
+    assert reactive_repairs[-1] <= reactive_repairs[0]
+    assert result.estimated_rate > 0

@@ -1,0 +1,23 @@
+"""Benchmark A2 — quota sensitivity (the paper's future-work knob).
+
+Sweeps the per-peer storage quota as a multiple of n (the paper fixes it
+at 1.5 x n).  Expected shape: tighter quotas starve more repairs; looser
+quotas cannot increase starvation.
+"""
+
+from repro.experiments.ablation_quota import run_ablation_quota
+from repro.experiments.common import QUICK
+
+
+def test_ablation_quota(run_once):
+    result = run_once(
+        run_ablation_quota,
+        scale=QUICK,
+        quota_factors=(1.0, 1.5, 2.0),
+        seeds=(0,),
+    )
+    print()
+    print(result.render())
+    rows = result.rows()
+    starved = [row[4] for row in rows]  # ordered by growing quota
+    assert starved[0] >= starved[-1]

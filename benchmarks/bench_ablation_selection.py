@@ -1,0 +1,27 @@
+"""Benchmark A1 — selection-strategy ablation.
+
+Compares the paper's age mechanism against the age-blind random
+baseline, availability-history ranking and the remaining-lifetime
+oracle.  Expected shape: the age mechanism shifts maintenance load onto
+newcomers (higher newcomer/elder rate ratio than random), and the
+oracle never repairs more than random.
+"""
+
+from repro.experiments.ablation_selection import (
+    check_shape,
+    run_ablation_selection,
+)
+from repro.experiments.common import QUICK
+
+
+def test_ablation_selection(run_once):
+    result = run_once(
+        run_ablation_selection,
+        scale=QUICK,
+        strategies=("age", "random", "availability", "oracle"),
+        seeds=(0,),
+    )
+    print()
+    print(result.render())
+    problems = check_shape(result)
+    assert not problems, problems

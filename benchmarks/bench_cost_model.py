@@ -1,0 +1,39 @@
+"""Benchmark C1 — regenerate the section 2.2.4 repair-cost analysis.
+
+Paper numbers on the 256/32 kB/s DSL reference link: >512 s download of
+k blocks, 32 s upload per regenerated block, 69 + 8 = 77 minute
+worst-case repair, at most ~20 repairs per day, and the worked example
+that 32 archives must stay below roughly one repair per month each.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.experiments.tables import c1_feasibility_rows
+from repro.net.bandwidth import CostModel, paper_cost_table
+
+
+def test_cost_model(run_once):
+    table = run_once(paper_cost_table)
+    print()
+    rows = [[key, round(value, 2) if isinstance(value, float) else value]
+            for key, value in table.items()]
+    print(format_table(["quantity", "value"], rows))
+    print()
+    print(format_table(
+        ["archives", "MB", "repairs/archive/day", "days between repairs"],
+        c1_feasibility_rows(),
+    ))
+
+    assert table["download_seconds"] == pytest.approx(512.0)
+    assert table["worst_case_total_minutes"] == pytest.approx(76.8, abs=0.5)
+    assert table["max_repairs_per_day"] == 18
+
+    # The paper's d-sweep: upload dominates for d beyond ~16 blocks.
+    model = CostModel()
+    sweep = [(d, model.repair_cost(d).total_minutes) for d in (1, 16, 64, 128)]
+    print()
+    print(format_table(["d (blocks)", "repair minutes"],
+                       [[d, round(m, 1)] for d, m in sweep]))
+    minutes = [m for _, m in sweep]
+    assert minutes == sorted(minutes)

@@ -1,0 +1,26 @@
+"""Benchmark F1 — regenerate Figure 1 (repair rate vs threshold).
+
+Paper series: average repairs per 1000 peers against the repair
+threshold (132-180), one curve per age category, log y.  Expected shape:
+monotone increase with the threshold, Newcomers far above Elder peers.
+"""
+
+from repro.experiments.common import QUICK
+from repro.experiments.fig1_repairs_by_threshold import check_shape, run_figure1
+
+#: A three-point slice of the paper's sweep keeps the benchmark under a
+#: minute; the full sweep is `repro-experiments fig1 --scale default`.
+BENCH_THRESHOLDS = (132, 148, 180)
+
+
+def test_fig1_repairs_by_threshold(run_once):
+    result = run_once(
+        run_figure1,
+        scale=QUICK,
+        paper_thresholds=BENCH_THRESHOLDS,
+        seeds=(0,),
+    )
+    print()
+    print(result.render())
+    problems = check_shape(result)
+    assert not problems, problems

@@ -1,0 +1,24 @@
+"""Benchmark F2 — regenerate Figure 2 (data-loss rate vs threshold).
+
+Paper series: average archives lost per 1000 peers against the repair
+threshold, one curve per age category.  Expected shape: losses highest
+near the decode limit (threshold close to k), dominated by Newcomers.
+"""
+
+from repro.experiments.common import QUICK
+from repro.experiments.fig2_losses_by_threshold import check_shape, run_figure2
+
+BENCH_THRESHOLDS = (132, 148, 180)
+
+
+def test_fig2_losses_by_threshold(run_once):
+    result = run_once(
+        run_figure2,
+        scale=QUICK,
+        paper_thresholds=BENCH_THRESHOLDS,
+        seeds=(0,),
+    )
+    print()
+    print(result.render())
+    problems = check_shape(result)
+    assert not problems, problems

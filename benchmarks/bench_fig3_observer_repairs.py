@@ -1,0 +1,18 @@
+"""Benchmark F3 — regenerate Figure 3 (observer cumulative repairs).
+
+Paper series (threshold 148, 2000 days, log y): cumulative repairs of
+the five fixed-age observers.  Expected shape: Baby >> Teenager >>
+Adult/Senior/Elder, roughly two orders of magnitude end to end at full
+scale.
+"""
+
+from repro.experiments.common import QUICK
+from repro.experiments.fig3_observer_repairs import check_shape, run_figure3
+
+
+def test_fig3_observer_repairs(run_once):
+    result = run_once(run_figure3, scale=QUICK)
+    print()
+    print(result.render())
+    problems = check_shape(result)
+    assert not problems, problems

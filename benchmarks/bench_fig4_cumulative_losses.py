@@ -1,0 +1,17 @@
+"""Benchmark F4 — regenerate Figure 4 (cumulative lost archives).
+
+Paper series (threshold 148): cumulative lost archives per peer for the
+four age categories over 2000 days.  Expected shape: Newcomers dominate;
+older categories stay near zero.
+"""
+
+from repro.experiments.common import QUICK
+from repro.experiments.fig4_cumulative_losses import check_shape, run_figure4
+
+
+def test_fig4_cumulative_losses(run_once):
+    result = run_once(run_figure4, scale=QUICK)
+    print()
+    print(result.render())
+    problems = check_shape(result)
+    assert not problems, problems

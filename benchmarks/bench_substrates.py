@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the substrates the reproduction is built on.
+
+Not paper artifacts, but the numbers that bound what the harness can
+simulate: Reed-Solomon encode/decode throughput at the paper's code
+dimensions, simulator event throughput, and the end-to-end byte-level
+backup/restore pipeline.
+"""
+
+import numpy as np
+
+from repro.backup import BackupSwarm, BackupTask, RestoreTask
+from repro.erasure import ArchiveCodec, ReedSolomonCode
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import run_simulation
+
+
+def test_reed_solomon_encode_paper_dimensions(benchmark):
+    """Encode throughput at the paper's (k=128, m=128) geometry."""
+    code = ReedSolomonCode(128, 128)
+    rng = np.random.default_rng(0)
+    width = 2048  # bytes per block: 256 KiB archive equivalent
+    data = [rng.integers(0, 256, width, dtype=np.uint8).tobytes()
+            for _ in range(128)]
+    blocks = benchmark(code.encode, data)
+    assert len(blocks) == 256
+
+
+def test_reed_solomon_decode_from_parity(benchmark):
+    """Worst-case decode: all k originals lost, recover from parity."""
+    code = ReedSolomonCode(32, 32)
+    rng = np.random.default_rng(0)
+    data = [rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+            for _ in range(32)]
+    coded = code.encode(data)
+    available = {i: coded[i] for i in range(32, 64)}
+    recovered = benchmark(code.decode, available)
+    assert recovered == data
+
+
+def test_archive_codec_roundtrip(benchmark):
+    """Split + reassemble a 64 KiB archive through the (16, 16) codec."""
+    codec = ArchiveCodec(16, 16)
+    payload = np.random.default_rng(1).integers(
+        0, 256, 64 * 1024, dtype=np.uint8
+    ).tobytes()
+
+    def roundtrip():
+        blocks = codec.split(payload)
+        subset = {b.index: b for b in blocks[codec.k:]}
+        return codec.reassemble(subset)
+
+    assert benchmark(roundtrip) == payload
+
+
+def test_simulator_round_throughput(benchmark):
+    """Rounds per second of the event-driven engine on a small network."""
+    config = SimulationConfig(
+        population=200,
+        rounds=2000,
+        data_blocks=16,
+        parity_blocks=16,
+        repair_threshold=18,
+        quota=48,
+        seed=0,
+    )
+    result = benchmark.pedantic(
+        run_simulation, args=(config,), iterations=1, rounds=1
+    )
+    assert result.final_round == 2000
+
+
+def test_backup_restore_pipeline(benchmark):
+    """Full byte-level cycle: swarm, backup, partner loss, restore."""
+
+    def pipeline():
+        swarm = BackupSwarm(
+            data_blocks=8, parity_blocks=8, quota_blocks=64, seed=11
+        )
+        for _ in range(20):
+            swarm.add_node()
+        swarm.tick(24)
+        owner = swarm.nodes[0]
+        files = {f"file-{i}": bytes([i]) * 900 for i in range(6)}
+        BackupTask(owner, archive_size=4096).run(files)
+        report = RestoreTask(swarm, owner.peer_id, owner.user_key).run()
+        return report.files == files
+
+    assert benchmark.pedantic(pipeline, iterations=1, rounds=3)

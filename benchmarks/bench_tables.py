@@ -1,0 +1,28 @@
+"""Benchmark T1-T4 — regenerate the paper's parameter tables.
+
+Deterministic artifacts: the system-parameter table (section 2.2.4),
+the profile table (4.1.1), the age-category table (4.2.1) and the
+observer table (4.2.2).  The assertions pin the published values; the
+benchmark time is just the render cost.
+"""
+
+from repro.experiments import tables
+
+
+def test_tables_render(run_once):
+    text = run_once(tables.render_all)
+    print()
+    print(text)
+
+    t1 = tables.t1_system_parameters()
+    assert t1["k (initial blocks)"] == 128 and t1["m (added blocks)"] == 128
+
+    t2 = tables.t2_profiles()
+    assert t2["Erratic"]["proportion"] == 0.35
+    assert t2["Durable"]["availability"] == 0.95
+
+    t3 = tables.t3_categories()
+    assert t3["Elder peers"] == "> 12960 rounds"
+
+    t4 = tables.t4_observers()
+    assert t4["Baby"] == "1 hour(s)"

@@ -1,0 +1,24 @@
+"""Shared benchmark machinery.
+
+Every benchmark regenerates one of the paper's artifacts (DESIGN.md
+section 2) at the QUICK experiment scale, prints the same rows/series
+the paper reports, and asserts the qualitative shape where one is
+defined.  ``pedantic`` mode with a single round keeps pytest-benchmark
+from re-running multi-second simulations dozens of times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a callable exactly once and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+
+    return runner

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Home-backup feasibility: is P2P backup viable on a DSL line?
+
+The scenario the paper's introduction motivates: a home user with a few
+gigabytes of photos and documents, an asymmetric DSL line (256 kB/s
+down, 32 kB/s up) and no trust in tapes, CD-Rs or storage providers.
+This example reruns the paper's section 2.2.4 arithmetic, then checks it
+against the simulated repair rates: does the measured maintenance load
+fit the link budget?
+
+Run:  python examples/home_backup.py
+"""
+
+from repro.analysis.report import format_table
+from repro.churn.profiles import ROUNDS_PER_DAY
+from repro.experiments.common import QUICK
+from repro.net.bandwidth import FTTH, MODERN_DSL, PAPER_DSL, CostModel, MEGABYTE
+from repro.sim.engine import run_simulation
+
+
+def main() -> None:
+    backup_gb = 4
+    archives = backup_gb * 1024 // 128  # 128 MB archives, like the paper
+
+    print(f"scenario: {backup_gb} GB of personal data = {archives} archives "
+          f"of 128 MB (k=128, m=128)\n")
+
+    # 1. The paper's cost arithmetic on three link generations.
+    rows = []
+    for link in (PAPER_DSL, MODERN_DSL, FTTH):
+        model = CostModel(link=link)
+        worst = model.repair_cost(regenerated_blocks=128)
+        rows.append([
+            link.name,
+            f"{link.download_bps / 1024:.0f}/{link.upload_bps / 1024:.0f} kB/s",
+            f"{worst.total_minutes:.1f} min",
+            f"{model.max_repairs_per_day(128):.0f}",
+            f"{model.backup_cost_seconds(256) / 3600:.1f} h",
+        ])
+    print(format_table(
+        ["link", "down/up", "worst repair", "max repairs/day", "initial upload"],
+        rows,
+    ))
+
+    # 2. What the simulation says the repair rate actually is.
+    print("\nsimulating the swarm to measure the per-peer repair rate...")
+    result = run_simulation(QUICK.config())
+    per_1000 = result.repair_rates()
+    rows = []
+    model = CostModel()
+    for category, rate in per_1000.items():
+        repairs_per_archive_per_day = rate / 1000 * ROUNDS_PER_DAY
+        daily_repairs = repairs_per_archive_per_day * archives
+        minutes = daily_repairs * model.repair_cost(64).total_minutes
+        rows.append([
+            category,
+            f"{rate:.3f}",
+            f"{repairs_per_archive_per_day:.4f}",
+            f"{minutes:.1f} min/day",
+        ])
+    print(format_table(
+        ["category", "repairs/1000 peer-rounds", "repairs/archive/day",
+         f"link time for {archives} archives"],
+        rows,
+    ))
+
+    print("\nreading: established peers stay far below the ~20 repairs/day "
+          "ceiling; only newcomers pay a noticeable (and temporary) price — "
+          "the paper's viability claim.")
+
+
+if __name__ == "__main__":
+    main()

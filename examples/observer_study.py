@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Observer study: how much does being old save you? (figure 3).
+
+Plants the paper's five fixed-age observers (Baby = 1 hour ... Elder =
+the 90-day cap) into a churning swarm and counts their repairs.  The
+Baby pays dearly for partnering with whoever will have it; the Elder
+barely repairs at all — the heart of the paper's result.
+
+Run:  python examples/observer_study.py  [--scale quick|default]
+"""
+
+import argparse
+
+from repro.experiments.common import scale_by_name
+from repro.experiments.fig3_observer_repairs import check_shape, run_figure3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="quick",
+                        help="experiment scale (quick/default/full)")
+    args = parser.parse_args()
+    scale = scale_by_name(args.scale)
+
+    result = run_figure3(scale=scale)
+    print(result.render())
+
+    totals = result.totals()
+    baby, elder = totals.get("Baby", 0.0), totals.get("Elder", 1.0)
+    print(f"\nBaby repaired {baby:.0f} times; Elder {elder:.0f} times "
+          f"({baby / max(elder, 1):.1f}x).")
+    print("paper (full scale, 2000 days): Baby ~900, Teenager <100, "
+          "Adult <20, Senior/Elder <10.")
+    problems = check_shape(result)
+    print("shape:", "OK" if not problems else problems)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Run the recorded experiment suite and dump raw results for EXPERIMENTS.md.
+
+One process, default scale, every figure and ablation; figures 1 and 2
+share a single threshold sweep.  Output is plain text on stdout.
+"""
+
+import time
+
+from repro.analysis.aggregate import sweep_rates, threshold_sweep
+from repro.analysis.report import sweep_report
+from repro.experiments.ablation_grace import run_ablation_grace
+from repro.experiments.ablation_proactive import run_ablation_proactive
+from repro.experiments.ablation_quota import run_ablation_quota
+from repro.experiments.ablation_selection import (
+    check_shape as check_a1,
+    run_ablation_selection,
+)
+from repro.experiments.common import DEFAULT, PAPER_THRESHOLDS
+from repro.experiments.fig1_repairs_by_threshold import (
+    Figure1Result,
+    check_shape as check_fig1,
+)
+from repro.experiments.fig2_losses_by_threshold import (
+    Figure2Result,
+    check_shape as check_fig2,
+)
+from repro.experiments.fig3_observer_repairs import (
+    check_shape as check_fig3,
+    run_figure3,
+)
+from repro.experiments.fig4_cumulative_losses import (
+    check_shape as check_fig4,
+    run_figure4,
+)
+
+
+def banner(title):
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}", flush=True)
+
+
+def main():
+    started = time.time()
+    scale = DEFAULT
+
+    banner("F1 + F2 — threshold sweep (shared runs)")
+    base = scale.config()
+    thresholds = scale.thresholds(PAPER_THRESHOLDS)
+    print(f"mapped thresholds: {thresholds} (from paper {PAPER_THRESHOLDS})")
+    sweep = threshold_sweep(base, thresholds, scale.seeds)
+    categories = base.categories.names()
+
+    fig1 = Figure1Result(
+        scale_name=scale.name,
+        thresholds=list(thresholds),
+        paper_thresholds=list(PAPER_THRESHOLDS),
+        rates=sweep_rates(sweep, "repairs"),
+        categories=categories,
+    )
+    print(fig1.render())
+    print("fig1 shape:", check_fig1(fig1) or "OK", flush=True)
+
+    fig2 = Figure2Result(
+        scale_name=scale.name,
+        thresholds=list(thresholds),
+        rates=sweep_rates(sweep, "losses"),
+        categories=categories,
+    )
+    print(fig2.render())
+    print("fig2 shape:", check_fig2(fig2) or "OK", flush=True)
+
+    banner("F3 — observers")
+    fig3 = run_figure3(scale=scale)
+    print(fig3.render())
+    print("fig3 shape:", check_fig3(fig3) or "OK", flush=True)
+
+    banner("F4 — cumulative losses")
+    fig4 = run_figure4(scale=scale)
+    print(fig4.render())
+    print("fig4 shape:", check_fig4(fig4) or "OK", flush=True)
+
+    banner("A1 — selection strategies")
+    a1 = run_ablation_selection(scale=scale, seeds=(0,))
+    print(a1.render())
+    print("a1 shape:", check_a1(a1) or "OK", flush=True)
+
+    banner("A2 — quota")
+    print(run_ablation_quota(scale=scale, seeds=(0,)).render(), flush=True)
+
+    banner("A3 — grace")
+    print(run_ablation_grace(scale=scale, seeds=(0,)).render(), flush=True)
+
+    banner("A4 — proactive")
+    print(run_ablation_proactive(scale=scale, seeds=(0,)).render(), flush=True)
+
+    print(f"\ntotal wall clock: {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

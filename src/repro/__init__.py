@@ -1,0 +1,66 @@
+"""repro — reproduction of Bernard & Le Fessant, "Optimizing peer-to-peer
+backup using lifetime estimations" (Damap'09 / EDBT workshops, 2009).
+
+The public API has four layers:
+
+* :mod:`repro.core` — the paper's contribution: the acceptation function,
+  age categories, lifetime estimation, partner-selection strategies and
+  the threshold-repair policy;
+* :mod:`repro.sim` — the round-based simulator used for the evaluation;
+* :mod:`repro.erasure`, :mod:`repro.churn`, :mod:`repro.net` — the
+  substrates (Reed-Solomon coding, churn models, transport/cost/DHT);
+* :mod:`repro.backup` — a byte-level backup client on those substrates;
+* :mod:`repro.experiments` — drivers regenerating every figure and table.
+
+Quick start::
+
+    from repro import SimulationConfig, run_simulation
+
+    result = run_simulation(SimulationConfig.scaled(population=300, rounds=2000))
+    print(result.repair_rates())
+"""
+
+from .core import (
+    AcceptancePolicy,
+    AgeSelection,
+    Candidate,
+    RepairPolicy,
+    acceptance_probability,
+    fit_pareto,
+    scaled_threshold,
+    strategy_by_name,
+)
+from .erasure import ArchiveCodec, ReedSolomonCode
+from .net import CostModel, paper_cost_table
+from .sim import (
+    PAPER_OBSERVERS,
+    ObserverSpec,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceptancePolicy",
+    "AgeSelection",
+    "Candidate",
+    "RepairPolicy",
+    "acceptance_probability",
+    "fit_pareto",
+    "scaled_threshold",
+    "strategy_by_name",
+    "ArchiveCodec",
+    "ReedSolomonCode",
+    "CostModel",
+    "paper_cost_table",
+    "PAPER_OBSERVERS",
+    "ObserverSpec",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "__version__",
+]

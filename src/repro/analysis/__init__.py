@@ -1,0 +1,69 @@
+"""Result analysis: aggregation, time-series helpers, ASCII plots, reports."""
+
+from .aggregate import (
+    Aggregate,
+    aggregate_loss_rates,
+    aggregate_metric,
+    aggregate_repair_rates,
+    run_replications,
+    sweep_rates,
+    threshold_sweep,
+)
+from .plots import ascii_chart, sparkline
+from .report import (
+    dict_report,
+    format_aggregate,
+    format_table,
+    rates_report,
+    sweep_report,
+)
+from .series import (
+    downsample,
+    final_value,
+    growth_between,
+    is_non_decreasing,
+    to_days,
+    validate_series,
+    value_at,
+)
+from .stats import (
+    ConfidenceInterval,
+    bootstrap_mean,
+    difference_interval,
+    dominates,
+    monotone_trend,
+    summarize_ratio,
+)
+from .tuning import ThresholdRecommendation, choose_threshold
+
+__all__ = [
+    "Aggregate",
+    "aggregate_loss_rates",
+    "aggregate_metric",
+    "aggregate_repair_rates",
+    "run_replications",
+    "sweep_rates",
+    "threshold_sweep",
+    "ascii_chart",
+    "sparkline",
+    "dict_report",
+    "format_aggregate",
+    "format_table",
+    "rates_report",
+    "sweep_report",
+    "downsample",
+    "final_value",
+    "growth_between",
+    "is_non_decreasing",
+    "to_days",
+    "validate_series",
+    "value_at",
+    "ConfidenceInterval",
+    "bootstrap_mean",
+    "difference_interval",
+    "dominates",
+    "monotone_trend",
+    "summarize_ratio",
+    "ThresholdRecommendation",
+    "choose_threshold",
+]

@@ -1,0 +1,118 @@
+"""Aggregation of simulation results across seeds and sweeps.
+
+The paper reports single-run numbers; we replicate each configuration
+over several seeds and report means with spread, which makes the shape
+claims (ordering of categories, monotonicity in the threshold) testable
+statements rather than one-off observations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..sim.config import SimulationConfig
+from ..sim.engine import SimulationResult, run_simulation
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean and spread of one scalar across replications."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        """Aggregate a non-empty sequence of values."""
+        if not values:
+            raise ValueError("cannot aggregate zero values")
+        n = len(values)
+        mean = sum(values) / n
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        else:
+            variance = 0.0
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            count=n,
+        )
+
+
+def run_replications(
+    config: SimulationConfig, seeds: Sequence[int]
+) -> List[SimulationResult]:
+    """Run one configuration once per seed."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    return [run_simulation(config.with_seed(seed)) for seed in seeds]
+
+
+def aggregate_metric(
+    results: Sequence[SimulationResult],
+    extractor: Callable[[SimulationResult], Dict[str, float]],
+) -> Dict[str, Aggregate]:
+    """Aggregate a per-category metric over replications.
+
+    ``extractor`` maps one result to ``category -> value`` (e.g.
+    ``SimulationResult.repair_rates``).
+    """
+    if not results:
+        raise ValueError("no results to aggregate")
+    collected: Dict[str, List[float]] = {}
+    for result in results:
+        for category, value in extractor(result).items():
+            collected.setdefault(category, []).append(value)
+    return {category: Aggregate.of(values) for category, values in collected.items()}
+
+
+def aggregate_repair_rates(
+    results: Sequence[SimulationResult],
+) -> Dict[str, Aggregate]:
+    """Figure 1 aggregation: repairs per 1000 peer-rounds per category."""
+    return aggregate_metric(results, lambda r: r.repair_rates())
+
+
+def aggregate_loss_rates(
+    results: Sequence[SimulationResult],
+) -> Dict[str, Aggregate]:
+    """Figure 2 aggregation: losses per 1000 peer-rounds per category."""
+    return aggregate_metric(results, lambda r: r.loss_rates())
+
+
+def threshold_sweep(
+    base_config: SimulationConfig,
+    thresholds: Sequence[int],
+    seeds: Sequence[int],
+) -> Dict[int, List[SimulationResult]]:
+    """Run the figure 1/2 sweep: every threshold x every seed."""
+    if not thresholds:
+        raise ValueError("at least one threshold is required")
+    sweep: Dict[int, List[SimulationResult]] = {}
+    for threshold in thresholds:
+        sweep[threshold] = run_replications(
+            base_config.with_threshold(threshold), seeds
+        )
+    return sweep
+
+
+def sweep_rates(
+    sweep: Dict[int, List[SimulationResult]], metric: str
+) -> Dict[int, Dict[str, Aggregate]]:
+    """Collapse a sweep into ``threshold -> category -> Aggregate``."""
+    if metric == "repairs":
+        aggregator = aggregate_repair_rates
+    elif metric == "losses":
+        aggregator = aggregate_loss_rates
+    else:
+        raise ValueError(f"metric must be 'repairs' or 'losses', got {metric!r}")
+    return {
+        threshold: aggregator(results) for threshold, results in sweep.items()
+    }

@@ -1,0 +1,122 @@
+"""ASCII line plots for terminal-friendly figure rendering.
+
+The benchmark harness prints the same series the paper plots; these
+helpers render them as monospace charts so "the shape holds" is visible
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(
+    value: float, low: float, high: float, size: int, log: bool
+) -> int:
+    if log:
+        value = math.log10(max(value, 1e-12))
+        low = math.log10(max(low, 1e-12))
+        high = math.log10(max(high, 1e-12))
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(int(position * (size - 1)), size - 1)
+
+
+def ascii_chart(
+    series_by_name: Dict[str, Sequence[Point]],
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named series on one shared-canvas ASCII chart."""
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4")
+    populated = {
+        name: list(points) for name, points in series_by_name.items() if points
+    }
+    if not populated:
+        return f"{title}\n(no data)"
+
+    xs = [p[0] for points in populated.values() for p in points]
+    ys = [p[1] for points in populated.values() for p in points]
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        y_low = min(positive) if positive else 1e-3
+        y_high = max(positive) if positive else 1.0
+    else:
+        y_low, y_high = min(ys + [0.0]), max(ys)
+    x_low, x_high = min(xs), max(xs)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(sorted(populated.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            if log_y and y <= 0:
+                continue
+            col = _scale(x, x_low, x_high, width, log=False)
+            row = height - 1 - _scale(y, y_low, y_high, height, log=log_y)
+            canvas[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_value = f"{y_high:.3g}"
+    bottom_value = f"{y_low:.3g}"
+    gutter = max(len(top_value), len(bottom_value), len(y_label)) + 1
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = top_value.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_value.rjust(gutter)
+        elif row_index == height // 2:
+            prefix = y_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|" + "".join(row))
+    axis = " " * gutter + "+" + "-" * width
+    lines.append(axis)
+    x_line = (
+        " " * gutter
+        + f" {x_low:.3g}".ljust(width // 2)
+        + x_label.center(8)
+        + f"{x_high:.3g}".rjust(width // 2 - 8)
+    )
+    lines.append(x_line)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(sorted(populated))
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line trend rendering with block characters."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    step = max(len(values) / width, 1e-9)
+    sampled: List[float] = []
+    position = 0.0
+    while position < len(values) and len(sampled) < width:
+        sampled.append(values[int(position)])
+        position += step
+    low, high = min(sampled), max(sampled)
+    if high == low:
+        return blocks[0] * len(sampled)
+    out = []
+    for value in sampled:
+        level = int((value - low) / (high - low) * (len(blocks) - 1))
+        out.append(blocks[level])
+    return "".join(out)

@@ -1,0 +1,90 @@
+"""Textual tables in plain and Markdown layouts.
+
+Every experiment driver renders its result through these helpers, so the
+output of ``repro-experiments`` and the rows in EXPERIMENTS.md share one
+formatting path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .aggregate import Aggregate
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]], markdown: bool = False
+) -> str:
+    """Render rows under a header, column-aligned."""
+    if any(len(row) != len(header) for row in rows):
+        raise ValueError("every row must match the header length")
+    cells = [[str(column) for column in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in cells)) if cells else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def render_row(row: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        if markdown:
+            return "| " + " | ".join(padded) + " |"
+        return "  ".join(padded)
+
+    lines = [render_row(list(header))]
+    if markdown:
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    else:
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_aggregate(aggregate: Aggregate, digits: int = 4) -> str:
+    """``mean ± std`` rendering of one aggregate."""
+    return f"{aggregate.mean:.{digits}f} ± {aggregate.std:.{digits}f}"
+
+
+def rates_report(
+    rates: Dict[str, Aggregate], metric_name: str, markdown: bool = False
+) -> str:
+    """Per-category aggregate table for one metric."""
+    header = ["category", metric_name, "min", "max", "runs"]
+    rows = []
+    for category, aggregate in rates.items():
+        rows.append(
+            [
+                category,
+                format_aggregate(aggregate),
+                f"{aggregate.minimum:.4f}",
+                f"{aggregate.maximum:.4f}",
+                aggregate.count,
+            ]
+        )
+    return format_table(header, rows, markdown=markdown)
+
+
+def sweep_report(
+    sweep_rates: Dict[int, Dict[str, Aggregate]],
+    categories: Sequence[str],
+    markdown: bool = False,
+) -> str:
+    """Figure 1/2 style table: one row per threshold, one column per category."""
+    header = ["threshold"] + list(categories)
+    rows: List[List[object]] = []
+    for threshold in sorted(sweep_rates):
+        row: List[object] = [threshold]
+        for category in categories:
+            aggregate = sweep_rates[threshold].get(category)
+            row.append(format_aggregate(aggregate) if aggregate else "-")
+        rows.append(row)
+    return format_table(header, rows, markdown=markdown)
+
+
+def dict_report(title: str, values: Dict[str, object], markdown: bool = False) -> str:
+    """Key/value table with a title line."""
+    table = format_table(
+        ["key", "value"],
+        [[key, values[key]] for key in values],
+        markdown=markdown,
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,66 @@
+"""Time-series helpers for the cumulative plots (figures 3 and 4)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def validate_series(series: Sequence[Point]) -> None:
+    """Check x-monotonicity (sampled series must move forward in time)."""
+    for earlier, later in zip(series, series[1:]):
+        if later[0] < earlier[0]:
+            raise ValueError("series x-values must be non-decreasing")
+
+
+def is_non_decreasing(series: Sequence[Point]) -> bool:
+    """Whether the y-values never decrease (cumulative series must not)."""
+    return all(a[1] <= b[1] for a, b in zip(series, series[1:]))
+
+
+def final_value(series: Sequence[Point]) -> float:
+    """Last y-value (0 for an empty series)."""
+    return series[-1][1] if series else 0.0
+
+
+def downsample(series: Sequence[Point], max_points: int) -> List[Point]:
+    """Thin a series to at most ``max_points``, keeping first and last."""
+    if max_points < 2:
+        raise ValueError("max_points must be at least 2")
+    if len(series) <= max_points:
+        return list(series)
+    step = (len(series) - 1) / (max_points - 1)
+    indices = {round(i * step) for i in range(max_points)}
+    indices.add(len(series) - 1)
+    return [series[i] for i in sorted(indices)]
+
+
+def to_days(series: Sequence[Point], rounds_per_day: int = 24) -> List[Point]:
+    """Convert the x-axis from rounds to days (the paper's figure axis)."""
+    if rounds_per_day <= 0:
+        raise ValueError("rounds_per_day must be positive")
+    return [(x / rounds_per_day, y) for x, y in series]
+
+
+def value_at(series: Sequence[Point], x: float) -> float:
+    """Step-interpolated y at ``x`` (0 before the first point)."""
+    result = 0.0
+    for px, py in series:
+        if px <= x:
+            result = py
+        else:
+            break
+    return result
+
+
+def growth_between(series: Sequence[Point], x_start: float, x_end: float) -> float:
+    """Increase of the series between two x positions.
+
+    Used to check the paper's figure 4 reading: "between the 1000th and
+    the 2000th day [...] the total number of lost archives drop to 2 in
+    1000 days".
+    """
+    if x_end < x_start:
+        raise ValueError("x_end must be >= x_start")
+    return value_at(series, x_end) - value_at(series, x_start)

@@ -1,0 +1,246 @@
+"""Archives: how user files become fixed-size backup units.
+
+Paper section 2.2.1: "new data (either the content of complete files or
+the diffs between versions) is collected on the file-system, and is
+stored in a single file (archive).  A new archive is created when the
+previous one reaches a given size.  Usually, meta-data is stored in a
+different archive, with a better redundancy [...] data in each archive
+can be encrypted using a session key."
+
+This module implements the archive container format (a simple length-
+prefixed file bundle), the size-based rollover, and the session-key
+stream cipher.  The cipher is a keystream XOR built from SHA-256 — a
+stand-in for "standard cryptography" (the paper explicitly leaves the
+choice open); it gives confidentiality-shaped behaviour (wrong key ⇒
+garbage) without an external dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import secrets
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+#: File-entry framing: name length, payload length.
+_ENTRY_HEADER = struct.Struct(">HQ")
+
+#: Paper default: archives roll over at 128 MB.  Tests and examples use
+#: much smaller values; the format is size-agnostic.
+DEFAULT_ARCHIVE_SIZE = 128 * 1024 * 1024
+
+
+class ArchiveFormatError(Exception):
+    """Raised when parsing a malformed archive payload."""
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    """Deterministic keystream of ``length`` bytes derived from ``key``."""
+    blocks = []
+    produced = 0
+    for counter in itertools.count():
+        if produced >= length:
+            break
+        block = hashlib.sha256(key + counter.to_bytes(8, "big")).digest()
+        blocks.append(block)
+        produced += len(block)
+    return b"".join(blocks)[:length]
+
+
+def encrypt(payload: bytes, key: bytes) -> bytes:
+    """XOR-keystream encryption (symmetric; ``encrypt == decrypt``)."""
+    if not key:
+        raise ValueError("encryption key must be non-empty")
+    stream = _keystream(key, len(payload))
+    return bytes(a ^ b for a, b in zip(payload, stream))
+
+
+def decrypt(payload: bytes, key: bytes) -> bytes:
+    """Inverse of :func:`encrypt` (the cipher is an involution)."""
+    return encrypt(payload, key)
+
+
+def new_session_key() -> bytes:
+    """A fresh random 32-byte session key."""
+    return secrets.token_bytes(32)
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One file captured into an archive."""
+
+    name: str
+    content: bytes
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("file name must be non-empty")
+        if len(self.name.encode("utf-8")) > 0xFFFF:
+            raise ValueError("file name too long for the archive format")
+
+    @property
+    def size(self) -> int:
+        """Serialised size of this entry inside an archive."""
+        return _ENTRY_HEADER.size + len(self.name.encode("utf-8")) + len(self.content)
+
+
+def pack_entries(entries: List[FileEntry]) -> bytes:
+    """Serialise file entries into one archive payload."""
+    parts = []
+    for entry in entries:
+        name_bytes = entry.name.encode("utf-8")
+        parts.append(_ENTRY_HEADER.pack(len(name_bytes), len(entry.content)))
+        parts.append(name_bytes)
+        parts.append(entry.content)
+    return b"".join(parts)
+
+
+def unpack_entries(payload: bytes) -> List[FileEntry]:
+    """Parse an archive payload back into file entries."""
+    entries = []
+    offset = 0
+    while offset < len(payload):
+        if offset + _ENTRY_HEADER.size > len(payload):
+            raise ArchiveFormatError("truncated entry header")
+        name_length, content_length = _ENTRY_HEADER.unpack_from(payload, offset)
+        offset += _ENTRY_HEADER.size
+        end_of_name = offset + name_length
+        end_of_content = end_of_name + content_length
+        if end_of_content > len(payload):
+            raise ArchiveFormatError("truncated entry body")
+        name = payload[offset:end_of_name].decode("utf-8")
+        content = payload[end_of_name:end_of_content]
+        entries.append(FileEntry(name=name, content=content))
+        offset = end_of_content
+    return entries
+
+
+@dataclass(frozen=True)
+class Archive:
+    """A sealed archive ready for erasure coding.
+
+    ``payload`` is already encrypted when ``session_key`` is set.
+    ``is_metadata`` marks the index archives the paper stores "with a
+    better redundancy, to speed up the restoration task".
+    """
+
+    archive_id: str
+    payload: bytes
+    session_key: bytes = b""
+    is_metadata: bool = False
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+    def open(self) -> List[FileEntry]:
+        """Decrypt (when keyed) and parse the contained files."""
+        raw = decrypt(self.payload, self.session_key) if self.session_key else self.payload
+        return unpack_entries(raw)
+
+
+@dataclass
+class ArchiveBuilder:
+    """Accumulates files and seals archives at the size limit.
+
+    Mirrors the backup task's collection phase: call :meth:`add_file`
+    repeatedly; sealed archives appear in order; call :meth:`flush` at
+    the end for the final partial archive.
+    """
+
+    max_size: int = DEFAULT_ARCHIVE_SIZE
+    encrypt_payloads: bool = True
+    owner_tag: str = "peer"
+    _pending: List[FileEntry] = field(default_factory=list)
+    _pending_size: int = 0
+    _sealed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_size <= _ENTRY_HEADER.size:
+            raise ValueError("max_size too small to hold any entry")
+
+    def add_file(self, name: str, content: bytes) -> List[Archive]:
+        """Add one file; returns archives sealed by this addition."""
+        entry = FileEntry(name=name, content=content)
+        if entry.size > self.max_size:
+            raise ValueError(
+                f"file {name!r} ({entry.size} B) exceeds the archive size "
+                f"{self.max_size} B; split it before backup"
+            )
+        sealed = []
+        if self._pending_size + entry.size > self.max_size:
+            sealed.append(self._seal())
+        self._pending.append(entry)
+        self._pending_size += entry.size
+        return sealed
+
+    def flush(self) -> List[Archive]:
+        """Seal whatever is pending (possibly nothing)."""
+        if not self._pending:
+            return []
+        return [self._seal()]
+
+    def _seal(self) -> Archive:
+        payload = pack_entries(self._pending)
+        key = b""
+        if self.encrypt_payloads:
+            key = new_session_key()
+            payload = encrypt(payload, key)
+        archive = Archive(
+            archive_id=f"{self.owner_tag}-archive-{self._sealed:06d}",
+            payload=payload,
+            session_key=key,
+        )
+        self._sealed += 1
+        self._pending = []
+        self._pending_size = 0
+        return archive
+
+
+def build_metadata_archive(
+    owner_tag: str, index: Dict[str, List[Tuple[str, int]]]
+) -> Archive:
+    """Build the unencrypted metadata archive (file index per archive).
+
+    ``index`` maps archive ids to ``(file name, size)`` pairs.  Metadata
+    travels unencrypted in this reproduction; the paper encrypts it the
+    same way but nothing downstream depends on that.
+    """
+    lines = []
+    for archive_id in sorted(index):
+        for name, size in index[archive_id]:
+            lines.append(f"{archive_id}\t{name}\t{size}")
+    payload = "\n".join(lines).encode("utf-8")
+    return Archive(
+        archive_id=f"{owner_tag}-metadata",
+        payload=payload,
+        is_metadata=True,
+    )
+
+
+def parse_metadata_archive(archive: Archive) -> Dict[str, List[Tuple[str, int]]]:
+    """Inverse of :func:`build_metadata_archive`."""
+    if not archive.is_metadata:
+        raise ArchiveFormatError("not a metadata archive")
+    index: Dict[str, List[Tuple[str, int]]] = {}
+    text = archive.payload.decode("utf-8")
+    if not text:
+        return index
+    for line in text.split("\n"):
+        try:
+            archive_id, name, size = line.split("\t")
+        except ValueError:
+            raise ArchiveFormatError(f"malformed metadata line: {line!r}") from None
+        index.setdefault(archive_id, []).append((name, int(size)))
+    return index
+
+
+def iter_chunks(content: bytes, chunk_size: int) -> Iterator[bytes]:
+    """Split oversized file content into archive-sized chunks."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    for start in range(0, len(content), chunk_size):
+        yield content[start:start + chunk_size]

@@ -1,0 +1,178 @@
+"""The backup task (paper section 2.2.1).
+
+Collect files into archives, erasure-code each archive into ``n``
+blocks, upload the blocks to ``n`` mutually accepted partners, then
+build the master block and publish it (here: to the DHT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..net.message import StoreReply, StoreRequest
+from .archive import Archive, ArchiveBuilder, build_metadata_archive, iter_chunks
+from .client import BackupNode
+from .partnership import PartnershipProtocol
+
+#: Suffix marking one chunk of a file too large for a single archive;
+#: the restore task strips it and reassembles chunks in order.
+CHUNK_SUFFIX = "::part{:05d}"
+
+
+class BackupError(Exception):
+    """Raised when a backup cannot be completed."""
+
+
+@dataclass
+class ArchivePlacement:
+    """Where one archive's blocks ended up."""
+
+    archive_id: str
+    partners: List[int] = field(default_factory=list)  # by block index
+    failed_blocks: List[int] = field(default_factory=list)
+
+
+@dataclass
+class BackupReport:
+    """Outcome of one backup run."""
+
+    owner_id: int
+    placements: List[ArchivePlacement] = field(default_factory=list)
+    master_block_replicas: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every block of every archive found a partner."""
+        return all(not p.failed_blocks for p in self.placements)
+
+
+class BackupTask:
+    """Drives one full backup of a node's files."""
+
+    def __init__(self, node: BackupNode, archive_size: int = 4096):
+        self.node = node
+        self.archive_size = archive_size
+        self._protocol = PartnershipProtocol(
+            node.swarm.transport, node.swarm.acceptance, node.rng
+        )
+
+    def run(self, files: Dict[str, bytes]) -> BackupReport:
+        """Back up ``files`` (name -> content); returns the placement report."""
+        if not files:
+            raise BackupError("nothing to back up")
+        swarm = self.node.swarm
+        report = BackupReport(owner_id=self.node.peer_id)
+
+        archives = self._build_archives(files)
+        for archive in archives:
+            self.node.local_archives[archive.archive_id] = archive
+            placement = self._place_archive(archive)
+            report.placements.append(placement)
+            self.node.master.add_archive(
+                archive_id=archive.archive_id,
+                is_metadata=archive.is_metadata,
+                size=archive.size,
+                partners=placement.partners,
+                session_key=archive.session_key,
+                user_key=self.node.user_key,
+            )
+
+        report.master_block_replicas = swarm.dht.put(
+            self.node.master.dht_key(), self.node.master.serialize()
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def _build_archives(self, files: Dict[str, bytes]) -> List[Archive]:
+        builder = ArchiveBuilder(
+            max_size=self.archive_size,
+            owner_tag=f"peer{self.node.peer_id}",
+        )
+        archives: List[Archive] = []
+        index: Dict[str, List[Tuple[str, int]]] = {}
+        pending: List[Tuple[str, int]] = []
+        # Leave generous room for the entry header and chunk-suffixed name.
+        chunk_budget = max(self.archive_size - 512, 1)
+        for name in sorted(files):
+            content = files[name]
+            for chunk_name, chunk in self._chunks(name, content, chunk_budget):
+                sealed = builder.add_file(chunk_name, chunk)
+                for archive in sealed:
+                    index[archive.archive_id] = pending
+                    pending = []
+                    archives.append(archive)
+                pending.append((chunk_name, len(chunk)))
+        for archive in builder.flush():
+            index[archive.archive_id] = pending
+            pending = []
+            archives.append(archive)
+        # Metadata archive last: it indexes everything (paper stores it
+        # "with a better redundancy"; here redundancy is uniform and the
+        # better-protection aspect is carried by the DHT-replicated
+        # master block).
+        archives.append(
+            build_metadata_archive(f"peer{self.node.peer_id}", index)
+        )
+        return archives
+
+    @staticmethod
+    def _chunks(name: str, content: bytes, chunk_budget: int):
+        """Yield ``(entry name, bytes)`` pairs, chunking oversized files."""
+        if len(content) <= chunk_budget:
+            yield name, content
+            return
+        for part, chunk in enumerate(iter_chunks(content, chunk_budget)):
+            yield name + CHUNK_SUFFIX.format(part), chunk
+
+    def _place_archive(self, archive: Archive) -> ArchivePlacement:
+        swarm = self.node.swarm
+        blocks = swarm.codec.split(archive.payload)
+        placement = ArchivePlacement(archive_id=archive.archive_id)
+        used = set()
+        ranked = self._ranked_partners(used, needed=len(blocks))
+        for block in blocks:
+            partner_id = self._next_agreeing_partner(ranked, used)
+            if partner_id is None:
+                placement.partners.append(-1)
+                placement.failed_blocks.append(block.index)
+                continue
+            reply = swarm.transport.try_send(
+                StoreRequest(
+                    sender=self.node.peer_id,
+                    recipient=partner_id,
+                    archive_id=archive.archive_id,
+                    block_index=block.index,
+                    payload=block.payload,
+                )
+            )
+            if isinstance(reply, StoreReply) and reply.accepted:
+                placement.partners.append(partner_id)
+                used.add(partner_id)
+                self.node.ledger.record_stored_by(partner_id)
+            else:
+                placement.partners.append(-1)
+                placement.failed_blocks.append(block.index)
+        return placement
+
+    def _ranked_partners(self, used: set, needed: int) -> List[int]:
+        swarm = self.node.swarm
+        candidates = swarm.candidates_for(self.node, exclude=used)
+        return swarm.strategy.rank(candidates, swarm.rng)
+
+    def _next_agreeing_partner(self, ranked: List[int], used: set):
+        swarm = self.node.swarm
+        while ranked:
+            candidate_id = ranked.pop(0)
+            if candidate_id in used:
+                continue
+            candidate = swarm.nodes[candidate_id]
+            outcome = self._protocol.propose(
+                self.node.peer_id,
+                self.node.age(),
+                candidate_id,
+                candidate.age(),
+            )
+            if outcome.agreed:
+                return candidate_id
+        return None

@@ -1,0 +1,270 @@
+"""Byte-level backup client: nodes, and the swarm that wires them up.
+
+This is the end-to-end realisation of the system the paper describes in
+section 2.2 — real bytes, real erasure coding, real message exchanges —
+at a scale examples can run (tens of nodes, kilobyte archives).  The
+round-based simulator in :mod:`repro.sim` answers the paper's
+*quantitative* questions; this client demonstrates that the protocol it
+abstracts actually works end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.acceptance import AcceptancePolicy
+from ..core.policy import RepairPolicy
+from ..core.selection import Candidate, SelectionStrategy, strategy_by_name
+from ..erasure.codec import ArchiveCodec, CodedBlock
+from ..net.dht import MasterBlockDht
+from ..net.message import (
+    AvailabilityProbe,
+    AvailabilityReport,
+    FetchReply,
+    FetchRequest,
+    Message,
+    PartnershipProposal,
+    ReleaseNotice,
+    StoreReply,
+    StoreRequest,
+)
+from ..net.transport import InMemoryTransport
+from .archive import Archive
+from .fairness import ExchangeLedger
+from .manifest import MasterBlock
+from .partnership import answer_proposal
+from .store import BlockStore
+
+
+class BackupNode:
+    """One participant: a user's machine running the backup client."""
+
+    def __init__(
+        self,
+        peer_id: int,
+        swarm: "BackupSwarm",
+        user_key: bytes,
+        join_time: int,
+    ):
+        self.peer_id = peer_id
+        self.swarm = swarm
+        self.user_key = user_key
+        self.join_time = join_time
+        self.store = BlockStore(swarm.quota_blocks)
+        self.master = MasterBlock(owner_id=peer_id)
+        #: pairwise direct-exchange accounting (section 2.2.1).
+        self.ledger = ExchangeLedger()
+        #: archives this node owns, kept locally until disaster strikes.
+        self.local_archives: Dict[str, Archive] = {}
+        self.online = True
+        self._online_ticks = 0
+        self._last_tick_seen = join_time
+        self.rng = swarm.spawn_rng()
+
+    # ------------------------------------------------------------------
+    # Public state
+    # ------------------------------------------------------------------
+    def age(self) -> float:
+        """Rounds since this node first connected."""
+        return float(self.swarm.clock - self.join_time)
+
+    def availability(self) -> float:
+        """Observed online fraction since joining."""
+        span = self.swarm.clock - self.join_time
+        if span <= 0:
+            return 1.0
+        return min(self._online_ticks / span, 1.0)
+
+    def record_tick(self) -> None:
+        """Called by the swarm once per clock advance."""
+        if self.online:
+            self._online_ticks += 1
+        self._last_tick_seen = self.swarm.clock
+
+    # ------------------------------------------------------------------
+    # Message handling (the partner-facing half of the protocol)
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> Optional[Message]:
+        """Transport entry point."""
+        if isinstance(message, StoreRequest):
+            return self._handle_store(message)
+        if isinstance(message, FetchRequest):
+            return self._handle_fetch(message)
+        if isinstance(message, ReleaseNotice):
+            released = self.store.release(
+                message.sender, message.archive_id, message.block_index
+            )
+            if released:
+                self.ledger.record_released_for(message.sender)
+            return None
+        if isinstance(message, PartnershipProposal):
+            return answer_proposal(
+                message,
+                own_age=self.age(),
+                acceptance=self.swarm.acceptance,
+                rng=self.rng,
+                has_capacity=self.store.can_store(),
+            )
+        if isinstance(message, AvailabilityProbe):
+            return AvailabilityReport(
+                sender=self.peer_id,
+                recipient=message.sender,
+                availability=self.availability(),
+                observed_rounds=min(
+                    message.window_rounds, self.swarm.clock - self.join_time
+                ),
+            )
+        return None
+
+    def _handle_store(self, message: StoreRequest) -> StoreReply:
+        factor = self.swarm.fairness_factor
+        if factor is not None and self.ledger.would_exceed_debt(
+            message.sender, factor
+        ):
+            return StoreReply(
+                sender=self.peer_id,
+                recipient=message.sender,
+                archive_id=message.archive_id,
+                block_index=message.block_index,
+                accepted=False,
+                reason="fairness: exchange debt exceeded",
+            )
+        block = CodedBlock(
+            index=message.block_index,
+            payload=message.payload,
+            checksum=hashlib.sha256(message.payload).hexdigest(),
+        )
+        try:
+            self.store.store(message.sender, message.archive_id, block)
+        except Exception as error:  # quota full
+            return StoreReply(
+                sender=self.peer_id,
+                recipient=message.sender,
+                archive_id=message.archive_id,
+                block_index=message.block_index,
+                accepted=False,
+                reason=str(error),
+            )
+        self.ledger.record_stored_for(message.sender)
+        return StoreReply(
+            sender=self.peer_id,
+            recipient=message.sender,
+            archive_id=message.archive_id,
+            block_index=message.block_index,
+            accepted=True,
+        )
+
+    def _handle_fetch(self, message: FetchRequest) -> FetchReply:
+        block = self.store.fetch(
+            message.sender, message.archive_id, message.block_index
+        )
+        return FetchReply(
+            sender=self.peer_id,
+            recipient=message.sender,
+            archive_id=message.archive_id,
+            block_index=message.block_index,
+            payload=block.payload if block else None,
+        )
+
+
+class BackupSwarm:
+    """The shared environment: transport, DHT, clock and membership."""
+
+    def __init__(
+        self,
+        data_blocks: int = 8,
+        parity_blocks: int = 8,
+        repair_threshold: Optional[int] = None,
+        quota_blocks: int = 24,
+        age_cap: int = 90 * 24,
+        selection: str = "age",
+        seed: Optional[int] = 0,
+        fairness_factor: Optional[float] = None,
+    ):
+        if fairness_factor is not None and fairness_factor <= 0:
+            raise ValueError("fairness_factor must be positive")
+        self.codec = ArchiveCodec(data_blocks, parity_blocks)
+        threshold = (
+            repair_threshold
+            if repair_threshold is not None
+            else data_blocks + (parity_blocks + 1) // 2
+        )
+        self.policy = RepairPolicy(
+            data_blocks=data_blocks,
+            total_blocks=data_blocks + parity_blocks,
+            repair_threshold=threshold,
+        )
+        self.quota_blocks = quota_blocks
+        self.fairness_factor = fairness_factor
+        self.acceptance = AcceptancePolicy(age_cap=age_cap)
+        self.strategy: SelectionStrategy = strategy_by_name(selection)
+        self.transport = InMemoryTransport()
+        self.dht = MasterBlockDht(replication=3)
+        self.clock = 0
+        self.nodes: Dict[int, BackupNode] = {}
+        self._seed_sequence = np.random.SeedSequence(seed)
+        self._rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
+
+    def spawn_rng(self) -> np.random.Generator:
+        """Independent generator for one node."""
+        return np.random.default_rng(self._seed_sequence.spawn(1)[0])
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Swarm-level generator (selection draws, etc.)."""
+        return self._rng
+
+    # ------------------------------------------------------------------
+    # Membership and time
+    # ------------------------------------------------------------------
+    def add_node(self, user_key: Optional[bytes] = None) -> BackupNode:
+        """Create a node, wire it to transport and DHT, return it."""
+        peer_id = len(self.nodes)
+        key = user_key if user_key is not None else bytes([peer_id % 256]) * 32
+        node = BackupNode(peer_id, self, key, join_time=self.clock)
+        self.nodes[peer_id] = node
+        self.transport.register(peer_id, node.handle)
+        self.dht.join(peer_id)
+        return node
+
+    def set_online(self, peer_id: int, online: bool) -> None:
+        """Connect/disconnect a node everywhere at once."""
+        node = self.nodes[peer_id]
+        node.online = online
+        self.transport.set_online(peer_id, online)
+        self.dht.set_online(peer_id, online)
+
+    def tick(self, rounds: int = 1) -> None:
+        """Advance the shared clock, updating uptime ledgers."""
+        if rounds < 0:
+            raise ValueError("rounds cannot be negative")
+        for _ in range(rounds):
+            self.clock += 1
+            for node in self.nodes.values():
+                node.record_tick()
+
+    # ------------------------------------------------------------------
+    # Candidate discovery
+    # ------------------------------------------------------------------
+    def candidates_for(
+        self, owner: BackupNode, exclude: Optional[set] = None
+    ) -> List[Candidate]:
+        """Online nodes with capacity, excluding the owner and ``exclude``."""
+        exclude = exclude or set()
+        found = []
+        for node in self.nodes.values():
+            if node.peer_id == owner.peer_id or node.peer_id in exclude:
+                continue
+            if not node.online or not node.store.can_store():
+                continue
+            found.append(
+                Candidate(
+                    peer_id=node.peer_id,
+                    age=node.age(),
+                    availability=node.availability(),
+                )
+            )
+        return found

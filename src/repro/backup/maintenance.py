@@ -1,0 +1,205 @@
+"""The maintenance task (paper section 2.2.3), byte-level version.
+
+"The maintenance of the backup is the perpetual task of replacing the
+blocks which have disappeared from the network."  Per archive: probe the
+partners, count the visible blocks, and when the count drops below the
+repair threshold k', download any k blocks, re-encode the missing ones
+(the paper's worst-case decode-then-reencode model) and upload them to
+freshly recruited partners, updating the master block afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..erasure.codec import CodedBlock
+from ..erasure.reed_solomon import ErasureCodingError
+from ..net.dht import DhtError
+from ..net.message import FetchReply, FetchRequest, StoreReply, StoreRequest
+from .client import BackupNode
+from .monitor import AvailabilityMonitor
+from .partnership import PartnershipProtocol
+
+
+@dataclass
+class ArchiveMaintenanceReport:
+    """Maintenance outcome for one archive."""
+
+    archive_id: str
+    visible_blocks: int
+    repaired: bool = False
+    blocked: bool = False
+    lost: bool = False
+    regenerated_blocks: List[int] = field(default_factory=list)
+    new_partners: Dict[int, int] = field(default_factory=dict)  # index -> peer
+
+
+@dataclass
+class MaintenanceReport:
+    """Maintenance outcome for a whole node."""
+
+    owner_id: int
+    archives: List[ArchiveMaintenanceReport] = field(default_factory=list)
+
+    @property
+    def repairs(self) -> int:
+        """Number of archives repaired in this pass."""
+        return sum(1 for a in self.archives if a.repaired)
+
+    @property
+    def losses(self) -> int:
+        """Number of archives found unrecoverable."""
+        return sum(1 for a in self.archives if a.lost)
+
+
+class MaintenanceTask:
+    """One monitoring-plus-repair pass over a node's archives."""
+
+    def __init__(self, node: BackupNode, monitor_window: int = 90 * 24):
+        self.node = node
+        self.monitor = AvailabilityMonitor(
+            node.swarm.transport, node.peer_id, monitor_window
+        )
+        self._protocol = PartnershipProtocol(
+            node.swarm.transport, node.swarm.acceptance, node.rng
+        )
+
+    def run(self) -> MaintenanceReport:
+        """Probe every archive's partners and repair where needed."""
+        report = MaintenanceReport(owner_id=self.node.peer_id)
+        for archive_id in sorted(self.node.master.archives):
+            report.archives.append(self._maintain_archive(archive_id))
+        return report
+
+    # ------------------------------------------------------------------
+    def _maintain_archive(self, archive_id: str) -> ArchiveMaintenanceReport:
+        swarm = self.node.swarm
+        policy = swarm.policy
+        record = self.node.master.archives[archive_id]
+
+        visible = {}
+        for index, partner_id in enumerate(record.partners):
+            if partner_id < 0:
+                continue
+            if self.monitor.is_visible(partner_id):
+                visible[index] = partner_id
+        outcome = ArchiveMaintenanceReport(
+            archive_id=archive_id, visible_blocks=len(visible)
+        )
+        if not policy.needs_repair(len(visible)):
+            return outcome
+        if not policy.can_decode(len(visible)):
+            outcome.blocked = True
+            # The paper keeps retrying next rounds; total loss is only
+            # certain once the blocks are gone from live peers, which the
+            # byte-level client cannot distinguish from long downtime.
+            return outcome
+
+        blocks = self._download_blocks(archive_id, visible, policy.k)
+        if blocks is None:
+            outcome.blocked = True
+            return outcome
+
+        missing = [
+            index for index in range(policy.n) if index not in visible
+        ]
+        replaced = self._reupload(archive_id, blocks, missing, set(visible.values()))
+        outcome.new_partners = replaced
+        outcome.regenerated_blocks = sorted(replaced)
+        outcome.repaired = bool(replaced)
+        if replaced:
+            for index, partner_id in replaced.items():
+                self.node.master.update_partner(archive_id, index, partner_id)
+            try:
+                swarm.dht.put(
+                    self.node.master.dht_key(), self.node.master.serialize()
+                )
+            except DhtError:
+                # All master-block replica holders are momentarily offline;
+                # the local master is current and the next pass republishes.
+                pass
+        return outcome
+
+    def _download_blocks(
+        self, archive_id: str, visible: Dict[int, int], needed: int
+    ) -> Optional[Dict[int, CodedBlock]]:
+        """Fetch any ``needed`` blocks from visible partners."""
+        import hashlib
+
+        swarm = self.node.swarm
+        collected: Dict[int, CodedBlock] = {}
+        for index, partner_id in visible.items():
+            if len(collected) >= needed:
+                break
+            reply = swarm.transport.try_send(
+                FetchRequest(
+                    sender=self.node.peer_id,
+                    recipient=partner_id,
+                    archive_id=archive_id,
+                    block_index=index,
+                )
+            )
+            if isinstance(reply, FetchReply) and reply.payload is not None:
+                collected[index] = CodedBlock(
+                    index=index,
+                    payload=reply.payload,
+                    checksum=hashlib.sha256(reply.payload).hexdigest(),
+                )
+        if len(collected) < needed:
+            return None
+        return collected
+
+    def _reupload(
+        self,
+        archive_id: str,
+        blocks: Dict[int, CodedBlock],
+        missing: List[int],
+        current_partners: set,
+    ) -> Dict[int, int]:
+        """Regenerate missing blocks and place them on new partners."""
+        swarm = self.node.swarm
+        replaced: Dict[int, int] = {}
+        used = set(current_partners)
+        candidates = swarm.candidates_for(self.node, exclude=used)
+        ranked = swarm.strategy.rank(candidates, swarm.rng)
+        ages = {c.peer_id: c.age for c in candidates}
+        for index in missing:
+            try:
+                regenerated = swarm.codec.repair_block(blocks, index)
+            except ErasureCodingError:
+                continue
+            partner_id = self._recruit(ranked, used, ages)
+            if partner_id is None:
+                break
+            reply = swarm.transport.try_send(
+                StoreRequest(
+                    sender=self.node.peer_id,
+                    recipient=partner_id,
+                    archive_id=archive_id,
+                    block_index=index,
+                    payload=regenerated.payload,
+                )
+            )
+            if isinstance(reply, StoreReply) and reply.accepted:
+                replaced[index] = partner_id
+                used.add(partner_id)
+                self.node.ledger.record_stored_by(partner_id)
+        return replaced
+
+    def _recruit(
+        self, ranked: List[int], used: set, ages: Dict[int, float]
+    ) -> Optional[int]:
+        while ranked:
+            candidate_id = ranked.pop(0)
+            if candidate_id in used:
+                continue
+            outcome = self._protocol.propose(
+                self.node.peer_id,
+                self.node.age(),
+                candidate_id,
+                ages.get(candidate_id, 0.0),
+            )
+            if outcome.agreed:
+                return candidate_id
+        return None

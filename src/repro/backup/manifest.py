@@ -1,0 +1,171 @@
+"""Master block: the root of a peer's backup (paper section 2.2.1).
+
+"Finally, a master block is created.  It contains the list of peers on
+which data has been stored, the list of archives, in particular the ones
+containing meta-data, and session keys, encrypted with the user public
+key [...].  The master block is then uploaded to the network, for
+example to all the partners storing the peer's data or to a DHT."
+
+The master block is the only thing a user who lost everything needs to
+find again; its serialisation is a small explicit binary format (no
+pickle — the block travels through untrusted peers).  Session keys are
+sealed with the user's personal key using the same keystream cipher the
+archives use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .archive import decrypt, encrypt
+
+_MAGIC = b"P2PBKUP1"
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+class ManifestError(Exception):
+    """Raised on malformed or wrongly keyed master blocks."""
+
+
+@dataclass
+class ArchiveRecord:
+    """Placement record for one archive."""
+
+    archive_id: str
+    is_metadata: bool
+    size: int
+    partners: List[int] = field(default_factory=list)  # partner ids by block index
+    sealed_session_key: bytes = b""
+
+    def session_key(self, user_key: bytes) -> bytes:
+        """Unseal the session key with the user's personal key."""
+        if not self.sealed_session_key:
+            return b""
+        return decrypt(self.sealed_session_key, user_key)
+
+
+@dataclass
+class MasterBlock:
+    """The complete placement state of one user's backup."""
+
+    owner_id: int
+    archives: Dict[str, ArchiveRecord] = field(default_factory=dict)
+
+    def add_archive(
+        self,
+        archive_id: str,
+        is_metadata: bool,
+        size: int,
+        partners: List[int],
+        session_key: bytes,
+        user_key: bytes,
+    ) -> None:
+        """Register (or replace) an archive's placement."""
+        sealed = encrypt(session_key, user_key) if session_key else b""
+        self.archives[archive_id] = ArchiveRecord(
+            archive_id=archive_id,
+            is_metadata=is_metadata,
+            size=size,
+            partners=list(partners),
+            sealed_session_key=sealed,
+        )
+
+    def update_partner(self, archive_id: str, block_index: int, partner_id: int) -> None:
+        """Record that a block moved to a new partner (after a repair)."""
+        record = self.archives.get(archive_id)
+        if record is None:
+            raise ManifestError(f"unknown archive {archive_id!r}")
+        if not 0 <= block_index < len(record.partners):
+            raise ManifestError(
+                f"block index {block_index} out of range for {archive_id!r}"
+            )
+        record.partners[block_index] = partner_id
+
+    def metadata_archives(self) -> List[ArchiveRecord]:
+        """The records flagged as metadata (restored first)."""
+        return [r for r in self.archives.values() if r.is_metadata]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def serialize(self) -> bytes:
+        """Encode to the wire format, with a trailing integrity digest."""
+        parts = [_MAGIC, _U64.pack(self.owner_id), _U32.pack(len(self.archives))]
+        for archive_id in sorted(self.archives):
+            record = self.archives[archive_id]
+            encoded_id = archive_id.encode("utf-8")
+            parts.append(_U32.pack(len(encoded_id)))
+            parts.append(encoded_id)
+            parts.append(b"\x01" if record.is_metadata else b"\x00")
+            parts.append(_U64.pack(record.size))
+            parts.append(_U32.pack(len(record.partners)))
+            for partner in record.partners:
+                parts.append(_U64.pack(partner))
+            parts.append(_U32.pack(len(record.sealed_session_key)))
+            parts.append(record.sealed_session_key)
+        body = b"".join(parts)
+        return body + hashlib.sha256(body).digest()
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "MasterBlock":
+        """Decode the wire format, verifying magic and digest."""
+        if len(payload) < len(_MAGIC) + 32:
+            raise ManifestError("master block too short")
+        body, digest = payload[:-32], payload[-32:]
+        if hashlib.sha256(body).digest() != digest:
+            raise ManifestError("master block integrity check failed")
+        if not body.startswith(_MAGIC):
+            raise ManifestError("bad master block magic")
+        offset = len(_MAGIC)
+
+        def read(fmt: struct.Struct):
+            nonlocal offset
+            if offset + fmt.size > len(body):
+                raise ManifestError("truncated master block")
+            (value,) = fmt.unpack_from(body, offset)
+            offset += fmt.size
+            return value
+
+        def read_bytes(length: int) -> bytes:
+            nonlocal offset
+            if offset + length > len(body):
+                raise ManifestError("truncated master block")
+            value = body[offset:offset + length]
+            offset += length
+            return value
+
+        owner_id = read(_U64)
+        archive_count = read(_U32)
+        block = cls(owner_id=owner_id)
+        for _ in range(archive_count):
+            id_length = read(_U32)
+            archive_id = read_bytes(id_length).decode("utf-8")
+            is_metadata = read_bytes(1) == b"\x01"
+            size = read(_U64)
+            partner_count = read(_U32)
+            partners = [read(_U64) for _ in range(partner_count)]
+            key_length = read(_U32)
+            sealed = read_bytes(key_length)
+            block.archives[archive_id] = ArchiveRecord(
+                archive_id=archive_id,
+                is_metadata=is_metadata,
+                size=size,
+                partners=partners,
+                sealed_session_key=sealed,
+            )
+        if offset != len(body):
+            raise ManifestError("trailing bytes in master block")
+        return block
+
+    def dht_key(self) -> str:
+        """The DHT key under which this master block is published."""
+        return master_block_key(self.owner_id)
+
+
+def master_block_key(owner_id: int) -> str:
+    """Deterministic DHT key for a user's master block."""
+    return f"master-block/{owner_id}"

@@ -1,0 +1,98 @@
+"""Availability monitoring (the paper's assumed secure protocol).
+
+Section 2.1: "we assume the existence of a secure monitoring protocol
+for peer availability: any peer can query the availability of any other
+peer for a given period of time, for example the last 90 days."
+
+The byte-level client implements the query side: probe a partner, read
+back its windowed uptime, and keep a local ledger of probe outcomes so
+the maintenance task can count visible partners and the
+availability-based selection baseline has real measurements to rank on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..net.message import AvailabilityProbe, AvailabilityReport
+from ..net.transport import InMemoryTransport
+
+
+@dataclass
+class ProbeRecord:
+    """Ledger entry for one monitored partner."""
+
+    probes_sent: int = 0
+    probes_answered: int = 0
+    last_report: Optional[AvailabilityReport] = None
+    consecutive_misses: int = 0
+
+
+@dataclass
+class MonitorLedger:
+    """Probe history of one monitoring peer."""
+
+    records: Dict[int, ProbeRecord] = field(default_factory=dict)
+
+    def record_for(self, partner_id: int) -> ProbeRecord:
+        """Fetch-or-create the ledger entry of a partner."""
+        return self.records.setdefault(partner_id, ProbeRecord())
+
+
+class AvailabilityMonitor:
+    """Probe partners and accumulate uptime knowledge."""
+
+    def __init__(
+        self,
+        transport: InMemoryTransport,
+        owner_id: int,
+        window_rounds: int,
+        departure_threshold: int = 3,
+    ):
+        if window_rounds <= 0:
+            raise ValueError("window_rounds must be positive")
+        if departure_threshold <= 0:
+            raise ValueError("departure_threshold must be positive")
+        self._transport = transport
+        self._owner_id = owner_id
+        self._window = window_rounds
+        #: consecutive failed probes after which a partner is presumed gone
+        #: (the paper's "time threshold" of section 2.2.3, in probe counts).
+        self.departure_threshold = departure_threshold
+        self.ledger = MonitorLedger()
+
+    def probe(self, partner_id: int) -> Optional[AvailabilityReport]:
+        """Probe one partner; returns its report or ``None`` when offline."""
+        record = self.ledger.record_for(partner_id)
+        record.probes_sent += 1
+        reply = self._transport.try_send(
+            AvailabilityProbe(
+                sender=self._owner_id,
+                recipient=partner_id,
+                window_rounds=self._window,
+            )
+        )
+        if reply is None or not isinstance(reply, AvailabilityReport):
+            record.consecutive_misses += 1
+            return None
+        record.probes_answered += 1
+        record.consecutive_misses = 0
+        record.last_report = reply
+        return reply
+
+    def is_visible(self, partner_id: int) -> bool:
+        """Probe and report whether the partner answered."""
+        return self.probe(partner_id) is not None
+
+    def presumed_departed(self, partner_id: int) -> bool:
+        """Whether the partner exceeded the departure threshold."""
+        record = self.ledger.record_for(partner_id)
+        return record.consecutive_misses >= self.departure_threshold
+
+    def measured_availability(self, partner_id: int) -> Optional[float]:
+        """Last reported windowed availability of a partner, if any."""
+        record = self.ledger.records.get(partner_id)
+        if record is None or record.last_report is None:
+            return None
+        return record.last_report.availability

@@ -1,0 +1,91 @@
+"""Partnership negotiation over the transport.
+
+Section 3.2: "To enter this pool, both peers must agree on their
+partnership, using an acceptation function."  The byte-level client runs
+the same mutual-acceptance handshake as the simulator, but as an actual
+message exchange: the initiator proposes with its claimed age, the
+candidate answers with its own accept/reject draw, and the initiator
+applies its side of the acceptation function on the reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.acceptance import AcceptancePolicy
+from ..net.message import PartnershipAnswer, PartnershipProposal
+from ..net.transport import InMemoryTransport
+
+
+@dataclass
+class PartnershipOutcome:
+    """Result of one handshake attempt."""
+
+    partner_id: int
+    agreed: bool
+    refused_by: Optional[str] = None  # "candidate" | "initiator" | "network"
+
+
+class PartnershipProtocol:
+    """Initiator-side handshake driver."""
+
+    def __init__(
+        self,
+        transport: InMemoryTransport,
+        acceptance: AcceptancePolicy,
+        rng: np.random.Generator,
+    ):
+        self._transport = transport
+        self._acceptance = acceptance
+        self._rng = rng
+
+    def propose(
+        self, initiator_id: int, initiator_age: float, candidate_id: int,
+        candidate_age: float,
+    ) -> PartnershipOutcome:
+        """Run the two-sided acceptance handshake with one candidate.
+
+        The candidate's decision happens on its side (see
+        :meth:`answer_proposal`); the initiator decides on the answer.
+        """
+        reply = self._transport.try_send(
+            PartnershipProposal(
+                sender=initiator_id,
+                recipient=candidate_id,
+                proposer_age=initiator_age,
+            )
+        )
+        if reply is None:
+            return PartnershipOutcome(candidate_id, False, refused_by="network")
+        if not isinstance(reply, PartnershipAnswer) or not reply.accepted:
+            return PartnershipOutcome(candidate_id, False, refused_by="candidate")
+        own_draw = float(self._rng.random())
+        if not self._acceptance.decide(initiator_age, candidate_age, own_draw):
+            return PartnershipOutcome(candidate_id, False, refused_by="initiator")
+        return PartnershipOutcome(candidate_id, True)
+
+
+def answer_proposal(
+    proposal: PartnershipProposal,
+    own_age: float,
+    acceptance: AcceptancePolicy,
+    rng: np.random.Generator,
+    has_capacity: bool,
+) -> PartnershipAnswer:
+    """Candidate-side decision for an incoming proposal.
+
+    A full store always refuses; otherwise the acceptation function
+    decides with the candidate's own age against the proposer's.
+    """
+    accepted = False
+    if has_capacity:
+        draw = float(rng.random())
+        accepted = acceptance.decide(own_age, proposal.proposer_age, draw)
+    return PartnershipAnswer(
+        sender=proposal.recipient,
+        recipient=proposal.sender,
+        accepted=accepted,
+    )

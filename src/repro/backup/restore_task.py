@@ -1,0 +1,176 @@
+"""The restoration task (paper section 2.2.2).
+
+"The restoration task is done in the exact opposite order of the backup
+task.  The master block is first retrieved from the network [...].
+Meta-data archives are then downloaded to build an index of all the
+files stored in the backup.  [...] The data archives are then downloaded
+to restore the files on the computer, using the deciphered session keys
+to decrypt the files if needed."
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..erasure.codec import CodedBlock
+from ..erasure.reed_solomon import ErasureCodingError
+from ..net.message import FetchReply, FetchRequest
+from .archive import Archive, parse_metadata_archive
+from .client import BackupSwarm
+from .manifest import ArchiveRecord, ManifestError, MasterBlock, master_block_key
+
+
+class RestoreError(Exception):
+    """Raised when a restore cannot complete."""
+
+
+@dataclass
+class RestoreReport:
+    """What a restore run recovered."""
+
+    owner_id: int
+    files: Dict[str, bytes] = field(default_factory=dict)
+    restored_archives: List[str] = field(default_factory=list)
+    unreachable_archives: List[str] = field(default_factory=list)
+    metadata_index: Dict[str, list] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True when no archive was unreachable."""
+        return not self.unreachable_archives
+
+
+class RestoreTask:
+    """Restore a user's files from the network alone.
+
+    Deliberately takes only the swarm, the user's id and personal key —
+    the situation after a disk loss: no local archives, no local master
+    block.
+    """
+
+    def __init__(self, swarm: BackupSwarm, owner_id: int, user_key: bytes):
+        self.swarm = swarm
+        self.owner_id = owner_id
+        self.user_key = user_key
+
+    def run(self) -> RestoreReport:
+        """Execute the full restore pipeline."""
+        master = self.fetch_master_block()
+        report = RestoreReport(owner_id=self.owner_id)
+
+        # Metadata archives first (they index the data archives).
+        for record in master.metadata_archives():
+            archive = self._fetch_archive(record)
+            if archive is None:
+                report.unreachable_archives.append(record.archive_id)
+                continue
+            report.restored_archives.append(record.archive_id)
+            for archive_id, entries in parse_metadata_archive(archive).items():
+                report.metadata_index[archive_id] = entries
+
+        chunked: Dict[str, Dict[int, bytes]] = {}
+        for record in master.archives.values():
+            if record.is_metadata:
+                continue
+            archive = self._fetch_archive(record)
+            if archive is None:
+                report.unreachable_archives.append(record.archive_id)
+                continue
+            report.restored_archives.append(record.archive_id)
+            for entry in archive.open():
+                self._collect_entry(report.files, chunked, entry.name, entry.content)
+        for name, parts in chunked.items():
+            report.files[name] = b"".join(
+                parts[index] for index in sorted(parts)
+            )
+        return report
+
+    @staticmethod
+    def _collect_entry(
+        files: Dict[str, bytes],
+        chunked: Dict[str, Dict[int, bytes]],
+        name: str,
+        content: bytes,
+    ) -> None:
+        """Route an entry to ``files`` or to the chunk-reassembly buffer."""
+        marker = "::part"
+        position = name.rfind(marker)
+        if position == -1:
+            files[name] = content
+            return
+        base, suffix = name[:position], name[position + len(marker):]
+        if suffix.isdigit():
+            chunked.setdefault(base, {})[int(suffix)] = content
+        else:
+            files[name] = content
+
+    # ------------------------------------------------------------------
+    def fetch_master_block(self) -> MasterBlock:
+        """Step one: the master block from the DHT."""
+        payload = self.swarm.dht.get(master_block_key(self.owner_id))
+        if payload is None:
+            raise RestoreError(
+                f"master block of peer {self.owner_id} not found in the DHT"
+            )
+        try:
+            return MasterBlock.deserialize(payload)
+        except ManifestError as error:
+            raise RestoreError(f"corrupt master block: {error}") from error
+
+    def _fetch_archive(self, record: ArchiveRecord) -> Optional[Archive]:
+        """Gather any k blocks of one archive and decode it."""
+        collected: Dict[int, CodedBlock] = {}
+        needed = self.swarm.codec.k
+        for block_index, partner_id in enumerate(record.partners):
+            if len(collected) >= needed:
+                break
+            if partner_id < 0:
+                continue
+            reply = self.swarm.transport.try_send(
+                FetchRequest(
+                    sender=self.owner_id,
+                    recipient=partner_id,
+                    archive_id=record.archive_id,
+                    block_index=block_index,
+                )
+            )
+            if (
+                isinstance(reply, FetchReply)
+                and reply.payload is not None
+            ):
+                collected[block_index] = CodedBlock(
+                    index=block_index,
+                    payload=reply.payload,
+                    checksum=_checksum(reply.payload),
+                )
+        if len(collected) < needed:
+            return None
+        try:
+            payload = self.swarm.codec.reassemble(collected)
+        except ErasureCodingError:
+            return None
+        session_key = record.session_key(self.user_key)
+        return Archive(
+            archive_id=record.archive_id,
+            payload=payload,
+            session_key=session_key,
+            is_metadata=record.is_metadata,
+        )
+
+
+def _checksum(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def restore_files(
+    swarm: BackupSwarm, owner_id: int, user_key: bytes
+) -> Dict[str, bytes]:
+    """One-call restore; raises :class:`RestoreError` when incomplete."""
+    report = RestoreTask(swarm, owner_id, user_key).run()
+    if not report.complete:
+        raise RestoreError(
+            f"unreachable archives: {report.unreachable_archives}"
+        )
+    return report.files

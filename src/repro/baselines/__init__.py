@@ -1,0 +1,39 @@
+"""Baselines the paper's heuristic is compared against.
+
+* ``random`` — age-blind selection (:class:`repro.core.selection.RandomSelection`):
+  what a backup system without lifetime estimation does;
+* ``availability`` — rank by measured uptime
+  (:class:`repro.core.selection.AvailabilitySelection`);
+* ``oracle`` — rank by true remaining lifetime
+  (:class:`repro.core.selection.OracleSelection`), an unattainable bound;
+* proactive replication at the churn rate (ref [10]), in
+  :mod:`repro.baselines.proactive`.
+
+The selection strategies themselves live in :mod:`repro.core.selection`
+(they share the simulator plumbing); this package adds the comparison
+harness and the proactive-rate estimation.
+"""
+
+from ..core.selection import (
+    AvailabilitySelection,
+    OracleSelection,
+    RandomSelection,
+)
+from .comparison import (
+    StrategyOutcome,
+    compare_strategies,
+    comparison_rows,
+)
+from .proactive import ChurnEstimate, estimate_churn, measured_churn
+
+__all__ = [
+    "AvailabilitySelection",
+    "OracleSelection",
+    "RandomSelection",
+    "StrategyOutcome",
+    "compare_strategies",
+    "comparison_rows",
+    "ChurnEstimate",
+    "estimate_churn",
+    "measured_churn",
+]

@@ -1,0 +1,79 @@
+"""Proactive replication baseline (Duminuco et al., CoNEXT'07 — ref [10]).
+
+The paper's related work describes an alternative maintenance strategy:
+"their system measures the churn, i.e. the rate of departure of
+partners, and pro-actively creates new blocks at the same rate", which
+relaxes the monitoring requirements.
+
+In this reproduction the baseline is driven by
+``SimulationConfig.proactive_rate``: every archive receives top-up
+recruitment ticks at that rate (blocks per round), independent of the
+reactive threshold.  This module provides the rate *estimation* — how
+many blocks per round churn destroys — so experiments can set the knob
+the way the cited system would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..churn.lifetimes import from_profile
+from ..churn.profiles import Profile
+
+
+@dataclass(frozen=True)
+class ChurnEstimate:
+    """Population-level churn figures, per round."""
+
+    departure_rate_per_peer: float   # P(a peer departs in one round)
+    block_loss_rate_per_archive: float  # expected blocks destroyed per round
+
+    def recommended_proactive_rate(self, safety_factor: float = 1.0) -> float:
+        """Blocks per round to regenerate, scaled by a safety factor."""
+        if safety_factor <= 0:
+            raise ValueError("safety_factor must be positive")
+        return self.block_loss_rate_per_archive * safety_factor
+
+
+def estimate_churn(
+    profiles: Sequence[Profile], blocks_per_archive: int
+) -> ChurnEstimate:
+    """Analytic churn estimate from the profile mix.
+
+    A peer with mean lifetime ``T`` departs with probability ``1/T`` per
+    round in steady state; the population mix averages that over
+    proportions.  An archive with ``n`` blocks on ``n`` distinct peers
+    loses ``n x departure_rate`` blocks per round in expectation.
+    """
+    if blocks_per_archive <= 0:
+        raise ValueError("blocks_per_archive must be positive")
+    departure = 0.0
+    for profile in profiles:
+        mean = from_profile(profile).mean()
+        if mean == float("inf"):
+            continue
+        departure += profile.proportion / mean
+    return ChurnEstimate(
+        departure_rate_per_peer=departure,
+        block_loss_rate_per_archive=departure * blocks_per_archive,
+    )
+
+
+def measured_churn(
+    deaths: int, peer_rounds: float, blocks_per_archive: int
+) -> ChurnEstimate:
+    """Empirical churn estimate from simulation output.
+
+    This is what [10]'s system actually does: measure the departure rate
+    of partners and regenerate at that rate.
+    """
+    if peer_rounds <= 0:
+        raise ValueError("peer_rounds must be positive")
+    if blocks_per_archive <= 0:
+        raise ValueError("blocks_per_archive must be positive")
+    departure = deaths / peer_rounds
+    return ChurnEstimate(
+        departure_rate_per_peer=departure,
+        block_loss_rate_per_archive=departure * blocks_per_archive,
+    )

@@ -1,0 +1,51 @@
+"""Churn substrate: behaviour profiles, lifetimes and availability processes."""
+
+from .availability import AvailabilityHistory, SessionProcess
+from .generator import ChurnEvent, ChurnTraceGenerator, PeerTrace, draw_profile
+from .lifetimes import (
+    ImmortalLifetime,
+    LifetimeDistribution,
+    ParetoLifetime,
+    UniformLifetime,
+    from_profile,
+    mixture_survival,
+)
+from .profiles import (
+    DURABLE,
+    ERRATIC,
+    PAPER_PROFILES,
+    ROUNDS_PER_DAY,
+    ROUNDS_PER_MONTH,
+    ROUNDS_PER_YEAR,
+    STABLE,
+    UNSTABLE,
+    Profile,
+    profile_table,
+    validate_mix,
+)
+
+__all__ = [
+    "AvailabilityHistory",
+    "SessionProcess",
+    "ChurnEvent",
+    "ChurnTraceGenerator",
+    "PeerTrace",
+    "draw_profile",
+    "ImmortalLifetime",
+    "LifetimeDistribution",
+    "ParetoLifetime",
+    "UniformLifetime",
+    "from_profile",
+    "mixture_survival",
+    "DURABLE",
+    "ERRATIC",
+    "PAPER_PROFILES",
+    "ROUNDS_PER_DAY",
+    "ROUNDS_PER_MONTH",
+    "ROUNDS_PER_YEAR",
+    "STABLE",
+    "UNSTABLE",
+    "Profile",
+    "profile_table",
+    "validate_mix",
+]

@@ -1,0 +1,156 @@
+"""On/off availability processes.
+
+The paper models availability as a single percentage per profile (time
+spent online).  We realise it as an alternating renewal process: online
+sessions and offline gaps with geometric (discrete memoryless) durations
+whose means give exactly the requested duty cycle.  Session granularity
+(the mean online-session length) is a free parameter of each profile; the
+long-run availability does not depend on it, only the *burstiness* does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+def geometric_duration(rng: np.random.Generator, mean: float) -> int:
+    """One session duration in rounds: geometric with the given mean, >= 1.
+
+    A geometric variable on {1, 2, ...} with success probability
+    ``p = 1/mean`` has mean exactly ``mean``; means below 1 clamp to a
+    single round.
+    """
+    if mean <= 1.0:
+        return 1
+    return int(rng.geometric(1.0 / mean))
+
+
+class SessionProcess:
+    """Alternating online/offline session generator for one peer.
+
+    Parameters
+    ----------
+    availability:
+        Target long-run online fraction in ``(0, 1]``.
+    mean_online:
+        Mean online-session length in rounds.
+    rng:
+        Numpy generator; one stream per peer keeps runs reproducible.
+    start_online:
+        Whether the peer begins its life online.  Fresh peers do (they
+        just connected).
+    """
+
+    def __init__(
+        self,
+        availability: float,
+        mean_online: float,
+        rng: np.random.Generator,
+        start_online: bool = True,
+    ):
+        if not 0.0 < availability <= 1.0:
+            raise ValueError(f"availability must be in (0, 1], got {availability}")
+        if mean_online <= 0:
+            raise ValueError("mean_online must be positive")
+        self.availability = availability
+        self.mean_online = float(mean_online)
+        if availability >= 1.0:
+            self.mean_offline = 0.0
+        else:
+            self.mean_offline = mean_online * (1.0 - availability) / availability
+        self._rng = rng
+        self.online = start_online
+
+    @property
+    def always_online(self) -> bool:
+        """True when the duty cycle never produces an offline gap."""
+        return self.mean_offline == 0.0
+
+    def next_session_length(self) -> int:
+        """Length in rounds of the *current* state before the next toggle."""
+        if self.online:
+            return geometric_duration(self._rng, self.mean_online)
+        return geometric_duration(self._rng, max(self.mean_offline, 1.0))
+
+    def toggle(self) -> bool:
+        """Flip the state and return the new value."""
+        self.online = not self.online
+        return self.online
+
+    def sessions(self, horizon: int) -> Iterator[Tuple[bool, int]]:
+        """Yield ``(online, duration)`` pairs covering ``horizon`` rounds."""
+        if horizon < 0:
+            raise ValueError("horizon cannot be negative")
+        elapsed = 0
+        while elapsed < horizon:
+            duration = self.next_session_length()
+            duration = min(duration, horizon - elapsed)
+            yield self.online, duration
+            elapsed += duration
+            if self.always_online:
+                # Emit a single covering session and stop toggling.
+                if elapsed < horizon:
+                    yield True, horizon - elapsed
+                return
+            self.toggle()
+
+
+def empirical_availability(timeline: List[Tuple[bool, int]]) -> float:
+    """Measured online fraction of a ``(online, duration)`` timeline."""
+    total = sum(duration for _, duration in timeline)
+    if total == 0:
+        return 0.0
+    online = sum(duration for is_online, duration in timeline if is_online)
+    return online / total
+
+
+class AvailabilityHistory:
+    """Sliding-window uptime record used by the monitoring protocol.
+
+    The paper assumes "a secure monitoring protocol for peer availability:
+    any peer can query the availability of any other peer for a given
+    period of time, for example the last 90 days" (section 2.1).  This
+    class is that record: a ring buffer of per-round online bits.
+    """
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._bits = np.zeros(window, dtype=bool)
+        self._cursor = 0
+        self._recorded = 0
+
+    def record(self, online: bool) -> None:
+        """Append one round of observed state."""
+        self._bits[self._cursor] = online
+        self._cursor = (self._cursor + 1) % self.window
+        self._recorded = min(self._recorded + 1, self.window)
+
+    def record_span(self, online: bool, rounds: int) -> None:
+        """Append ``rounds`` consecutive rounds in the same state."""
+        if rounds < 0:
+            raise ValueError("rounds cannot be negative")
+        for _ in range(min(rounds, self.window)):
+            self.record(online)
+        if rounds > self.window:
+            # The whole window is now a single state; the skipped rounds
+            # would have overwritten everything anyway.
+            self._recorded = self.window
+
+    def availability(self) -> float:
+        """Observed online fraction over the recorded window."""
+        if self._recorded == 0:
+            return 0.0
+        if self._recorded < self.window:
+            start = (self._cursor - self._recorded) % self.window
+            indices = [(start + i) % self.window for i in range(self._recorded)]
+            return float(np.mean(self._bits[indices]))
+        return float(np.mean(self._bits))
+
+    @property
+    def observed_rounds(self) -> int:
+        """Number of rounds recorded so far (capped at the window size)."""
+        return self._recorded

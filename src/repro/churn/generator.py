@@ -1,0 +1,153 @@
+"""Standalone churn-trace generation.
+
+The simulator drives churn through events; this module offers the same
+stochastic machinery as a reusable component that produces explicit
+traces (joins, departures, session toggles), e.g. to feed other
+simulators, to validate the availability model, or to fit lifetime
+distributions offline (see :mod:`repro.core.lifetime`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .availability import SessionProcess
+from .lifetimes import from_profile
+from .profiles import PAPER_PROFILES, Profile, validate_mix
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One event of a churn trace."""
+
+    round: int
+    peer_id: int
+    kind: str  # "join" | "leave" | "online" | "offline"
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"join", "leave", "online", "offline"}:
+            raise ValueError(f"unknown churn event kind: {self.kind}")
+
+
+@dataclass
+class PeerTrace:
+    """The full life of one simulated peer."""
+
+    peer_id: int
+    profile: Profile
+    join_round: int
+    lifetime: float
+    events: List[ChurnEvent] = field(default_factory=list)
+
+    @property
+    def leave_round(self) -> Optional[int]:
+        """Round the peer departs, or ``None`` when it never does."""
+        if math.isinf(self.lifetime):
+            return None
+        return self.join_round + int(self.lifetime)
+
+
+def draw_profile(rng: np.random.Generator, profiles: Sequence[Profile]) -> Profile:
+    """Sample one profile according to the mix proportions."""
+    weights = [p.proportion for p in profiles]
+    index = int(rng.choice(len(profiles), p=weights))
+    return profiles[index]
+
+
+class ChurnTraceGenerator:
+    """Generate joins/leaves/session toggles for a replaced population.
+
+    Mirrors the paper's population model: a fixed-size population where
+    "each peer leaving the system is immediately replaced".
+    """
+
+    def __init__(
+        self,
+        population: int,
+        horizon: int,
+        profiles: Sequence[Profile] = PAPER_PROFILES,
+        seed: Optional[int] = None,
+    ):
+        if population <= 0:
+            raise ValueError("population must be positive")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        validate_mix(profiles)
+        self.population = population
+        self.horizon = horizon
+        self.profiles = tuple(profiles)
+        self._rng = np.random.default_rng(seed)
+        self._next_peer_id = 0
+
+    def _spawn(self, join_round: int) -> PeerTrace:
+        profile = draw_profile(self._rng, self.profiles)
+        lifetime = from_profile(profile).sample(self._rng)
+        trace = PeerTrace(
+            peer_id=self._next_peer_id,
+            profile=profile,
+            join_round=join_round,
+            lifetime=lifetime,
+        )
+        self._next_peer_id += 1
+        return trace
+
+    def _fill_sessions(self, trace: PeerTrace) -> None:
+        end = trace.leave_round
+        stop = self.horizon if end is None else min(end, self.horizon)
+        span = stop - trace.join_round
+        if span <= 0:
+            return
+        process = SessionProcess(
+            availability=trace.profile.availability,
+            mean_online=trace.profile.mean_online_session,
+            rng=self._rng,
+        )
+        clock = trace.join_round
+        trace.events.append(ChurnEvent(trace.join_round, trace.peer_id, "join"))
+        previous_online = None
+        for online, duration in process.sessions(span):
+            if online != previous_online:
+                kind = "online" if online else "offline"
+                # The join itself implies "online"; skip the duplicate.
+                if not (clock == trace.join_round and online):
+                    trace.events.append(ChurnEvent(clock, trace.peer_id, kind))
+                previous_online = online
+            clock += duration
+        if end is not None and end <= self.horizon:
+            trace.events.append(ChurnEvent(end, trace.peer_id, "leave"))
+
+    def generate(self) -> List[PeerTrace]:
+        """Produce traces for the whole population over the horizon.
+
+        Departing peers are replaced by fresh ones until the horizon, so
+        the number of traces usually exceeds the population size.
+        """
+        traces: List[PeerTrace] = []
+        frontier: List[PeerTrace] = [self._spawn(0) for _ in range(self.population)]
+        while frontier:
+            trace = frontier.pop()
+            self._fill_sessions(trace)
+            traces.append(trace)
+            leave = trace.leave_round
+            if leave is not None and leave < self.horizon:
+                frontier.append(self._spawn(leave))
+        traces.sort(key=lambda t: (t.join_round, t.peer_id))
+        return traces
+
+
+def observed_lifetimes(traces: Sequence[PeerTrace], horizon: int) -> np.ndarray:
+    """Extract completed lifetimes from traces (censored ones excluded).
+
+    These samples are what :func:`repro.core.lifetime.fit_pareto` consumes.
+    """
+    lifetimes = [
+        trace.lifetime
+        for trace in traces
+        if not math.isinf(trace.lifetime)
+        and trace.join_round + trace.lifetime <= horizon
+    ]
+    return np.asarray(lifetimes, dtype=float)

@@ -1,0 +1,159 @@
+"""Peer behaviour profiles (paper section 4.1.1, table T2).
+
+A profile is "a class of peers sharing globally the same behavior": its
+life expectancy (how many rounds the peer stays in the system) and its
+availability (fraction of its lifetime spent online).  The paper uses four
+profiles; their proportions, life-expectancy ranges and availabilities are
+reproduced verbatim below.
+
+Rounds are hours (paper section 3.1), so a year is 8760 rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Rounds (hours) per day / month / year, used throughout the reproduction.
+ROUNDS_PER_DAY = 24
+ROUNDS_PER_MONTH = 30 * ROUNDS_PER_DAY
+ROUNDS_PER_YEAR = 365 * ROUNDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A class of peers with a common churn behaviour.
+
+    Attributes
+    ----------
+    name:
+        Human-readable profile name (e.g. ``"Stable"``).
+    proportion:
+        Fraction of the population drawn from this profile, in ``[0, 1]``.
+    life_expectancy:
+        ``(low, high)`` bounds in rounds for the peer's total time in the
+        system, or ``None`` for an unlimited lifetime (the paper's
+        *Durable* profile).  Lifetimes are drawn uniformly in the range,
+        matching the paper's "1.5 - 3.5 years"-style specification.
+    availability:
+        Long-run fraction of the lifetime the peer is online, in
+        ``(0, 1]``.
+    mean_online_session:
+        Mean length, in rounds, of one uninterrupted online session.  The
+        paper specifies availability percentages but not session
+        granularity; this is a documented free parameter (DESIGN.md
+        section 4) whose default keeps session lengths in the
+        tens-of-hours range observed in file-sharing measurement studies.
+    """
+
+    name: str
+    proportion: float
+    life_expectancy: Optional[Tuple[int, int]]
+    availability: float
+    mean_online_session: float = 24.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.proportion <= 1.0:
+            raise ValueError(f"proportion must be in [0, 1], got {self.proportion}")
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError(
+                f"availability must be in (0, 1], got {self.availability}"
+            )
+        if self.mean_online_session <= 0:
+            raise ValueError("mean_online_session must be positive")
+        if self.life_expectancy is not None:
+            low, high = self.life_expectancy
+            if low <= 0 or high < low:
+                raise ValueError(
+                    f"life expectancy bounds must satisfy 0 < low <= high, "
+                    f"got ({low}, {high})"
+                )
+
+    @property
+    def is_durable(self) -> bool:
+        """True when the profile never leaves the system."""
+        return self.life_expectancy is None
+
+    @property
+    def mean_offline_session(self) -> float:
+        """Mean offline-session length implied by the availability duty cycle.
+
+        With alternating online/offline sessions of means ``u`` and ``d``,
+        the long-run availability is ``u / (u + d)``; solving for ``d``
+        gives ``u * (1 - a) / a``.
+        """
+        a = self.availability
+        if a >= 1.0:
+            return 0.0
+        return self.mean_online_session * (1.0 - a) / a
+
+    def mean_lifetime(self) -> float:
+        """Expected total lifetime in rounds (``inf`` for durable profiles)."""
+        if self.life_expectancy is None:
+            return math.inf
+        low, high = self.life_expectancy
+        return (low + high) / 2.0
+
+
+#: The paper's four profiles, with the exact proportions, life-expectancy
+#: ranges and availabilities of the table in section 4.1.1.
+DURABLE = Profile(
+    name="Durable",
+    proportion=0.10,
+    life_expectancy=None,
+    availability=0.95,
+    mean_online_session=30 * ROUNDS_PER_DAY,
+)
+STABLE = Profile(
+    name="Stable",
+    proportion=0.25,
+    life_expectancy=(int(1.5 * ROUNDS_PER_YEAR), int(3.5 * ROUNDS_PER_YEAR)),
+    availability=0.87,
+    mean_online_session=10 * ROUNDS_PER_DAY,
+)
+UNSTABLE = Profile(
+    name="Unstable",
+    proportion=0.30,
+    life_expectancy=(3 * ROUNDS_PER_MONTH, 18 * ROUNDS_PER_MONTH),
+    availability=0.75,
+    mean_online_session=4 * ROUNDS_PER_DAY,
+)
+ERRATIC = Profile(
+    name="Erratic",
+    proportion=0.35,
+    life_expectancy=(1 * ROUNDS_PER_MONTH, 3 * ROUNDS_PER_MONTH),
+    availability=0.33,
+    mean_online_session=1 * ROUNDS_PER_DAY,
+)
+
+PAPER_PROFILES: Tuple[Profile, ...] = (DURABLE, STABLE, UNSTABLE, ERRATIC)
+
+
+def validate_mix(profiles: Sequence[Profile]) -> None:
+    """Check that a profile mix is usable (non-empty, proportions sum to 1)."""
+    if not profiles:
+        raise ValueError("at least one profile is required")
+    names = [p.name for p in profiles]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate profile names in mix: {names}")
+    total = sum(p.proportion for p in profiles)
+    if not math.isclose(total, 1.0, abs_tol=1e-9):
+        raise ValueError(f"profile proportions must sum to 1, got {total}")
+
+
+def profile_table(profiles: Sequence[Profile] = PAPER_PROFILES) -> Dict[str, Dict]:
+    """Return the profile table (T2) as a dict keyed by profile name."""
+    table = {}
+    for profile in profiles:
+        if profile.life_expectancy is None:
+            expectancy = "unlimited"
+        else:
+            low, high = profile.life_expectancy
+            expectancy = f"{low}-{high} rounds"
+        table[profile.name] = {
+            "proportion": profile.proportion,
+            "life_expectancy": expectancy,
+            "availability": profile.availability,
+        }
+    return table

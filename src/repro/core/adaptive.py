@@ -1,0 +1,111 @@
+"""Adaptive repair thresholds (the paper's future work, section 6).
+
+"As future works, we plan to improve our simulations by allowing
+parameters to adapt more dynamically.  For instance, the repair
+threshold might be changed depending on the peer context, its
+difficulties to find partners, the data that it needs to download."
+
+This module implements that controller.  Each peer carries its own
+threshold inside ``[k + 1, n - 1]`` and nudges it on the signals the
+paper names:
+
+* a **blocked** repair (fewer than ``k`` blocks visible when the repair
+  fired) means the peer waited too long: raise the threshold so the next
+  repair triggers earlier;
+* a **starved** repair (no recruitable partner found) means the peer is
+  repairing more eagerly than the network can absorb: lower the
+  threshold and tolerate deeper dips;
+* long quiet stretches decay the threshold back toward the configured
+  base, so a transient crisis does not pin a peer at the extreme
+  forever.
+
+The controller is pure state + integer arithmetic; the simulator wires
+it in when ``SimulationConfig.adaptive_thresholds`` is set (ablation A5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .policy import RepairPolicy
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tuning constants of the adaptive controller."""
+
+    raise_step: int = 1          # threshold increase per blocked repair
+    lower_step: int = 1          # threshold decrease per starved repair
+    decay_interval: int = 30 * 24  # rounds of quiet before one step of decay
+
+    def __post_init__(self) -> None:
+        if self.raise_step < 1 or self.lower_step < 1:
+            raise ValueError("adaptation steps must be >= 1")
+        if self.decay_interval < 1:
+            raise ValueError("decay_interval must be >= 1")
+
+
+class AdaptiveThreshold:
+    """Per-peer repair threshold that reacts to repair outcomes."""
+
+    def __init__(
+        self,
+        policy: RepairPolicy,
+        config: AdaptiveConfig = AdaptiveConfig(),
+    ):
+        self._policy = policy
+        self._config = config
+        self._base = policy.repair_threshold
+        self._minimum = policy.k + 1
+        self._maximum = policy.n - 1
+        if not self._minimum <= self._base <= self._maximum:
+            # A base threshold at an extreme still adapts inside the
+            # legal band; clamp the starting point.
+            self._base = min(max(self._base, self._minimum), self._maximum)
+        self.value = self._base
+        self._last_event_round = 0
+
+    @property
+    def base(self) -> int:
+        """The configured threshold the controller decays back toward."""
+        return self._base
+
+    def needs_repair(self, visible_blocks: int) -> bool:
+        """Threshold test against the *current* adapted value."""
+        if visible_blocks < 0:
+            raise ValueError("visible block count cannot be negative")
+        return visible_blocks < self.value
+
+    def on_blocked(self, now: int) -> int:
+        """A repair fired too late to decode: raise the threshold."""
+        self.value = min(self.value + self._config.raise_step, self._maximum)
+        self._last_event_round = now
+        return self.value
+
+    def on_starved(self, now: int) -> int:
+        """A repair found no partners: lower the threshold."""
+        self.value = max(self.value - self._config.lower_step, self._minimum)
+        self._last_event_round = now
+        return self.value
+
+    def on_repair(self, now: int) -> int:
+        """A normal successful repair: apply time decay toward the base."""
+        self._maybe_decay(now)
+        return self.value
+
+    def _maybe_decay(self, now: int) -> None:
+        quiet = now - self._last_event_round
+        if quiet < self._config.decay_interval or self.value == self._base:
+            return
+        steps = quiet // self._config.decay_interval
+        if self.value > self._base:
+            self.value = max(self.value - steps, self._base)
+        else:
+            self.value = min(self.value + steps, self._base)
+        self._last_event_round = now
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveThreshold(value={self.value}, base={self._base}, "
+            f"band=[{self._minimum}, {self._maximum}])"
+        )

@@ -1,0 +1,117 @@
+"""Age categories of peers (paper section 4.2.1, table T3).
+
+Unlike a peer's *profile* (fixed behaviour class, hidden from other
+peers), its *category* is a public function of its current age and
+changes as the peer ages: Newcomer -> Young -> Old -> Elder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..churn.profiles import ROUNDS_PER_MONTH
+
+
+@dataclass(frozen=True)
+class Category:
+    """A half-open age bracket ``[lower, upper)`` in rounds."""
+
+    name: str
+    lower: int
+    upper: Optional[int]  # None = unbounded
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise ValueError("category lower bound cannot be negative")
+        if self.upper is not None and self.upper <= self.lower:
+            raise ValueError(
+                f"category upper bound must exceed lower, got "
+                f"[{self.lower}, {self.upper})"
+            )
+
+    def contains(self, age: float) -> bool:
+        """Whether an age (in rounds) falls in this bracket."""
+        if age < self.lower:
+            return False
+        return self.upper is None or age < self.upper
+
+
+#: The paper's four categories: Newcomers < 3 months, Young 3-6 months,
+#: Old 6-18 months, Elder > 18 months.
+NEWCOMER = Category("Newcomers", 0, 3 * ROUNDS_PER_MONTH)
+YOUNG = Category("Young peers", 3 * ROUNDS_PER_MONTH, 6 * ROUNDS_PER_MONTH)
+OLD = Category("Old peers", 6 * ROUNDS_PER_MONTH, 18 * ROUNDS_PER_MONTH)
+ELDER = Category("Elder peers", 18 * ROUNDS_PER_MONTH, None)
+
+PAPER_CATEGORIES: Tuple[Category, ...] = (NEWCOMER, YOUNG, OLD, ELDER)
+
+
+class CategoryScheme:
+    """An ordered, contiguous set of age categories.
+
+    The default scheme is the paper's; experiments on scaled-down
+    simulations can supply proportionally smaller brackets.
+    """
+
+    def __init__(self, categories: Tuple[Category, ...] = PAPER_CATEGORIES):
+        if not categories:
+            raise ValueError("at least one category is required")
+        previous_upper = 0
+        for category in categories[:-1]:
+            if category.lower != previous_upper:
+                raise ValueError("categories must be contiguous from age 0")
+            if category.upper is None:
+                raise ValueError("only the last category may be unbounded")
+            previous_upper = category.upper
+        last = categories[-1]
+        if last.lower != previous_upper:
+            raise ValueError("categories must be contiguous from age 0")
+        self.categories = tuple(categories)
+
+    def classify(self, age: float) -> Category:
+        """Return the category an age belongs to."""
+        if age < 0:
+            raise ValueError("age cannot be negative")
+        for category in self.categories:
+            if category.contains(age):
+                return category
+        # Unreachable with a well-formed scheme ending in an unbounded
+        # bracket; guard for bounded schemes.
+        raise ValueError(f"age {age} exceeds the last category bound")
+
+    def names(self) -> List[str]:
+        """Category names in age order."""
+        return [category.name for category in self.categories]
+
+    def scaled(self, factor: float) -> "CategoryScheme":
+        """A scheme with all bracket bounds multiplied by ``factor``.
+
+        Used when a scaled-down simulation shortens the time axis: the
+        categories must shrink with it to keep the population shares
+        comparable.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        scaled = []
+        for category in self.categories:
+            upper = None if category.upper is None else max(
+                int(category.upper * factor), int(category.lower * factor) + 1
+            )
+            scaled.append(
+                Category(category.name, int(category.lower * factor), upper)
+            )
+        return CategoryScheme(tuple(scaled))
+
+    def table(self) -> Dict[str, str]:
+        """The category table (T4.2.1) as ``name -> bracket`` strings."""
+        rows = {}
+        for category in self.categories:
+            if category.upper is None:
+                rows[category.name] = f"> {category.lower} rounds"
+            else:
+                rows[category.name] = f"{category.lower} - {category.upper} rounds"
+        return rows
+
+
+DEFAULT_SCHEME = CategoryScheme()

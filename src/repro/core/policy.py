@@ -1,0 +1,120 @@
+"""Maintenance policy: when to repair and how much to recruit.
+
+The paper's maintenance rule (sections 2.2.3 and 3.2): each round a peer
+monitors its partners; when fewer than the repair threshold ``k'`` blocks
+are visible, a repair is triggered.  A repair first needs ``k`` visible
+blocks to decode; it then re-encodes and uploads the missing blocks so
+that ``n`` blocks are placed again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Threshold-repair policy for one archive.
+
+    Attributes
+    ----------
+    data_blocks:
+        ``k`` — blocks needed to decode.
+    total_blocks:
+        ``n`` — blocks placed when fully repaired.
+    repair_threshold:
+        ``k'`` — the minimal number of blocks that should stay visible;
+        dropping below it triggers a repair.  Must satisfy
+        ``k <= k' <= n`` (the paper sweeps 132..180 for k=128, n=256).
+    """
+
+    data_blocks: int
+    total_blocks: int
+    repair_threshold: int
+
+    def __post_init__(self) -> None:
+        if self.data_blocks < 1:
+            raise ValueError(f"k must be >= 1, got {self.data_blocks}")
+        if self.total_blocks < self.data_blocks:
+            raise ValueError(
+                f"n ({self.total_blocks}) must be >= k ({self.data_blocks})"
+            )
+        if not self.data_blocks <= self.repair_threshold <= self.total_blocks:
+            raise ValueError(
+                f"repair threshold must lie in [k, n] = "
+                f"[{self.data_blocks}, {self.total_blocks}], "
+                f"got {self.repair_threshold}"
+            )
+
+    @property
+    def k(self) -> int:
+        """Alias for ``data_blocks`` matching the paper's notation."""
+        return self.data_blocks
+
+    @property
+    def n(self) -> int:
+        """Alias for ``total_blocks`` matching the paper's notation."""
+        return self.total_blocks
+
+    @property
+    def parity_blocks(self) -> int:
+        """``m = n - k``."""
+        return self.total_blocks - self.data_blocks
+
+    def needs_repair(self, visible_blocks: int) -> bool:
+        """True when fewer than ``k'`` blocks are visible."""
+        if visible_blocks < 0:
+            raise ValueError("visible block count cannot be negative")
+        return visible_blocks < self.repair_threshold
+
+    def can_decode(self, visible_blocks: int) -> bool:
+        """True when a repair (or a restore) can gather ``k`` blocks now."""
+        if visible_blocks < 0:
+            raise ValueError("visible block count cannot be negative")
+        return visible_blocks >= self.data_blocks
+
+    def is_lost(self, surviving_blocks: int) -> bool:
+        """True when fewer than ``k`` blocks exist on live peers.
+
+        At that point no future repair can ever succeed: the archive is
+        permanently lost.
+        """
+        if surviving_blocks < 0:
+            raise ValueError("surviving block count cannot be negative")
+        return surviving_blocks < self.data_blocks
+
+    def blocks_to_recruit(self, visible_blocks: int) -> int:
+        """Number of new partners a repair should recruit (``d``)."""
+        if visible_blocks < 0:
+            raise ValueError("visible block count cannot be negative")
+        return max(self.total_blocks - visible_blocks, 0)
+
+    def with_threshold(self, repair_threshold: int) -> "RepairPolicy":
+        """Copy of the policy with a different threshold (for sweeps)."""
+        return RepairPolicy(self.data_blocks, self.total_blocks, repair_threshold)
+
+
+def scaled_threshold(
+    paper_threshold: int,
+    paper_k: int = 128,
+    paper_n: int = 256,
+    target_k: int = 16,
+    target_n: int = 32,
+) -> int:
+    """Map a paper threshold onto scaled-down code parameters.
+
+    The mapping preserves the *slack fraction* ``(k' - k) / (n - k)``:
+    the paper's 148 with k=128, n=256 has slack 20/128 = 15.6 %, which
+    becomes 18 (slack 2.5/16) for a k=16, n=32 code.
+    """
+    if not paper_k <= paper_threshold <= paper_n:
+        raise ValueError("paper threshold must lie in [paper_k, paper_n]")
+    if target_n <= target_k:
+        raise ValueError("target n must exceed target k")
+    fraction = (paper_threshold - paper_k) / (paper_n - paper_k)
+    threshold = target_k + round(fraction * (target_n - target_k))
+    # A paper threshold strictly above k must stay strictly above k after
+    # scaling: at k' = k a repair can never trigger (visible < k' implies
+    # the decode precondition visible >= k already failed).
+    floor = target_k + 1 if fraction > 0 else target_k
+    return min(max(threshold, floor), target_n)

@@ -1,0 +1,86 @@
+"""Partner-pool construction (paper section 3.2).
+
+"When a node wants to store blocks on the peer-to-peer network, it
+creates a pool of possible partners, i.e. peers that do not yet store
+blocks for the same archive.  To enter this pool, both peers must agree
+on their partnership, using an acceptation function."
+
+The pool builder is deliberately independent of the simulator: it
+consumes any iterable of candidates, applies the *mutual* acceptance
+test, and stops once the pool is large enough or the candidate supply or
+the attempt budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+from .acceptance import AcceptancePolicy
+from .selection import Candidate
+
+
+@dataclass
+class PoolResult:
+    """Outcome of one pool-building attempt."""
+
+    accepted: List[Candidate] = field(default_factory=list)
+    examined: int = 0
+    rejected_by_owner: int = 0
+    rejected_by_candidate: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of mutually accepted candidates."""
+        return len(self.accepted)
+
+
+def build_pool(
+    owner_age: float,
+    candidates: Iterable[Candidate],
+    acceptance: AcceptancePolicy,
+    rng: np.random.Generator,
+    target_size: int,
+    max_examined: int,
+) -> PoolResult:
+    """Fill a pool of mutually accepted partners.
+
+    Parameters
+    ----------
+    owner_age:
+        Age in rounds of the peer building the pool.
+    candidates:
+        Candidate partners, typically a random stream of online peers
+        with free quota that are not partners yet.
+    acceptance:
+        The acceptation rule (the paper's ``f`` with its cap ``L``).
+    rng:
+        Random source for both sides' accept/reject draws.
+    target_size:
+        Stop once this many candidates have been accepted.
+    max_examined:
+        Hard budget on examined candidates, so a starved newcomer cannot
+        loop forever inside one round.
+    """
+    if target_size < 0:
+        raise ValueError("target_size cannot be negative")
+    if max_examined < 0:
+        raise ValueError("max_examined cannot be negative")
+
+    result = PoolResult()
+    for candidate in candidates:
+        if result.size >= target_size or result.examined >= max_examined:
+            break
+        result.examined += 1
+        # Owner's side: f(owner, candidate).
+        if not acceptance.decide(owner_age, candidate.age, float(rng.random())):
+            result.rejected_by_owner += 1
+            continue
+        # Candidate's side: f(candidate, owner).
+        if not acceptance.decide(candidate.age, owner_age, float(rng.random())):
+            result.rejected_by_candidate += 1
+            continue
+        result.accepted.append(candidate)
+    return result

@@ -1,0 +1,177 @@
+"""Partner-selection strategies.
+
+The paper's strategy ("nodes are selected according to their stability
+[...] the protocol uses the ages of the peers to sort them", section 3.2)
+is :class:`AgeSelection`.  The baselines used for the ablation benches
+(A1 in DESIGN.md) share the same interface:
+
+* :class:`RandomSelection` — age-blind uniform choice (what a system
+  without lifetime estimation would do);
+* :class:`AvailabilitySelection` — rank by measured availability over the
+  monitoring window (an alternative stability signal);
+* :class:`OracleSelection` — rank by the peer's *true* remaining lifetime
+  (an unattainable upper bound that quantifies how much of the oracle's
+  benefit the age heuristic captures).
+
+Every strategy consumes :class:`Candidate` descriptors and returns the
+ids to recruit, most preferred first.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """Everything a selection strategy may know about a candidate partner.
+
+    ``age`` is public knowledge (via the monitoring protocol);
+    ``availability`` is the measured uptime fraction over the monitoring
+    window; ``true_remaining_lifetime`` exists only in simulation and is
+    consumed exclusively by the oracle baseline.
+    """
+
+    peer_id: int
+    age: float
+    availability: Optional[float] = None
+    true_remaining_lifetime: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.age < 0:
+            raise ValueError("candidate age cannot be negative")
+        if self.availability is not None and not 0.0 <= self.availability <= 1.0:
+            raise ValueError("availability must be in [0, 1]")
+
+
+class SelectionStrategy(ABC):
+    """Orders candidate partners by preference."""
+
+    #: Short machine name used by experiment configs and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def rank(
+        self, candidates: Sequence[Candidate], rng: np.random.Generator
+    ) -> List[int]:
+        """Return candidate ids, most preferred first."""
+
+    def select(
+        self,
+        candidates: Sequence[Candidate],
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Pick the ``count`` most preferred candidates (fewer if scarce)."""
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        return self.rank(candidates, rng)[:count]
+
+
+class AgeSelection(SelectionStrategy):
+    """The paper's strategy: oldest candidates first.
+
+    Ties (equal ages, common at simulation start) are broken randomly so
+    no peer id is systematically favoured.
+    """
+
+    name = "age"
+
+    def rank(
+        self, candidates: Sequence[Candidate], rng: np.random.Generator
+    ) -> List[int]:
+        jitter = rng.random(len(candidates))
+        order = sorted(
+            range(len(candidates)),
+            key=lambda i: (-candidates[i].age, jitter[i]),
+        )
+        return [candidates[i].peer_id for i in order]
+
+
+class RandomSelection(SelectionStrategy):
+    """Age-blind baseline: a uniformly random permutation."""
+
+    name = "random"
+
+    def rank(
+        self, candidates: Sequence[Candidate], rng: np.random.Generator
+    ) -> List[int]:
+        ids = [candidate.peer_id for candidate in candidates]
+        permutation = rng.permutation(len(ids))
+        return [ids[i] for i in permutation]
+
+
+class AvailabilitySelection(SelectionStrategy):
+    """Rank by measured availability, falling back to age on ties.
+
+    Candidates without an availability measurement are ranked last (a
+    brand-new peer has no history to show).
+    """
+
+    name = "availability"
+
+    def rank(
+        self, candidates: Sequence[Candidate], rng: np.random.Generator
+    ) -> List[int]:
+        jitter = rng.random(len(candidates))
+
+        def key(i: int):
+            candidate = candidates[i]
+            availability = (
+                candidate.availability if candidate.availability is not None else -1.0
+            )
+            return (-availability, -candidate.age, jitter[i])
+
+        order = sorted(range(len(candidates)), key=key)
+        return [candidates[i].peer_id for i in order]
+
+
+class OracleSelection(SelectionStrategy):
+    """Upper-bound baseline: rank by true remaining lifetime.
+
+    Only meaningful inside the simulator, which knows each peer's death
+    round.  Candidates with unknown remaining lifetime (durable peers
+    report ``inf``; ``None`` means "not provided") sort as infinite.
+    """
+
+    name = "oracle"
+
+    def rank(
+        self, candidates: Sequence[Candidate], rng: np.random.Generator
+    ) -> List[int]:
+        jitter = rng.random(len(candidates))
+
+        def key(i: int):
+            remaining = candidates[i].true_remaining_lifetime
+            if remaining is None:
+                remaining = float("inf")
+            return (-remaining, jitter[i])
+
+        order = sorted(range(len(candidates)), key=key)
+        return [candidates[i].peer_id for i in order]
+
+
+_STRATEGIES = {
+    cls.name: cls
+    for cls in (AgeSelection, RandomSelection, AvailabilitySelection, OracleSelection)
+}
+
+
+def strategy_by_name(name: str) -> SelectionStrategy:
+    """Instantiate a selection strategy from its short name."""
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown selection strategy {name!r}; "
+            f"available: {sorted(_STRATEGIES)}"
+        ) from None
+
+
+def available_strategies() -> List[str]:
+    """Names of all registered strategies."""
+    return sorted(_STRATEGIES)

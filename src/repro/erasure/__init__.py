@@ -1,0 +1,16 @@
+"""Erasure-coding substrate: GF(256), Reed-Solomon, and the archive codec.
+
+The paper assumes "erasure codes, such as Reed-Solomon" (section 2.1);
+this subpackage implements them from scratch so that the backup layer can
+move real bytes, not just logical block counts.
+"""
+
+from .codec import ArchiveCodec, CodedBlock
+from .reed_solomon import ErasureCodingError, ReedSolomonCode
+
+__all__ = [
+    "ArchiveCodec",
+    "CodedBlock",
+    "ErasureCodingError",
+    "ReedSolomonCode",
+]

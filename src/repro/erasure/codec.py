@@ -1,0 +1,127 @@
+"""High-level archive codec: bytes <-> erasure-coded block sets.
+
+The backup layer (paper section 2.2.1) collects user data into fixed-size
+archives, splits each archive into ``k`` blocks, pads the last one, and
+erasure-codes the ``k`` blocks into ``n``.  This module provides that
+byte-level pipeline on top of :class:`~repro.erasure.reed_solomon.ReedSolomonCode`.
+
+Padding uses an explicit length header so that archives whose size is not
+a multiple of ``k`` survive a round trip byte-exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .reed_solomon import ErasureCodingError, ReedSolomonCode
+
+#: Header prepended to the archive payload before splitting: payload length.
+_LENGTH_HEADER = struct.Struct(">Q")
+
+
+@dataclass(frozen=True)
+class CodedBlock:
+    """One erasure-coded block of an archive.
+
+    Attributes
+    ----------
+    index:
+        Position of the block in the code word (``0 <= index < n``).
+    payload:
+        The block bytes.
+    checksum:
+        SHA-256 hex digest of the payload, used by restore to detect
+        corrupted blocks before attempting a decode.
+    """
+
+    index: int
+    payload: bytes
+    checksum: str
+
+    def verify(self) -> bool:
+        """Return ``True`` when the payload matches its checksum."""
+        return hashlib.sha256(self.payload).hexdigest() == self.checksum
+
+
+def _make_block(index: int, payload: bytes) -> CodedBlock:
+    return CodedBlock(
+        index=index,
+        payload=payload,
+        checksum=hashlib.sha256(payload).hexdigest(),
+    )
+
+
+class ArchiveCodec:
+    """Split archives into ``n`` coded blocks and reassemble them from any ``k``."""
+
+    def __init__(self, data_blocks: int, parity_blocks: int):
+        self._code = ReedSolomonCode(data_blocks, parity_blocks)
+
+    @property
+    def k(self) -> int:
+        """Number of blocks required to reassemble an archive."""
+        return self._code.k
+
+    @property
+    def m(self) -> int:
+        """Number of redundancy blocks per archive."""
+        return self._code.m
+
+    @property
+    def n(self) -> int:
+        """Total number of blocks produced per archive."""
+        return self._code.n
+
+    def block_size_for(self, archive_size: int) -> int:
+        """Size in bytes of each block for an archive of ``archive_size`` bytes."""
+        if archive_size < 0:
+            raise ValueError("archive size cannot be negative")
+        framed = _LENGTH_HEADER.size + archive_size
+        return -(-framed // self.k)  # ceiling division
+
+    def split(self, archive: bytes) -> List[CodedBlock]:
+        """Encode an archive into its ``n`` coded blocks."""
+        framed = _LENGTH_HEADER.pack(len(archive)) + archive
+        block_size = self.block_size_for(len(archive))
+        padded = framed.ljust(block_size * self.k, b"\x00")
+        data_blocks = [
+            padded[i * block_size: (i + 1) * block_size] for i in range(self.k)
+        ]
+        coded = self._code.encode(data_blocks)
+        return [_make_block(index, payload) for index, payload in enumerate(coded)]
+
+    def reassemble(self, blocks: Dict[int, CodedBlock]) -> bytes:
+        """Rebuild the archive bytes from any ``k`` verified blocks.
+
+        Corrupted blocks (checksum mismatch) are discarded before decoding;
+        raises :class:`ErasureCodingError` when fewer than ``k`` intact
+        blocks remain.
+        """
+        intact = {
+            index: block.payload
+            for index, block in blocks.items()
+            if block.verify()
+        }
+        if len(intact) < self.k:
+            raise ErasureCodingError(
+                f"only {len(intact)} intact blocks available, need {self.k}"
+            )
+        data_blocks = self._code.decode(intact)
+        framed = b"".join(data_blocks)
+        (length,) = _LENGTH_HEADER.unpack_from(framed)
+        payload = framed[_LENGTH_HEADER.size: _LENGTH_HEADER.size + length]
+        if len(payload) != length:
+            raise ErasureCodingError("decoded archive shorter than its declared length")
+        return payload
+
+    def repair_block(self, blocks: Dict[int, CodedBlock], index: int) -> CodedBlock:
+        """Regenerate a single missing block from any ``k`` intact blocks."""
+        intact = {i: b.payload for i, b in blocks.items() if b.verify()}
+        payload = self._code.reconstruct_block(intact, index)
+        return _make_block(index, payload)
+
+    def __repr__(self) -> str:
+        return f"ArchiveCodec(k={self.k}, m={self.m})"

@@ -1,0 +1,138 @@
+"""Arithmetic in the Galois field GF(2^8).
+
+Reed-Solomon codes (paper section 2.1) operate over a finite field; the
+conventional choice for storage systems is GF(2^8) so that every field
+element is one byte.  This module implements the field from first
+principles: elements are integers in ``[0, 255]``, addition is XOR, and
+multiplication is polynomial multiplication modulo the AES reduction
+polynomial ``x^8 + x^4 + x^3 + x + 1`` (0x11B).
+
+Log/antilog tables over the generator ``0x03`` accelerate multiplication,
+division, inversion and exponentiation to table lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+#: Irreducible reduction polynomial x^8 + x^4 + x^3 + x + 1 (AES polynomial).
+REDUCING_POLYNOMIAL = 0x11B
+
+#: Generator of the multiplicative group used to build the log tables.
+GENERATOR = 0x03
+
+#: Field order (number of elements).
+FIELD_SIZE = 256
+
+#: Order of the multiplicative group.
+MULTIPLICATIVE_ORDER = FIELD_SIZE - 1
+
+
+def _carryless_multiply(a: int, b: int) -> int:
+    """Multiply two field elements without tables (schoolbook, for bootstrap)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= REDUCING_POLYNOMIAL
+    return result
+
+
+def _build_tables() -> tuple:
+    exp = [0] * (2 * MULTIPLICATIVE_ORDER)
+    log = [0] * FIELD_SIZE
+    value = 1
+    for power in range(MULTIPLICATIVE_ORDER):
+        exp[power] = value
+        log[value] = power
+        value = _carryless_multiply(value, GENERATOR)
+    # Duplicate the table so exp[i + j] never needs a modulo for i, j < 255.
+    for power in range(MULTIPLICATIVE_ORDER, 2 * MULTIPLICATIVE_ORDER):
+        exp[power] = exp[power - MULTIPLICATIVE_ORDER]
+    return tuple(exp), tuple(log)
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+
+def validate_element(value: int) -> int:
+    """Return ``value`` if it is a valid field element, else raise ``ValueError``."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"GF(256) elements must be ints, got {value!r}")
+    if not 0 <= value <= 255:
+        raise ValueError(f"GF(256) elements must be in [0, 255], got {value}")
+    return value
+
+
+def add(a: int, b: int) -> int:
+    """Field addition (XOR).  Identical to subtraction in GF(2^8)."""
+    return a ^ b
+
+
+def subtract(a: int, b: int) -> int:
+    """Field subtraction; in characteristic 2 this equals addition."""
+    return a ^ b
+
+
+def multiply(a: int, b: int) -> int:
+    """Field multiplication via log/antilog tables."""
+    if a == 0 or b == 0:
+        return 0
+    return EXP_TABLE[LOG_TABLE[a] + LOG_TABLE[b]]
+
+
+def divide(a: int, b: int) -> int:
+    """Field division ``a / b``; raises ``ZeroDivisionError`` when ``b`` is 0."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return EXP_TABLE[LOG_TABLE[a] - LOG_TABLE[b] + MULTIPLICATIVE_ORDER]
+
+
+def inverse(a: int) -> int:
+    """Multiplicative inverse; raises ``ZeroDivisionError`` for 0."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no multiplicative inverse in GF(256)")
+    return EXP_TABLE[MULTIPLICATIVE_ORDER - LOG_TABLE[a]]
+
+
+def power(a: int, exponent: int) -> int:
+    """Raise ``a`` to an integer exponent (negative exponents allowed for a != 0)."""
+    if exponent == 0:
+        return 1
+    if a == 0:
+        if exponent < 0:
+            raise ZeroDivisionError("0 cannot be raised to a negative power")
+        return 0
+    log_a = LOG_TABLE[a] * exponent % MULTIPLICATIVE_ORDER
+    return EXP_TABLE[log_a]
+
+
+def dot_product(xs: Sequence[int], ys: Sequence[int]) -> int:
+    """Inner product of two equal-length vectors over GF(256)."""
+    if len(xs) != len(ys):
+        raise ValueError(f"vector length mismatch: {len(xs)} != {len(ys)}")
+    acc = 0
+    for x, y in zip(xs, ys):
+        if x and y:
+            acc ^= EXP_TABLE[LOG_TABLE[x] + LOG_TABLE[y]]
+    return acc
+
+
+def scale_vector(vector: Iterable[int], scalar: int) -> List[int]:
+    """Multiply every element of ``vector`` by ``scalar``."""
+    if scalar == 0:
+        return [0 for _ in vector]
+    log_s = LOG_TABLE[scalar]
+    return [EXP_TABLE[LOG_TABLE[v] + log_s] if v else 0 for v in vector]
+
+
+def add_vectors(xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+    """Element-wise sum (XOR) of two equal-length vectors."""
+    if len(xs) != len(ys):
+        raise ValueError(f"vector length mismatch: {len(xs)} != {len(ys)}")
+    return [x ^ y for x, y in zip(xs, ys)]

@@ -1,0 +1,168 @@
+"""Dense matrix algebra over GF(2^8).
+
+Reed-Solomon encoding and decoding reduce to matrix-vector products and
+matrix inversion over the field; this module provides exactly those
+operations on plain list-of-list matrices, which is fast enough for the
+block counts used by the paper (k, m <= 128).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from . import gf256
+
+Matrix = List[List[int]]
+
+
+def zeros(rows: int, cols: int) -> Matrix:
+    """Return a ``rows`` x ``cols`` all-zero matrix."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"matrix dimensions must be positive, got {rows}x{cols}")
+    return [[0] * cols for _ in range(rows)]
+
+
+def identity(size: int) -> Matrix:
+    """Return the ``size`` x ``size`` identity matrix."""
+    result = zeros(size, size)
+    for i in range(size):
+        result[i][i] = 1
+    return result
+
+
+def copy(matrix: Matrix) -> Matrix:
+    """Return a deep copy of ``matrix``."""
+    return [row[:] for row in matrix]
+
+
+def dimensions(matrix: Matrix) -> tuple:
+    """Return ``(rows, cols)`` after validating rectangular shape."""
+    if not matrix or not matrix[0]:
+        raise ValueError("matrix must be non-empty")
+    cols = len(matrix[0])
+    for row in matrix:
+        if len(row) != cols:
+            raise ValueError("matrix rows have inconsistent lengths")
+    return len(matrix), cols
+
+
+def multiply(a: Matrix, b: Matrix) -> Matrix:
+    """Matrix product ``a @ b`` over GF(256)."""
+    a_rows, a_cols = dimensions(a)
+    b_rows, b_cols = dimensions(b)
+    if a_cols != b_rows:
+        raise ValueError(f"cannot multiply {a_rows}x{a_cols} by {b_rows}x{b_cols}")
+    b_columns = [[b[r][c] for r in range(b_rows)] for c in range(b_cols)]
+    return [
+        [gf256.dot_product(row, column) for column in b_columns]
+        for row in a
+    ]
+
+
+def multiply_vector(matrix: Matrix, vector: Sequence[int]) -> List[int]:
+    """Matrix-vector product over GF(256)."""
+    rows, cols = dimensions(matrix)
+    if len(vector) != cols:
+        raise ValueError(f"vector length {len(vector)} != matrix cols {cols}")
+    return [gf256.dot_product(row, vector) for row in matrix]
+
+
+def submatrix(matrix: Matrix, row_indices: Sequence[int]) -> Matrix:
+    """Return the matrix restricted to the given rows (in the given order)."""
+    return [matrix[i][:] for i in row_indices]
+
+
+def invert(matrix: Matrix) -> Matrix:
+    """Invert a square matrix with Gauss-Jordan elimination.
+
+    Raises ``ValueError`` when the matrix is singular.
+    """
+    rows, cols = dimensions(matrix)
+    if rows != cols:
+        raise ValueError(f"only square matrices can be inverted, got {rows}x{cols}")
+    size = rows
+    work = copy(matrix)
+    result = identity(size)
+
+    for col in range(size):
+        pivot_row = None
+        for row in range(col, size):
+            if work[row][col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise ValueError("matrix is singular and cannot be inverted")
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            result[col], result[pivot_row] = result[pivot_row], result[col]
+
+        pivot_inverse = gf256.inverse(work[col][col])
+        work[col] = gf256.scale_vector(work[col], pivot_inverse)
+        result[col] = gf256.scale_vector(result[col], pivot_inverse)
+
+        for row in range(size):
+            if row == col or work[row][col] == 0:
+                continue
+            factor = work[row][col]
+            work[row] = gf256.add_vectors(
+                work[row], gf256.scale_vector(work[col], factor)
+            )
+            result[row] = gf256.add_vectors(
+                result[row], gf256.scale_vector(result[col], factor)
+            )
+    return result
+
+
+def rank(matrix: Matrix) -> int:
+    """Return the rank of ``matrix`` over GF(256)."""
+    rows, cols = dimensions(matrix)
+    work = copy(matrix)
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        candidate = None
+        for row in range(pivot_row, rows):
+            if work[row][col] != 0:
+                candidate = row
+                break
+        if candidate is None:
+            continue
+        work[pivot_row], work[candidate] = work[candidate], work[pivot_row]
+        inv = gf256.inverse(work[pivot_row][col])
+        work[pivot_row] = gf256.scale_vector(work[pivot_row], inv)
+        for row in range(rows):
+            if row != pivot_row and work[row][col]:
+                factor = work[row][col]
+                work[row] = gf256.add_vectors(
+                    work[row], gf256.scale_vector(work[pivot_row], factor)
+                )
+        pivot_row += 1
+    return pivot_row
+
+
+def vandermonde(rows: int, cols: int) -> Matrix:
+    """Return the ``rows`` x ``cols`` Vandermonde matrix ``V[r][c] = r^c``.
+
+    Any ``cols`` distinct rows of a Vandermonde matrix over a field are
+    linearly independent, which is the property erasure codes rely on.
+    """
+    if rows > gf256.FIELD_SIZE:
+        raise ValueError(
+            f"at most {gf256.FIELD_SIZE} distinct Vandermonde rows exist in GF(256)"
+        )
+    return [[gf256.power(r, c) for c in range(cols)] for r in range(rows)]
+
+
+def cauchy(xs: Sequence[int], ys: Sequence[int]) -> Matrix:
+    """Return the Cauchy matrix ``C[i][j] = 1 / (x_i + y_j)`` over GF(256).
+
+    All ``x_i`` and ``y_j`` must be pairwise distinct across the union of
+    both sequences; every square submatrix of a Cauchy matrix is then
+    invertible, making it ideal for the parity part of a systematic code.
+    """
+    if len(set(xs)) != len(xs) or len(set(ys)) != len(ys):
+        raise ValueError("Cauchy coordinates must be distinct within each axis")
+    if set(xs) & set(ys):
+        raise ValueError("Cauchy x and y coordinates must not overlap")
+    return [[gf256.inverse(x ^ y) for y in ys] for x in xs]

@@ -1,0 +1,177 @@
+"""Systematic Reed-Solomon erasure code over GF(2^8).
+
+The paper (section 2.1) stores every archive as ``n = k + m`` blocks such
+that *any* ``k`` of the ``n`` blocks reconstruct the original data, and
+notes that with Reed-Solomon "the k first blocks are the original ones".
+This module implements exactly that systematic code:
+
+* the generator matrix is ``[I_k ; C]`` where ``C`` is a ``m x k`` Cauchy
+  matrix, so every ``k x k`` submatrix of the generator is invertible and
+  any ``k`` surviving blocks decode;
+* blocks are byte strings; encoding/decoding is applied column-wise
+  (byte position by byte position) and vectorised with numpy for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from . import gf256, matrix
+
+
+class ErasureCodingError(Exception):
+    """Raised when encoding or decoding is impossible."""
+
+
+def _build_numpy_tables() -> np.ndarray:
+    """Full 256x256 multiplication table for vectorised block math."""
+    mul = np.zeros((256, 256), dtype=np.uint8)
+    exp = np.array(gf256.EXP_TABLE, dtype=np.int32)
+    log = np.array(gf256.LOG_TABLE[1:], dtype=np.int32)
+    # mul[a, b] for a, b >= 1 via log tables; row/column 0 stay zero.
+    logs = log[:, None] + log[None, :]
+    mul[1:, 1:] = exp[logs].astype(np.uint8)
+    return mul
+
+
+_MUL_TABLE = _build_numpy_tables()
+
+
+def _gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply matrices of GF(256) elements (uint8) via table lookups."""
+    # a: (r, k) coefficients, b: (k, w) data bytes -> (r, w)
+    result = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for idx in range(a.shape[1]):
+        column = a[:, idx]
+        nz = column != 0
+        if not nz.any():
+            continue
+        partial = _MUL_TABLE[column[nz][:, None], b[idx][None, :]]
+        result[nz] ^= partial
+    return result
+
+
+class ReedSolomonCode:
+    """A systematic ``(n, k)`` Reed-Solomon erasure code.
+
+    Parameters
+    ----------
+    data_blocks:
+        ``k``, the number of original blocks.
+    parity_blocks:
+        ``m``, the number of redundancy blocks; ``n = k + m``.
+    """
+
+    def __init__(self, data_blocks: int, parity_blocks: int):
+        if data_blocks < 1:
+            raise ValueError(f"k must be >= 1, got {data_blocks}")
+        if parity_blocks < 0:
+            raise ValueError(f"m must be >= 0, got {parity_blocks}")
+        if data_blocks + parity_blocks > gf256.FIELD_SIZE:
+            raise ValueError(
+                "n = k + m cannot exceed 256 for a GF(256) Cauchy construction, "
+                f"got {data_blocks + parity_blocks}"
+            )
+        self.k = data_blocks
+        self.m = parity_blocks
+        self.n = data_blocks + parity_blocks
+        self._generator = self._build_generator()
+        self._generator_np = np.array(self._generator, dtype=np.uint8)
+
+    def _build_generator(self) -> matrix.Matrix:
+        generator = matrix.identity(self.k)
+        if self.m:
+            xs = list(range(self.k, self.k + self.m))
+            ys = list(range(self.k))
+            generator.extend(matrix.cauchy(xs, ys))
+        return generator
+
+    @property
+    def generator_matrix(self) -> matrix.Matrix:
+        """The ``n x k`` generator matrix (row ``i`` produces block ``i``)."""
+        return matrix.copy(self._generator)
+
+    def encode(self, data_blocks: Sequence[bytes]) -> List[bytes]:
+        """Encode ``k`` equal-length byte blocks into ``n`` blocks.
+
+        The first ``k`` output blocks are the inputs themselves
+        (systematic property).
+        """
+        if len(data_blocks) != self.k:
+            raise ErasureCodingError(
+                f"expected {self.k} data blocks, got {len(data_blocks)}"
+            )
+        lengths = {len(block) for block in data_blocks}
+        if len(lengths) != 1:
+            raise ErasureCodingError("all data blocks must have the same length")
+        width = lengths.pop()
+        if width == 0:
+            return [b"" for _ in range(self.n)]
+        data = np.frombuffer(b"".join(data_blocks), dtype=np.uint8)
+        data = data.reshape(self.k, width)
+        parity = _gf_matmul(self._generator_np[self.k:], data) if self.m else None
+        blocks = [bytes(data_blocks[i]) for i in range(self.k)]
+        if parity is not None:
+            blocks.extend(parity[i].tobytes() for i in range(self.m))
+        return blocks
+
+    def decode(self, available: Dict[int, bytes]) -> List[bytes]:
+        """Recover the original ``k`` data blocks from any ``k`` coded blocks.
+
+        Parameters
+        ----------
+        available:
+            Mapping from block index (``0 <= index < n``) to block content.
+            At least ``k`` entries are required.
+        """
+        if len(available) < self.k:
+            raise ErasureCodingError(
+                f"need at least {self.k} blocks to decode, got {len(available)}"
+            )
+        for index in available:
+            if not 0 <= index < self.n:
+                raise ErasureCodingError(f"block index {index} out of range 0..{self.n - 1}")
+        lengths = {len(block) for block in available.values()}
+        if len(lengths) != 1:
+            raise ErasureCodingError("all blocks must have the same length")
+        width = lengths.pop()
+
+        indices = sorted(available)[: self.k]
+        if indices == list(range(self.k)):
+            # Fast path: all original blocks survived.
+            return [bytes(available[i]) for i in range(self.k)]
+        if width == 0:
+            return [b"" for _ in range(self.k)]
+
+        coding = matrix.submatrix(self._generator, indices)
+        decoder = np.array(matrix.invert(coding), dtype=np.uint8)
+        stacked = np.frombuffer(
+            b"".join(available[i] for i in indices), dtype=np.uint8
+        ).reshape(self.k, width)
+        recovered = _gf_matmul(decoder, stacked)
+        return [recovered[i].tobytes() for i in range(self.k)]
+
+    def reconstruct_block(self, available: Dict[int, bytes], index: int) -> bytes:
+        """Regenerate one specific block (data or parity) from any ``k`` blocks.
+
+        This is the paper's worst-case repair: decode ``k`` blocks, then
+        re-encode the missing one.
+        """
+        if not 0 <= index < self.n:
+            raise ErasureCodingError(f"block index {index} out of range 0..{self.n - 1}")
+        if index in available:
+            return bytes(available[index])
+        data = self.decode(available)
+        if index < self.k:
+            return data[index]
+        width = len(data[0])
+        if width == 0:
+            return b""
+        stacked = np.frombuffer(b"".join(data), dtype=np.uint8).reshape(self.k, width)
+        row = self._generator_np[index][None, :]
+        return _gf_matmul(row, stacked)[0].tobytes()
+
+    def __repr__(self) -> str:
+        return f"ReedSolomonCode(k={self.k}, m={self.m})"

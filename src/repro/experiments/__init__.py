@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per figure, table set and ablation.
+
+See DESIGN.md section 7 for the experiment index mapping these modules
+to the paper's artifacts, and EXPERIMENTS.md for recorded outputs.
+"""
+
+from .common import (
+    DEFAULT,
+    FULL,
+    PAPER_FOCUS_THRESHOLD,
+    PAPER_THRESHOLDS,
+    QUICK,
+    ExperimentScale,
+    scale_by_name,
+    scaled_profiles,
+)
+
+__all__ = [
+    "DEFAULT",
+    "FULL",
+    "PAPER_FOCUS_THRESHOLD",
+    "PAPER_THRESHOLDS",
+    "QUICK",
+    "ExperimentScale",
+    "scale_by_name",
+    "scaled_profiles",
+]

@@ -1,0 +1,89 @@
+"""Ablation A5 — static vs adaptive repair thresholds.
+
+Implements the paper's future work (section 6): let each peer adapt its
+repair threshold to its context — raise it after a blocked repair (it
+waited too long), lower it when recruitment starves (it repairs more
+eagerly than the network can absorb).
+
+The comparison runs the same workload with the static paper threshold
+and with the adaptive controller seeded at that threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..analysis.report import format_table
+from ..sim.engine import SimulationResult, run_simulation
+from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
+
+
+@dataclass
+class AblationAdaptiveResult:
+    """Static-vs-adaptive outcome at one scale."""
+
+    scale_name: str
+    by_mode: Dict[str, List[SimulationResult]]  # "static" | "adaptive"
+
+    def rows(self) -> List[List[object]]:
+        """Report rows: mode, repairs, losses, blocked, starved."""
+        rows = []
+        for mode in ("static", "adaptive"):
+            results = self.by_mode[mode]
+            count = len(results)
+            blocked = [
+                sum(c.blocked for c in r.metrics.by_category.values())
+                for r in results
+            ]
+            rows.append(
+                [
+                    mode,
+                    round(sum(r.metrics.total_repairs for r in results) / count, 1),
+                    round(sum(r.metrics.total_losses for r in results) / count, 2),
+                    round(sum(blocked) / count, 1),
+                    round(sum(r.metrics.starved_repairs for r in results) / count, 1),
+                ]
+            )
+        return rows
+
+    def render(self, markdown: bool = False) -> str:
+        """Static-vs-adaptive table."""
+        table = format_table(
+            ["mode", "repairs", "losses", "blocked", "starved"],
+            self.rows(),
+            markdown=markdown,
+        )
+        return f"A5 — adaptive-threshold ablation (scale={self.scale_name})\n{table}"
+
+
+def run_ablation_adaptive(
+    scale: ExperimentScale = DEFAULT,
+    paper_threshold: int = PAPER_FOCUS_THRESHOLD,
+    seeds: Sequence[int] = (),
+) -> AblationAdaptiveResult:
+    """Run both maintenance modes on the same workload."""
+    seeds = tuple(seeds) or scale.seeds
+    base = scale.config(paper_threshold=paper_threshold)
+    by_mode: Dict[str, List[SimulationResult]] = {"static": [], "adaptive": []}
+    for seed in seeds:
+        by_mode["static"].append(run_simulation(base.with_seed(seed)))
+        adaptive_config = replace(base, adaptive_thresholds=True, seed=seed)
+        by_mode["adaptive"].append(run_simulation(adaptive_config))
+    return AblationAdaptiveResult(scale_name=scale.name, by_mode=by_mode)
+
+
+def check_shape(result: AblationAdaptiveResult) -> List[str]:
+    """The adaptive controller must not lose more archives than static.
+
+    (Its whole purpose is to buy safety after blocked repairs; repairs
+    may go up or down depending on which signal dominates.)
+    """
+    problems: List[str] = []
+    rows = {row[0]: row for row in result.rows()}
+    if rows["adaptive"][2] > rows["static"][2] + 1e-9:
+        problems.append(
+            f"adaptive mode lost more archives ({rows['adaptive'][2]}) than "
+            f"static ({rows['static'][2]})"
+        )
+    return problems

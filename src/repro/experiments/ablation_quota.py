@@ -1,0 +1,81 @@
+"""Ablation A2 — quota sensitivity (the paper's "future work" knob).
+
+Section 4.1: "A peer provides storage for at most 384 blocks in total to
+its partners: quota = 384 [...] We plan to investigate smaller quota in
+future work."  This ablation does that investigation: sweep the quota as
+a multiple of n and watch repairs, losses and starvation (repairs that
+found no partner with free space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..analysis.report import format_table
+from ..sim.engine import SimulationResult, run_simulation
+from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
+
+#: Quota as a multiple of n; the paper's setting is 1.5 x n.
+DEFAULT_QUOTA_FACTORS = (1.0, 1.25, 1.5, 2.0)
+
+
+@dataclass
+class AblationQuotaResult:
+    """Sweep outcome: one entry per quota factor."""
+
+    scale_name: str
+    total_blocks: int
+    by_factor: Dict[float, List[SimulationResult]]
+
+    def rows(self) -> List[List[object]]:
+        """Report rows: factor, quota, repairs, losses, starved attempts."""
+        rows = []
+        for factor in sorted(self.by_factor):
+            results = self.by_factor[factor]
+            count = len(results)
+            rows.append(
+                [
+                    factor,
+                    int(self.total_blocks * factor),
+                    round(sum(r.metrics.total_repairs for r in results) / count, 1),
+                    round(sum(r.metrics.total_losses for r in results) / count, 2),
+                    round(sum(r.metrics.starved_repairs for r in results) / count, 1),
+                ]
+            )
+        return rows
+
+    def render(self, markdown: bool = False) -> str:
+        """Quota-sweep table."""
+        table = format_table(
+            ["quota/n", "quota", "repairs", "losses", "starved"],
+            self.rows(),
+            markdown=markdown,
+        )
+        return f"A2 — quota ablation (scale={self.scale_name})\n{table}"
+
+
+def run_ablation_quota(
+    scale: ExperimentScale = DEFAULT,
+    quota_factors: Sequence[float] = DEFAULT_QUOTA_FACTORS,
+    seeds: Sequence[int] = (),
+) -> AblationQuotaResult:
+    """Run the quota sweep at the focus threshold."""
+    if not quota_factors:
+        raise ValueError("at least one quota factor is required")
+    seeds = tuple(seeds) or scale.seeds
+    base = scale.config(paper_threshold=PAPER_FOCUS_THRESHOLD)
+    by_factor: Dict[float, List[SimulationResult]] = {}
+    for factor in quota_factors:
+        if factor <= 0:
+            raise ValueError("quota factors must be positive")
+        quota = int(base.total_blocks * factor)
+        config = replace(base, quota=quota)
+        by_factor[factor] = [
+            run_simulation(config.with_seed(seed)) for seed in seeds
+        ]
+    return AblationQuotaResult(
+        scale_name=scale.name,
+        total_blocks=base.total_blocks,
+        by_factor=by_factor,
+    )

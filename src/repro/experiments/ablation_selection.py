@@ -1,0 +1,110 @@
+"""Ablation A1 — what the age heuristic buys.
+
+Runs the same workload under the four selection strategies (the paper's
+age-based rule, the random age-blind baseline, availability-history
+ranking and the omniscient oracle) and reports repairs/losses side by
+side.  The expected reading: age sits between random and oracle, much
+closer to oracle — the cheap public signal captures most of the
+unattainable one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.report import format_table
+from ..baselines.comparison import StrategyOutcome, compare_strategies
+from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
+
+STRATEGIES = ("age", "random", "availability", "oracle")
+
+
+@dataclass
+class AblationSelectionResult:
+    """Comparison outcome at one scale."""
+
+    scale_name: str
+    outcomes: List[StrategyOutcome]
+
+    def by_name(self, name: str) -> StrategyOutcome:
+        """Look up one strategy's outcome."""
+        for outcome in self.outcomes:
+            if outcome.strategy == name:
+                return outcome
+        raise KeyError(name)
+
+    def render(self, markdown: bool = False) -> str:
+        """Strategy table: repairs, losses, observer-free category rates."""
+        rows = []
+        for outcome in self.outcomes:
+            rows.append(
+                [
+                    outcome.strategy,
+                    round(outcome.total_repairs, 1),
+                    round(outcome.total_losses, 2),
+                    round(outcome.repair_rates.get("Newcomers", 0.0), 4),
+                    round(outcome.repair_rates.get("Elder peers", 0.0), 4),
+                ]
+            )
+        table = format_table(
+            ["strategy", "repairs", "losses", "newcomer rate", "elder rate"],
+            rows,
+            markdown=markdown,
+        )
+        return f"A1 — selection-strategy ablation (scale={self.scale_name})\n{table}"
+
+
+def run_ablation_selection(
+    scale: ExperimentScale = DEFAULT,
+    strategies: Sequence[str] = STRATEGIES,
+    seeds: Sequence[int] = (),
+) -> AblationSelectionResult:
+    """Run the strategy comparison at the focus threshold."""
+    seeds = tuple(seeds) or scale.seeds
+    config = scale.config(paper_threshold=PAPER_FOCUS_THRESHOLD)
+    outcomes = compare_strategies(config, strategies=strategies, seeds=seeds)
+    return AblationSelectionResult(scale_name=scale.name, outcomes=outcomes)
+
+
+def check_shape(result: AblationSelectionResult) -> List[str]:
+    """Validate the paper's load-shift claim; returns violations.
+
+    The paper's conclusion is relative, not absolute: the scheme works
+    "by moving the load of maintenance from stable peers [...] to
+    unstable peers".  The check therefore asserts that the
+    newcomer-to-elder repair-rate ratio is *higher* under the age
+    mechanism than under the age-blind baseline (the load moved down the
+    age ladder), and that the oracle — which knows true remaining
+    lifetimes — never repairs more than the random baseline.
+    """
+    problems: List[str] = []
+    try:
+        age = result.by_name("age")
+        random_outcome = result.by_name("random")
+    except KeyError:
+        return ["comparison must include 'age' and 'random'"]
+
+    def newcomer_elder_ratio(outcome: StrategyOutcome) -> float:
+        elder = outcome.repair_rates.get("Elder peers", 0.0)
+        newcomer = outcome.repair_rates.get("Newcomers", 0.0)
+        return newcomer / elder if elder > 0 else float("inf")
+
+    age_ratio = newcomer_elder_ratio(age)
+    random_ratio = newcomer_elder_ratio(random_outcome)
+    if age_ratio <= random_ratio:
+        problems.append(
+            "the age mechanism did not shift load toward newcomers: "
+            f"newcomer/elder ratio {age_ratio:.2f} (age) vs "
+            f"{random_ratio:.2f} (random)"
+        )
+    try:
+        oracle = result.by_name("oracle")
+    except KeyError:
+        oracle = None
+    if oracle is not None and oracle.total_repairs > random_outcome.total_repairs:
+        problems.append(
+            f"oracle repaired more ({oracle.total_repairs:.0f}) than the "
+            f"random baseline ({random_outcome.total_repairs:.0f})"
+        )
+    return problems

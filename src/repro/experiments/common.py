@@ -1,0 +1,204 @@
+"""Shared experiment machinery: scales, configs and threshold mappings.
+
+The paper's evaluation runs 25 000 peers for 50 000 one-hour rounds with
+a (k=128, n=256) code — far beyond a pure-Python hot loop.  Experiments
+therefore run at a chosen :class:`ExperimentScale` that shrinks *both*
+the size axis (population, code width, quota) and the time axis
+(lifetimes, age cap L, category brackets, observer ages, session
+lengths) by consistent factors, preserving every dimensionless ratio the
+paper's qualitative claims rest on:
+
+* code rate ``k/n`` and quota ratio ``quota/n``;
+* repair-threshold slack fraction ``(k' - k) / (n - k)``;
+* lifetime-to-cap and category-to-lifetime ratios (the time axis is
+  scaled uniformly, availability duty cycles untouched).
+
+``FULL`` is the paper's exact parameterisation and is runnable (slowly)
+through the same entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..churn.profiles import PAPER_PROFILES, Profile
+from ..core.acceptance import DEFAULT_AGE_CAP
+from ..core.categories import DEFAULT_SCHEME, CategoryScheme
+from ..core.policy import scaled_threshold
+from ..sim.config import PAPER_OBSERVERS, ObserverSpec, SimulationConfig
+from ..sim.observers import scaled_observers
+
+#: The thresholds the paper sweeps in figures 1 and 2 (k'=132..180).
+PAPER_THRESHOLDS: Tuple[int, ...] = (132, 136, 140, 144, 148, 152, 156, 164, 172, 180)
+
+#: The threshold the paper focuses on (figures 3 and 4).
+PAPER_FOCUS_THRESHOLD = 148
+
+
+def scaled_profiles(time_scale: float) -> Tuple[Profile, ...]:
+    """The paper's profile mix with lifetimes/sessions scaled in time.
+
+    Proportions and availabilities are untouched; life-expectancy ranges
+    and mean session lengths shrink by ``time_scale`` (floored at one
+    round) so the stability ordering between profiles is preserved.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    if time_scale == 1.0:
+        return PAPER_PROFILES
+    profiles = []
+    for profile in PAPER_PROFILES:
+        expectancy = profile.life_expectancy
+        if expectancy is not None:
+            low, high = expectancy
+            low = max(int(low * time_scale), 1)
+            high = max(int(high * time_scale), low + 1)
+            expectancy = (low, high)
+        profiles.append(
+            Profile(
+                name=profile.name,
+                proportion=profile.proportion,
+                life_expectancy=expectancy,
+                availability=profile.availability,
+                mean_online_session=max(
+                    profile.mean_online_session * time_scale, 1.0
+                ),
+            )
+        )
+    return tuple(profiles)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One consistent shrink factor for the whole evaluation."""
+
+    name: str
+    population: int
+    rounds: int
+    data_blocks: int
+    parity_blocks: int
+    time_scale: float
+    seeds: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.population <= 0 or self.rounds <= 0:
+            raise ValueError("population and rounds must be positive")
+        if self.time_scale <= 0 or self.time_scale > 1:
+            raise ValueError("time_scale must lie in (0, 1]")
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+
+    @property
+    def total_blocks(self) -> int:
+        """``n`` at this scale."""
+        return self.data_blocks + self.parity_blocks
+
+    @property
+    def age_cap(self) -> int:
+        """The acceptation cap L, time-scaled (min 2 rounds)."""
+        return max(int(DEFAULT_AGE_CAP * self.time_scale), 2)
+
+    def threshold(self, paper_threshold: int) -> int:
+        """Map a paper threshold onto this scale's code parameters."""
+        return scaled_threshold(
+            paper_threshold,
+            target_k=self.data_blocks,
+            target_n=self.total_blocks,
+        )
+
+    def thresholds(
+        self, paper_thresholds: Sequence[int] = PAPER_THRESHOLDS
+    ) -> Tuple[int, ...]:
+        """Distinct mapped thresholds for the figure 1/2 sweep."""
+        seen = []
+        for paper_threshold in paper_thresholds:
+            mapped = self.threshold(paper_threshold)
+            if mapped not in seen:
+                seen.append(mapped)
+        return tuple(seen)
+
+    def categories(self) -> CategoryScheme:
+        """The age-category scheme, time-scaled."""
+        if self.time_scale == 1.0:
+            return DEFAULT_SCHEME
+        return DEFAULT_SCHEME.scaled(self.time_scale)
+
+    def observers(self) -> Tuple[ObserverSpec, ...]:
+        """The five paper observers, time-scaled."""
+        if self.time_scale == 1.0:
+            return PAPER_OBSERVERS
+        return scaled_observers(self.time_scale)
+
+    def config(
+        self,
+        paper_threshold: int = PAPER_FOCUS_THRESHOLD,
+        with_observers: bool = False,
+        seed: Optional[int] = None,
+        **overrides,
+    ) -> SimulationConfig:
+        """A full :class:`SimulationConfig` at this scale."""
+        quota = overrides.pop("quota", int(self.total_blocks * 1.5))
+        return SimulationConfig(
+            population=self.population,
+            rounds=self.rounds,
+            data_blocks=self.data_blocks,
+            parity_blocks=self.parity_blocks,
+            repair_threshold=self.threshold(paper_threshold),
+            quota=quota,
+            age_cap=self.age_cap,
+            profiles=scaled_profiles(self.time_scale),
+            categories=self.categories(),
+            observers=self.observers() if with_observers else (),
+            seed=self.seeds[0] if seed is None else seed,
+            **overrides,
+        )
+
+
+#: Smoke scale: seconds per run; used by the test-suite and as the
+#: pytest-benchmark payload.  The code width stays at n = 32: narrower
+#: codes make per-archive churn events so rare that the age
+#: stratification drowns in placement luck (see DESIGN.md section 5).
+QUICK = ExperimentScale(
+    name="quick",
+    population=250,
+    rounds=5000,
+    data_blocks=16,
+    parity_blocks=16,
+    time_scale=0.15,
+    seeds=(0, 1),
+)
+
+#: Default scale for recorded experiments: minutes per figure.
+DEFAULT = ExperimentScale(
+    name="default",
+    population=800,
+    rounds=14_000,
+    data_blocks=16,
+    parity_blocks=16,
+    time_scale=0.5,
+    seeds=(0, 1),
+)
+
+#: The paper's own parameters (hours of pure-Python runtime).
+FULL = ExperimentScale(
+    name="full",
+    population=25_000,
+    rounds=50_000,
+    data_blocks=128,
+    parity_blocks=128,
+    time_scale=1.0,
+    seeds=(0,),
+)
+
+_SCALES = {scale.name: scale for scale in (QUICK, DEFAULT, FULL)}
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Look up a scale preset."""
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; available: {sorted(_SCALES)}"
+        ) from None

@@ -1,0 +1,118 @@
+"""Figure 1 — average repair rate vs repair threshold, per age category.
+
+Paper reading: "the number of repairs increases accordingly to the
+repair threshold [...] Another result is the stratification between the
+profiles.  Young peers (erratic ones) repair more often than the elder
+ones (stable ones)."
+
+The driver sweeps the (scale-mapped) thresholds, replicates over seeds
+and reports repairs per round per 1000 peers for each category — the
+exact y-axis of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.aggregate import Aggregate, sweep_rates, threshold_sweep
+from ..analysis.plots import ascii_chart
+from ..analysis.report import sweep_report
+from .common import DEFAULT, PAPER_THRESHOLDS, ExperimentScale
+
+
+@dataclass
+class Figure1Result:
+    """Everything figure 1 shows, at one experiment scale."""
+
+    scale_name: str
+    thresholds: List[int]
+    paper_thresholds: List[int]
+    rates: Dict[int, Dict[str, Aggregate]]  # threshold -> category -> rate
+    categories: List[str]
+
+    def series(self) -> Dict[str, List[tuple]]:
+        """Per-category ``(threshold, mean rate)`` series for plotting."""
+        return {
+            category: [
+                (threshold, self.rates[threshold][category].mean)
+                for threshold in self.thresholds
+            ]
+            for category in self.categories
+        }
+
+    def to_csv(self) -> str:
+        """CSV text: threshold, then one mean-rate column per category."""
+        from ..sim.trace import series_to_csv
+
+        header = ["threshold"] + self.categories
+        rows = [
+            [t] + [round(self.rates[t][c].mean, 6) for c in self.categories]
+            for t in self.thresholds
+        ]
+        return series_to_csv(header, rows)
+
+    def render(self, markdown: bool = False) -> str:
+        """Table plus ASCII chart, mirroring the paper's presentation."""
+        table = sweep_report(self.rates, self.categories, markdown=markdown)
+        chart = ascii_chart(
+            self.series(),
+            log_y=True,
+            title=(
+                "Figure 1 — repairs per round per 1000 peers "
+                f"(scale={self.scale_name}, log y)"
+            ),
+            x_label="threshold",
+            y_label="rate",
+        )
+        return f"{table}\n\n{chart}"
+
+
+def run_figure1(
+    scale: ExperimentScale = DEFAULT,
+    paper_thresholds: Sequence[int] = PAPER_THRESHOLDS,
+    seeds: Sequence[int] = (),
+) -> Figure1Result:
+    """Execute the sweep and aggregate repair rates."""
+    seeds = tuple(seeds) or scale.seeds
+    base = scale.config()
+    thresholds = scale.thresholds(paper_thresholds)
+    sweep = threshold_sweep(base, thresholds, seeds)
+    rates = sweep_rates(sweep, metric="repairs")
+    return Figure1Result(
+        scale_name=scale.name,
+        thresholds=list(thresholds),
+        paper_thresholds=list(paper_thresholds),
+        rates=rates,
+        categories=base.categories.names(),
+    )
+
+
+def check_shape(result: Figure1Result) -> List[str]:
+    """Validate the paper's two qualitative claims; returns violations.
+
+    1. Monotonicity: the overall repair rate grows with the threshold
+       (checked end-to-end, not pairwise, to tolerate seed noise).
+    2. Stratification: Newcomers repair more than Elder peers at every
+       threshold.
+    """
+    problems: List[str] = []
+    overall = [
+        sum(self_rates[c].mean for c in result.categories)
+        for self_rates in (result.rates[t] for t in result.thresholds)
+    ]
+    if overall and overall[-1] <= overall[0]:
+        problems.append(
+            "repair rate did not increase from the lowest to the highest "
+            f"threshold ({overall[0]:.4f} -> {overall[-1]:.4f})"
+        )
+    for threshold in result.thresholds:
+        rates = result.rates[threshold]
+        newcomers = rates.get("Newcomers")
+        elders = rates.get("Elder peers")
+        if newcomers and elders and newcomers.mean < elders.mean:
+            problems.append(
+                f"threshold {threshold}: Newcomers ({newcomers.mean:.4f}) "
+                f"repair less than Elders ({elders.mean:.4f})"
+            )
+    return problems

@@ -1,0 +1,115 @@
+"""Figure 2 — average data-loss rate vs repair threshold, per category.
+
+Paper reading: "if the repair threshold is too small, a peer may lose
+too quickly its partners, and will be unable to regenerate original
+blocks to fulfill the repair" — losses concentrate at thresholds close
+to k, and on the youngest peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.aggregate import Aggregate, sweep_rates, threshold_sweep
+from ..analysis.plots import ascii_chart
+from ..analysis.report import sweep_report
+from .common import DEFAULT, PAPER_THRESHOLDS, ExperimentScale
+
+
+@dataclass
+class Figure2Result:
+    """Everything figure 2 shows, at one experiment scale."""
+
+    scale_name: str
+    thresholds: List[int]
+    rates: Dict[int, Dict[str, Aggregate]]
+    categories: List[str]
+
+    def series(self) -> Dict[str, List[tuple]]:
+        """Per-category ``(threshold, mean loss rate)`` series."""
+        return {
+            category: [
+                (threshold, self.rates[threshold][category].mean)
+                for threshold in self.thresholds
+            ]
+            for category in self.categories
+        }
+
+    def to_csv(self) -> str:
+        """CSV text: threshold, then one mean-loss-rate column per category."""
+        from ..sim.trace import series_to_csv
+
+        header = ["threshold"] + self.categories
+        rows = [
+            [t] + [round(self.rates[t][c].mean, 6) for c in self.categories]
+            for t in self.thresholds
+        ]
+        return series_to_csv(header, rows)
+
+    def render(self, markdown: bool = False) -> str:
+        """Table plus ASCII chart."""
+        table = sweep_report(self.rates, self.categories, markdown=markdown)
+        chart = ascii_chart(
+            self.series(),
+            log_y=False,
+            title=(
+                "Figure 2 — archives lost per round per 1000 peers "
+                f"(scale={self.scale_name})"
+            ),
+            x_label="threshold",
+            y_label="losses",
+        )
+        return f"{table}\n\n{chart}"
+
+
+def run_figure2(
+    scale: ExperimentScale = DEFAULT,
+    paper_thresholds: Sequence[int] = PAPER_THRESHOLDS,
+    seeds: Sequence[int] = (),
+) -> Figure2Result:
+    """Execute the sweep and aggregate loss rates."""
+    seeds = tuple(seeds) or scale.seeds
+    base = scale.config()
+    thresholds = scale.thresholds(paper_thresholds)
+    sweep = threshold_sweep(base, thresholds, seeds)
+    rates = sweep_rates(sweep, metric="losses")
+    return Figure2Result(
+        scale_name=scale.name,
+        thresholds=list(thresholds),
+        rates=rates,
+        categories=base.categories.names(),
+    )
+
+
+def check_shape(result: Figure2Result) -> List[str]:
+    """Validate figure 2's qualitative claims; returns violations.
+
+    1. Newcomers suffer at least as much loss as Elder peers everywhere.
+    2. The loss rate at the lowest threshold is >= the loss rate at the
+       figure's compromise region (the paper picks 148 because losses
+       have flattened there).
+    """
+    problems: List[str] = []
+    for threshold in result.thresholds:
+        rates = result.rates[threshold]
+        newcomers = rates.get("Newcomers")
+        elders = rates.get("Elder peers")
+        if newcomers and elders and newcomers.mean < elders.mean:
+            problems.append(
+                f"threshold {threshold}: Elders lose more than Newcomers"
+            )
+    if len(result.thresholds) >= 3:
+        lowest = sum(
+            result.rates[result.thresholds[0]][c].mean for c in result.categories
+        )
+        middle_threshold = result.thresholds[len(result.thresholds) // 2]
+        middle = sum(
+            result.rates[middle_threshold][c].mean for c in result.categories
+        )
+        if lowest < middle:
+            problems.append(
+                "losses at the lowest threshold are below the mid-sweep "
+                f"losses ({lowest:.5f} < {middle:.5f})"
+            )
+    return problems

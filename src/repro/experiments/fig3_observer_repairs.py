@@ -1,0 +1,129 @@
+"""Figure 3 — cumulative repairs of the five fixed-age observers.
+
+Paper reading (threshold 148, 2000 days): "The Elder and Senior
+observers have less than 10 repairs in 2000 days, the Adult has less
+than 20 repairs, the Teenager has less than 100 repairs and finally the
+Baby has a huge 900 repairs."  The absolute numbers depend on the scale;
+the ordering and the roughly two orders of magnitude between Baby and
+Elder are the reproduced shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.plots import ascii_chart
+from ..analysis.report import format_table
+from ..analysis.series import to_days
+from ..churn.profiles import ROUNDS_PER_DAY
+from ..sim.engine import SimulationResult, run_simulation
+from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
+
+#: Observer names ordered oldest to youngest (the paper's table order).
+OBSERVER_ORDER = ("Elder", "Senior", "Adult", "Teenager", "Baby")
+
+
+@dataclass
+class Figure3Result:
+    """Observer repair series and totals at one scale."""
+
+    scale_name: str
+    threshold: int
+    results: List[SimulationResult]
+    observer_names: List[str]
+
+    def totals(self) -> Dict[str, float]:
+        """Mean cumulative repairs per observer across seeds."""
+        means: Dict[str, float] = {}
+        for name in self.observer_names:
+            values = [r.observer_totals().get(name, 0) for r in self.results]
+            means[name] = sum(values) / len(values)
+        return means
+
+    def series(self) -> Dict[str, List[tuple]]:
+        """Per-observer cumulative-repairs series in days (first seed)."""
+        result = self.results[0]
+        return {
+            name: to_days(result.metrics.observer_series(name), ROUNDS_PER_DAY)
+            for name in self.observer_names
+        }
+
+    def to_csv(self) -> str:
+        """CSV text: round, then one cumulative-repairs column per observer."""
+        from ..sim.trace import observer_series_rows, series_to_csv
+
+        rows = observer_series_rows(self.results[0], self.observer_names)
+        return series_to_csv(["round"] + list(self.observer_names), rows)
+
+    def render(self, markdown: bool = False) -> str:
+        """Totals table plus cumulative ASCII chart (log y, like the paper)."""
+        totals = self.totals()
+        rows = [[name, round(totals.get(name, 0.0), 1)] for name in self.observer_names]
+        table = format_table(["observer", "total repairs"], rows, markdown=markdown)
+        chart = ascii_chart(
+            self.series(),
+            log_y=True,
+            title=(
+                "Figure 3 — cumulative repairs per observer "
+                f"(scale={self.scale_name}, threshold={self.threshold}, log y)"
+            ),
+            x_label="days",
+            y_label="repairs",
+        )
+        return f"{table}\n\n{chart}"
+
+
+def run_figure3(
+    scale: ExperimentScale = DEFAULT,
+    paper_threshold: int = PAPER_FOCUS_THRESHOLD,
+    seeds: Sequence[int] = (),
+) -> Figure3Result:
+    """Run the observer experiment at the focus threshold."""
+    seeds = tuple(seeds) or scale.seeds
+    config = scale.config(paper_threshold=paper_threshold, with_observers=True)
+    results = [run_simulation(config.with_seed(seed)) for seed in seeds]
+    names = [spec.name for spec in config.observers]
+    ordered = [name for name in OBSERVER_ORDER if name in names]
+    return Figure3Result(
+        scale_name=scale.name,
+        threshold=config.repair_threshold,
+        results=results,
+        observer_names=ordered,
+    )
+
+
+def check_shape(result: Figure3Result, min_ratio: float = None) -> List[str]:
+    """Validate figure 3's ordering claims; returns violations.
+
+    * the Baby observer repairs more than every other observer;
+    * the Baby-to-Elder ratio is large — the paper shows ~100x at full
+      scale; smaller codes are noisier, so the required ratio adapts to
+      the scale (>= 5x at default scale, >= 1.5x at the quick smoke
+      scale) unless ``min_ratio`` overrides it;
+    * the Teenager repairs at least as much as the Adult.
+    """
+    if min_ratio is None:
+        min_ratio = 1.5 if result.scale_name == "quick" else 5.0
+    problems: List[str] = []
+    totals = result.totals()
+    baby = totals.get("Baby", 0.0)
+    for name in result.observer_names:
+        if name != "Baby" and totals.get(name, 0.0) > baby:
+            problems.append(
+                f"observer {name} ({totals[name]:.1f}) repaired more than "
+                f"Baby ({baby:.1f})"
+            )
+    elder = totals.get("Elder", 0.0)
+    if elder > 0 and baby / elder < min_ratio:
+        problems.append(
+            f"Baby/Elder repair ratio only {baby / elder:.1f} "
+            f"(expected >= {min_ratio})"
+        )
+    teenager = totals.get("Teenager", 0.0)
+    adult = totals.get("Adult", 0.0)
+    if teenager < adult:
+        problems.append(
+            f"Teenager ({teenager:.1f}) repaired less than Adult ({adult:.1f})"
+        )
+    return problems

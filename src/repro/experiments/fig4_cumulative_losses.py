@@ -1,0 +1,115 @@
+"""Figure 4 — cumulative lost archives per peer, by age category.
+
+Paper reading: "a Newcomer will lose about 18 archives during 2000 days
+in the system, while all the other peers almost never lose anything",
+with a visible early bump (days 200-600) caused by the all-same-age
+start — an artifact this reproduction keeps on purpose (peers all join
+at round 0 by default, exactly like the paper's runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.plots import ascii_chart
+from ..analysis.report import format_table
+from ..analysis.series import final_value, to_days
+from ..churn.profiles import ROUNDS_PER_DAY
+from ..sim.engine import SimulationResult, run_simulation
+from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
+
+
+@dataclass
+class Figure4Result:
+    """Per-category cumulative-loss series at one scale."""
+
+    scale_name: str
+    threshold: int
+    results: List[SimulationResult]
+    categories: List[str]
+
+    def series(self) -> Dict[str, List[tuple]]:
+        """Cumulative losses-per-peer series in days (first seed)."""
+        result = self.results[0]
+        return {
+            category: to_days(
+                result.metrics.losses_per_peer_series(category), ROUNDS_PER_DAY
+            )
+            for category in self.categories
+        }
+
+    def final_losses(self) -> Dict[str, float]:
+        """Mean end-of-run cumulative losses per peer, across seeds."""
+        means: Dict[str, float] = {}
+        for category in self.categories:
+            values = [
+                final_value(r.metrics.losses_per_peer_series(category))
+                for r in self.results
+            ]
+            means[category] = sum(values) / len(values)
+        return means
+
+    def to_csv(self) -> str:
+        """CSV text: round, then losses-per-peer per category."""
+        from ..sim.trace import category_loss_rows, series_to_csv
+
+        rows = category_loss_rows(self.results[0])
+        return series_to_csv(["round"] + list(self.categories), rows)
+
+    def render(self, markdown: bool = False) -> str:
+        """Final-value table plus cumulative ASCII chart."""
+        finals = self.final_losses()
+        rows = [
+            [category, round(finals[category], 4)] for category in self.categories
+        ]
+        table = format_table(
+            ["category", "cumulative losses / peer"], rows, markdown=markdown
+        )
+        chart = ascii_chart(
+            self.series(),
+            log_y=False,
+            title=(
+                "Figure 4 — cumulative lost archives per peer "
+                f"(scale={self.scale_name}, threshold={self.threshold})"
+            ),
+            x_label="days",
+            y_label="lost",
+        )
+        return f"{table}\n\n{chart}"
+
+
+def run_figure4(
+    scale: ExperimentScale = DEFAULT,
+    paper_threshold: int = PAPER_FOCUS_THRESHOLD,
+    seeds: Sequence[int] = (),
+) -> Figure4Result:
+    """Run the loss-accumulation experiment at the focus threshold."""
+    seeds = tuple(seeds) or scale.seeds
+    config = scale.config(paper_threshold=paper_threshold)
+    results = [run_simulation(config.with_seed(seed)) for seed in seeds]
+    return Figure4Result(
+        scale_name=scale.name,
+        threshold=config.repair_threshold,
+        results=results,
+        categories=config.categories.names(),
+    )
+
+
+def check_shape(result: Figure4Result) -> List[str]:
+    """Validate figure 4's dominant claim; returns violations.
+
+    Newcomers accumulate at least as many losses per peer as any other
+    category (the paper shows them far above the rest, which sit near
+    zero).
+    """
+    problems: List[str] = []
+    finals = result.final_losses()
+    newcomers = finals.get("Newcomers", 0.0)
+    for category, value in finals.items():
+        if category != "Newcomers" and value > newcomers + 1e-9:
+            problems.append(
+                f"category {category} ({value:.4f}) lost more per peer than "
+                f"Newcomers ({newcomers:.4f})"
+            )
+    return problems

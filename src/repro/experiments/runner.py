@@ -1,0 +1,161 @@
+"""Command-line entry point: regenerate any figure, table or ablation.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments tables
+    repro-experiments fig1 --scale quick
+    repro-experiments fig3 --scale default --seeds 0 1 2
+    repro-experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from . import (
+    ablation_adaptive,
+    ablation_grace,
+    ablation_proactive,
+    ablation_quota,
+    ablation_selection,
+    fig1_repairs_by_threshold,
+    fig2_losses_by_threshold,
+    fig3_observer_repairs,
+    fig4_cumulative_losses,
+    tables,
+)
+from .common import scale_by_name
+
+#: Experiment registry: name -> (runner, has shape check).
+_SIMULATION_EXPERIMENTS = {
+    "fig1": (fig1_repairs_by_threshold.run_figure1,
+             fig1_repairs_by_threshold.check_shape),
+    "fig2": (fig2_losses_by_threshold.run_figure2,
+             fig2_losses_by_threshold.check_shape),
+    "fig3": (fig3_observer_repairs.run_figure3,
+             fig3_observer_repairs.check_shape),
+    "fig4": (fig4_cumulative_losses.run_figure4,
+             fig4_cumulative_losses.check_shape),
+    "ablation-selection": (ablation_selection.run_ablation_selection,
+                           ablation_selection.check_shape),
+    "ablation-quota": (ablation_quota.run_ablation_quota, None),
+    "ablation-grace": (ablation_grace.run_ablation_grace, None),
+    "ablation-proactive": (ablation_proactive.run_ablation_proactive, None),
+    "ablation-adaptive": (ablation_adaptive.run_ablation_adaptive,
+                          ablation_adaptive.check_shape),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures and tables of 'Optimizing peer-to-peer "
+            "backup using lifetime estimations' (Bernard & Le Fessant, 2009)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_SIMULATION_EXPERIMENTS) + ["tables", "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        help="experiment scale preset: quick, default or full",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="replication seeds (default: the scale preset's seeds)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit Markdown tables instead of plain text",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the qualitative shape checks",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write <experiment>.csv files into this directory "
+        "(figures only)",
+    )
+    return parser
+
+
+def _run_one(
+    name: str,
+    scale,
+    seeds: Optional[Sequence[int]],
+    markdown: bool,
+    check: bool,
+    csv_dir: Optional[str] = None,
+) -> List[str]:
+    runner, checker = _SIMULATION_EXPERIMENTS[name]
+    result = runner(scale=scale, seeds=tuple(seeds) if seeds else ())
+    print(result.render(markdown=markdown))
+    if csv_dir is not None and hasattr(result, "to_csv"):
+        directory = pathlib.Path(csv_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / f"{name}.csv"
+        target.write_text(result.to_csv())
+        print(f"(series written to {target})")
+    problems: List[str] = []
+    if check and checker is not None:
+        problems = checker(result)
+        if problems:
+            print(f"\nshape-check FAILURES for {name}:")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"\nshape checks passed for {name}.")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "tables":
+        print(tables.render_all(markdown=args.markdown))
+        return 0
+
+    scale = scale_by_name(args.scale)
+    names = (
+        sorted(_SIMULATION_EXPERIMENTS)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    failures: List[str] = []
+    for name in names:
+        print(f"=== {name} (scale={scale.name}) ===")
+        failures.extend(
+            _run_one(
+                name,
+                scale,
+                args.seeds,
+                args.markdown,
+                not args.no_check,
+                csv_dir=args.csv_dir,
+            )
+        )
+        print()
+    if args.experiment == "all":
+        print(tables.render_all(markdown=args.markdown))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""The paper's tables (T1-T4) and the section 2.2.4 cost analysis (C1).
+
+These artifacts are deterministic — no simulation involved — so the
+"reproduction" is an executable statement of the published values, and
+the tests pin them exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.report import dict_report, format_table
+from ..churn.profiles import PAPER_PROFILES, profile_table
+from ..core.categories import DEFAULT_SCHEME
+from ..net.bandwidth import CostModel, paper_cost_table
+from ..sim.config import PAPER_OBSERVERS
+from ..sim.observers import observer_table
+
+
+def t1_system_parameters() -> Dict[str, object]:
+    """T1 — section 2.2.4: archive size and code parameters."""
+    return {
+        "Archive Size": "128 MB",
+        "k (initial blocks)": 128,
+        "m (added blocks)": 128,
+    }
+
+
+def t2_profiles() -> Dict[str, Dict]:
+    """T2 — section 4.1.1: the four churn profiles."""
+    return profile_table(PAPER_PROFILES)
+
+
+def t3_categories() -> Dict[str, str]:
+    """T3 — section 4.2.1: the four age categories."""
+    return DEFAULT_SCHEME.table()
+
+
+def t4_observers() -> Dict[str, str]:
+    """T4 — section 4.2.2: the five observer ages."""
+    return observer_table(PAPER_OBSERVERS)
+
+
+def c1_cost_analysis() -> Dict[str, object]:
+    """C1 — section 2.2.4: the repair-cost arithmetic on the paper's DSL."""
+    return paper_cost_table()
+
+
+def c1_feasibility_rows() -> List[List[object]]:
+    """The worked feasibility example: repairs/day budget per archive count.
+
+    The paper: "if we want to limit the cost to one repair per day, with
+    32 archives (4 GB of data), the repair rate should be less than one
+    per month approximatively."
+    """
+    model = CostModel()
+    rows = []
+    for archives in (1, 8, 32, 64):
+        per_archive_per_day = model.feasible_repair_rate(
+            archives=archives, regenerated_blocks=128,
+            budget_fraction=1.0 / model.max_repairs_per_day(128),
+        )
+        rows.append(
+            [
+                archives,
+                archives * 128,  # MB backed up
+                round(per_archive_per_day, 4),
+                round(1.0 / per_archive_per_day, 1),  # days between repairs
+            ]
+        )
+    return rows
+
+
+def render_all(markdown: bool = False) -> str:
+    """All tables as one text block (what ``repro-experiments tables`` prints)."""
+    sections = [
+        dict_report("T1 — system parameters (section 2.2.4)",
+                    t1_system_parameters(), markdown=markdown),
+    ]
+    profile_rows = [
+        [name, row["proportion"], row["life_expectancy"], row["availability"]]
+        for name, row in t2_profiles().items()
+    ]
+    sections.append(
+        "T2 — peer profiles (section 4.1.1)\n"
+        + format_table(
+            ["profile", "proportion", "life expectancy", "availability"],
+            profile_rows,
+            markdown=markdown,
+        )
+    )
+    sections.append(
+        "T3 — age categories (section 4.2.1)\n"
+        + format_table(
+            ["category", "age bracket"],
+            [[k, v] for k, v in t3_categories().items()],
+            markdown=markdown,
+        )
+    )
+    sections.append(
+        "T4 — observers (section 4.2.2)\n"
+        + format_table(
+            ["observer", "age"],
+            [[k, v] for k, v in t4_observers().items()],
+            markdown=markdown,
+        )
+    )
+    cost = c1_cost_analysis()
+    sections.append(
+        dict_report("C1 — repair-cost analysis (section 2.2.4)", cost,
+                    markdown=markdown)
+    )
+    sections.append(
+        "C1 — feasibility (one repair/day of link budget)\n"
+        + format_table(
+            ["archives", "MB backed up", "repairs/archive/day", "days between repairs"],
+            c1_feasibility_rows(),
+            markdown=markdown,
+        )
+    )
+    return "\n\n".join(sections)

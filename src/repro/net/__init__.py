@@ -1,0 +1,56 @@
+"""Network substrate: cost model, messages, transport and the master-block DHT."""
+
+from .bandwidth import (
+    FTTH,
+    KILOBYTE,
+    MEGABYTE,
+    MODERN_DSL,
+    PAPER_DSL,
+    CostModel,
+    LinkProfile,
+    RepairCost,
+    paper_cost_table,
+)
+from .dht import ConsistentHashRing, DhtError, MasterBlockDht
+from .message import (
+    AvailabilityProbe,
+    AvailabilityReport,
+    FetchReply,
+    FetchRequest,
+    Message,
+    PartnershipAnswer,
+    PartnershipProposal,
+    ReleaseNotice,
+    StoreReply,
+    StoreRequest,
+)
+from .transport import Endpoint, InMemoryTransport, TrafficStats, TransportError
+
+__all__ = [
+    "FTTH",
+    "KILOBYTE",
+    "MEGABYTE",
+    "MODERN_DSL",
+    "PAPER_DSL",
+    "CostModel",
+    "LinkProfile",
+    "RepairCost",
+    "paper_cost_table",
+    "ConsistentHashRing",
+    "DhtError",
+    "MasterBlockDht",
+    "AvailabilityProbe",
+    "AvailabilityReport",
+    "FetchReply",
+    "FetchRequest",
+    "Message",
+    "PartnershipAnswer",
+    "PartnershipProposal",
+    "ReleaseNotice",
+    "StoreReply",
+    "StoreRequest",
+    "Endpoint",
+    "InMemoryTransport",
+    "TrafficStats",
+    "TransportError",
+]

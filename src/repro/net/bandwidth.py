@@ -1,0 +1,165 @@
+"""Bandwidth and repair-cost model (paper section 2.2.4, artifact C1).
+
+The paper evaluates the feasibility of maintenance on an asymmetric DSL
+link: the full cost of a repair is
+
+    delta_repair = delta_download + delta_upload
+
+(decoding/encoding and metadata updates are negligible), where the peer
+downloads ``k`` blocks and uploads the ``d`` regenerated blocks.  With
+the paper's parameters (128 MB archives, k = 128 so 1 MB blocks, 32 kB/s
+up, 256 kB/s down) a worst-case repair (d = 128) takes 69 + 8 = 77
+minutes, which bounds feasible repairs at ~20 per day and motivates
+keeping the per-archive repair rate below roughly one per month.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: One kilobyte/megabyte in bytes, as the paper uses kB/MB units.
+KILOBYTE = 1024
+MEGABYTE = 1024 * KILOBYTE
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """An access link with asymmetric capacities, in bytes per second."""
+
+    download_bps: float
+    upload_bps: float
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.download_bps <= 0 or self.upload_bps <= 0:
+            raise ValueError("link capacities must be positive")
+
+
+#: The paper's reference DSL link: 256 kB/s down, 32 kB/s up.
+PAPER_DSL = LinkProfile(
+    download_bps=256 * KILOBYTE, upload_bps=32 * KILOBYTE, name="paper-dsl"
+)
+
+#: "modern DSL connections (in France) are at least four times faster".
+MODERN_DSL = LinkProfile(
+    download_bps=4 * 256 * KILOBYTE, upload_bps=4 * 32 * KILOBYTE, name="modern-dsl"
+)
+
+#: An FTTH-class link for the paper's closing remark.
+FTTH = LinkProfile(
+    download_bps=12_500 * KILOBYTE, upload_bps=12_500 * KILOBYTE, name="ftth"
+)
+
+
+@dataclass(frozen=True)
+class RepairCost:
+    """Breakdown of one repair operation's transfer cost, in seconds."""
+
+    download_seconds: float
+    upload_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """delta_repair = delta_download + delta_upload."""
+        return self.download_seconds + self.upload_seconds
+
+    @property
+    def total_minutes(self) -> float:
+        """Total cost in minutes (the unit of the paper's 77-minute figure)."""
+        return self.total_seconds / 60.0
+
+
+class CostModel:
+    """The paper's transfer-only cost model for backup maintenance.
+
+    Parameters
+    ----------
+    archive_size:
+        Bytes per archive (paper: 128 MB).
+    data_blocks:
+        ``k`` (paper: 128); the block size is ``archive_size / k``.
+    link:
+        The access-link profile.
+    """
+
+    def __init__(
+        self,
+        archive_size: int = 128 * MEGABYTE,
+        data_blocks: int = 128,
+        link: LinkProfile = PAPER_DSL,
+    ):
+        if archive_size <= 0:
+            raise ValueError("archive size must be positive")
+        if data_blocks < 1:
+            raise ValueError("k must be >= 1")
+        self.archive_size = archive_size
+        self.data_blocks = data_blocks
+        self.link = link
+
+    @property
+    def block_size(self) -> float:
+        """Bytes per block."""
+        return self.archive_size / self.data_blocks
+
+    def repair_cost(self, regenerated_blocks: int) -> RepairCost:
+        """Cost of one repair that regenerates ``d`` blocks.
+
+        The peer downloads ``k`` blocks (one archive's worth of data) and
+        uploads ``d`` blocks.
+        """
+        if regenerated_blocks < 0:
+            raise ValueError("d cannot be negative")
+        download = self.archive_size / self.link.download_bps
+        upload = regenerated_blocks * self.block_size / self.link.upload_bps
+        return RepairCost(download_seconds=download, upload_seconds=upload)
+
+    def max_repairs_per_day(self, regenerated_blocks: int) -> float:
+        """How many such repairs fit in 24 hours of exclusive link use."""
+        cost = self.repair_cost(regenerated_blocks).total_seconds
+        return 86_400.0 / cost
+
+    def feasible_repair_rate(
+        self, archives: int, regenerated_blocks: int, budget_fraction: float = 1.0
+    ) -> float:
+        """Repairs per archive per day that fit a link-time budget.
+
+        The paper's worked example: with 32 archives and one repair per
+        day of total budget, the per-archive rate must stay below roughly
+        one per month.
+        """
+        if archives < 1:
+            raise ValueError("archives must be >= 1")
+        if not 0 < budget_fraction <= 1.0:
+            raise ValueError("budget fraction must be in (0, 1]")
+        per_day = self.max_repairs_per_day(regenerated_blocks) * budget_fraction
+        return per_day / archives
+
+    def backup_cost_seconds(self, total_blocks: int) -> float:
+        """Initial upload of all ``n`` blocks (the d = n initial 'repair')."""
+        if total_blocks < self.data_blocks:
+            raise ValueError("n must be >= k")
+        return total_blocks * self.block_size / self.link.upload_bps
+
+    def restore_cost_seconds(self) -> float:
+        """Download of ``k`` blocks to restore an archive."""
+        return self.archive_size / self.link.download_bps
+
+
+def paper_cost_table() -> dict:
+    """Reproduce the section 2.2.4 arithmetic exactly (artifact C1).
+
+    Returns the numbers the paper states: the >512 s download bound, the
+    per-block 32 s upload bound, the 69 + 8 = 77 minute worst-case repair
+    and the <=20 repairs/day feasibility limit.
+    """
+    model = CostModel()
+    worst = model.repair_cost(regenerated_blocks=128)
+    return {
+        "download_seconds": worst.download_seconds,
+        "upload_seconds_per_block": model.block_size / model.link.upload_bps,
+        "worst_case_upload_minutes": worst.upload_seconds / 60.0,
+        "worst_case_download_minutes": worst.download_seconds / 60.0,
+        "worst_case_total_minutes": worst.total_minutes,
+        "max_repairs_per_day": math.floor(model.max_repairs_per_day(128)),
+    }

@@ -1,0 +1,102 @@
+"""Message types exchanged by the backup protocol.
+
+The simulator abstracts transfers to whole rounds, but the backup layer
+(and the examples that move real bytes) speak a small message vocabulary
+modelled on section 2.2: store/fetch blocks, partnership negotiation and
+availability probes.  Messages are plain frozen dataclasses so they can
+be logged, asserted on and routed by the in-memory transport.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_MESSAGE_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: every message has a source, destination and unique id."""
+
+    sender: int
+    recipient: int
+    message_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+
+    def __post_init__(self) -> None:
+        if self.sender == self.recipient:
+            raise ValueError("a peer cannot message itself")
+
+
+@dataclass(frozen=True)
+class StoreRequest(Message):
+    """Ask a partner to store one coded block."""
+
+    archive_id: str = ""
+    block_index: int = 0
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class StoreReply(Message):
+    """Partner's answer to a store request."""
+
+    archive_id: str = ""
+    block_index: int = 0
+    accepted: bool = False
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FetchRequest(Message):
+    """Ask a partner for a block it stores (restore or repair download)."""
+
+    archive_id: str = ""
+    block_index: int = 0
+
+
+@dataclass(frozen=True)
+class FetchReply(Message):
+    """Block content, or a miss."""
+
+    archive_id: str = ""
+    block_index: int = 0
+    payload: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class PartnershipProposal(Message):
+    """Offer to become partners; carries the proposer's claimed age."""
+
+    proposer_age: float = 0.0
+
+
+@dataclass(frozen=True)
+class PartnershipAnswer(Message):
+    """Mutual-acceptance outcome from the candidate's side."""
+
+    accepted: bool = False
+
+
+@dataclass(frozen=True)
+class ReleaseNotice(Message):
+    """Owner tells a partner it no longer needs the stored block."""
+
+    archive_id: str = ""
+    block_index: int = 0
+
+
+@dataclass(frozen=True)
+class AvailabilityProbe(Message):
+    """Monitoring ping (the assumed secure monitoring protocol)."""
+
+    window_rounds: int = 0
+
+
+@dataclass(frozen=True)
+class AvailabilityReport(Message):
+    """Measured uptime fraction over the requested window."""
+
+    availability: float = 0.0
+    observed_rounds: int = 0

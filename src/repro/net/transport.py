@@ -1,0 +1,142 @@
+"""In-memory transport connecting protocol endpoints.
+
+The paper assumes "full connectivity between peers" (section 2.1) —
+firewalled peers are relayed and not discussed further.  The transport
+honours that assumption: any online endpoint can deliver to any other
+online endpoint; messages to offline endpoints fail immediately (the
+caller sees the same signal the real system would get from a timeout).
+
+Deliveries are synchronous; latency is not modelled because the paper's
+round granularity (one hour) makes individual message latency invisible.
+Optional per-link byte accounting feeds the bandwidth cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .message import Message
+
+Handler = Callable[[Message], Optional[Message]]
+
+
+class TransportError(Exception):
+    """Raised when a message cannot be delivered."""
+
+
+@dataclass
+class TrafficStats:
+    """Byte and message counters for one endpoint."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+def _payload_size(message: Message) -> int:
+    payload = getattr(message, "payload", None)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    return 0
+
+
+@dataclass
+class Endpoint:
+    """One addressable protocol participant."""
+
+    peer_id: int
+    handler: Handler
+    online: bool = True
+    stats: TrafficStats = field(default_factory=TrafficStats)
+
+
+class InMemoryTransport:
+    """Synchronous message router for simulated peers."""
+
+    def __init__(self):
+        self._endpoints: Dict[int, Endpoint] = {}
+        self._log: List[Message] = []
+        self.record_log = False
+
+    def register(self, peer_id: int, handler: Handler) -> Endpoint:
+        """Attach an endpoint; replaces any previous registration."""
+        endpoint = Endpoint(peer_id=peer_id, handler=handler)
+        self._endpoints[peer_id] = endpoint
+        return endpoint
+
+    def unregister(self, peer_id: int) -> None:
+        """Remove an endpoint (the peer left the system)."""
+        self._endpoints.pop(peer_id, None)
+
+    def set_online(self, peer_id: int, online: bool) -> None:
+        """Toggle an endpoint's reachability."""
+        endpoint = self._endpoints.get(peer_id)
+        if endpoint is None:
+            raise TransportError(f"unknown endpoint {peer_id}")
+        endpoint.online = online
+
+    def is_online(self, peer_id: int) -> bool:
+        """Whether a peer is currently reachable."""
+        endpoint = self._endpoints.get(peer_id)
+        return endpoint is not None and endpoint.online
+
+    def send(self, message: Message) -> Optional[Message]:
+        """Deliver a message and return the recipient's synchronous reply.
+
+        Raises :class:`TransportError` when either end is unknown or the
+        recipient is offline — exactly the failure a monitoring probe or
+        block fetch observes under churn.
+        """
+        sender = self._endpoints.get(message.sender)
+        if sender is None:
+            raise TransportError(f"unknown sender {message.sender}")
+        if not sender.online:
+            raise TransportError(f"sender {message.sender} is offline")
+        recipient = self._endpoints.get(message.recipient)
+        if recipient is None:
+            raise TransportError(f"unknown recipient {message.recipient}")
+        if not recipient.online:
+            raise TransportError(f"recipient {message.recipient} is offline")
+
+        size = _payload_size(message)
+        sender.stats.messages_sent += 1
+        sender.stats.bytes_sent += size
+        recipient.stats.messages_received += 1
+        recipient.stats.bytes_received += size
+        if self.record_log:
+            self._log.append(message)
+
+        reply = recipient.handler(message)
+        if reply is not None:
+            reply_size = _payload_size(reply)
+            recipient.stats.messages_sent += 1
+            recipient.stats.bytes_sent += reply_size
+            sender.stats.messages_received += 1
+            sender.stats.bytes_received += reply_size
+            if self.record_log:
+                self._log.append(reply)
+        return reply
+
+    def try_send(self, message: Message) -> Optional[Message]:
+        """Like :meth:`send` but returns ``None`` on delivery failure."""
+        try:
+            return self.send(message)
+        except TransportError:
+            return None
+
+    def stats_for(self, peer_id: int) -> TrafficStats:
+        """Traffic counters of one endpoint."""
+        endpoint = self._endpoints.get(peer_id)
+        if endpoint is None:
+            raise TransportError(f"unknown endpoint {peer_id}")
+        return endpoint.stats
+
+    @property
+    def log(self) -> List[Message]:
+        """Messages routed so far (only populated when ``record_log``)."""
+        return list(self._log)
+
+    def __len__(self) -> int:
+        return len(self._endpoints)

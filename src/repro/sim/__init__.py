@@ -1,0 +1,34 @@
+"""Round-based peer-to-peer simulator (the PeerSim substitute)."""
+
+from .config import PAPER_OBSERVERS, ObserverSpec, SimulationConfig
+from .engine import Simulation, SimulationResult, run_simulation
+from .events import Event, EventKind, EventQueue
+from .metrics import CategoryCounters, MetricsCollector, SeriesPoint
+from .network import Population, SampleableSet
+from .observers import build_observer_peer, observer_table, scaled_observers
+from .peer import ArchiveState, Peer
+from .rng import STREAM_NAMES, RngStreams
+
+__all__ = [
+    "PAPER_OBSERVERS",
+    "ObserverSpec",
+    "SimulationConfig",
+    "Simulation",
+    "SimulationResult",
+    "run_simulation",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "CategoryCounters",
+    "MetricsCollector",
+    "SeriesPoint",
+    "Population",
+    "SampleableSet",
+    "build_observer_peer",
+    "observer_table",
+    "scaled_observers",
+    "ArchiveState",
+    "Peer",
+    "RngStreams",
+    "STREAM_NAMES",
+]

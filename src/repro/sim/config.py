@@ -1,0 +1,185 @@
+"""Simulation configuration.
+
+One frozen dataclass collects every knob of the reproduction; the paper's
+full-scale parameters (section 4.1) and the scaled laptop defaults both
+come from here.  ``SimulationConfig.paper()`` returns the exact published
+setting; ``SimulationConfig.scaled()`` returns the default used by the
+test-suite and benchmarks, with the repair threshold mapped through
+:func:`repro.core.policy.scaled_threshold`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from ..churn.profiles import PAPER_PROFILES, ROUNDS_PER_DAY, Profile, validate_mix
+from ..core.acceptance import DEFAULT_AGE_CAP
+from ..core.categories import DEFAULT_SCHEME, CategoryScheme
+from ..core.policy import RepairPolicy, scaled_threshold
+
+
+@dataclass(frozen=True)
+class ObserverSpec:
+    """A fixed-age observer peer (paper section 4.2.2)."""
+
+    name: str
+    fixed_age: int
+
+    def __post_init__(self) -> None:
+        if self.fixed_age < 0:
+            raise ValueError("observer age cannot be negative")
+
+
+#: The paper's five observers: Elder (3 months = the cap L), Senior
+#: (1 month), Adult (1 week), Teenager (1 day), Baby (1 hour).
+PAPER_OBSERVERS: Tuple[ObserverSpec, ...] = (
+    ObserverSpec("Elder", 90 * ROUNDS_PER_DAY),
+    ObserverSpec("Senior", 30 * ROUNDS_PER_DAY),
+    ObserverSpec("Adult", 7 * ROUNDS_PER_DAY),
+    ObserverSpec("Teenager", 1 * ROUNDS_PER_DAY),
+    ObserverSpec("Baby", 1),
+)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Every parameter of one simulation run."""
+
+    population: int = 1000
+    rounds: int = 10_000
+    data_blocks: int = 16            # k
+    parity_blocks: int = 16          # m
+    repair_threshold: int = 18       # k'
+    quota: int = 48                  # hosted blocks per peer (paper: 384 = 1.5 n)
+    age_cap: int = DEFAULT_AGE_CAP   # L of the acceptation function
+    profiles: Tuple[Profile, ...] = PAPER_PROFILES
+    categories: CategoryScheme = field(default_factory=lambda: DEFAULT_SCHEME)
+    selection_strategy: str = "age"
+    acceptance_rule: str = "age"   # "age" (the paper's f) or "uniform" (blind)
+    observers: Tuple[ObserverSpec, ...] = ()
+    seed: Optional[int] = 0
+    # --- secondary knobs -------------------------------------------------
+    pool_factor: float = 1.5         # pool target = pool_factor * d
+    max_examined_factor: float = 6.0  # candidate budget = factor * d + 16
+    sample_interval: int = ROUNDS_PER_DAY  # metrics sampling cadence
+    warmup_rounds: int = 0           # rounds excluded from rate metrics
+    grace_rounds: int = 0            # A3: retain invisible holders this long
+    staggered_join_rounds: int = 0   # 0 = everyone joins at round 0
+    proactive_rate: float = 0.0      # A4: extra blocks per round per archive
+    adaptive_thresholds: bool = False  # A5: per-peer threshold adaptation (paper future work)
+
+    def __post_init__(self) -> None:
+        if self.population <= 0:
+            raise ValueError("population must be positive")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.quota < 0:
+            raise ValueError("quota cannot be negative")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if not 0 <= self.warmup_rounds < self.rounds:
+            raise ValueError("warmup_rounds must lie in [0, rounds)")
+        if self.pool_factor < 1.0:
+            raise ValueError("pool_factor must be >= 1")
+        if self.max_examined_factor <= 0:
+            raise ValueError("max_examined_factor must be positive")
+        if self.grace_rounds < 0:
+            raise ValueError("grace_rounds cannot be negative")
+        if self.staggered_join_rounds < 0:
+            raise ValueError("staggered_join_rounds cannot be negative")
+        if self.proactive_rate < 0:
+            raise ValueError("proactive_rate cannot be negative")
+        if self.acceptance_rule not in {"age", "uniform"}:
+            raise ValueError(
+                f"acceptance_rule must be 'age' or 'uniform', "
+                f"got {self.acceptance_rule!r}"
+            )
+        validate_mix(self.profiles)
+        # Validates k/n/k' consistency as a side effect.
+        self.policy()
+
+    def policy(self) -> RepairPolicy:
+        """The repair policy implied by k, m and the threshold."""
+        return RepairPolicy(
+            data_blocks=self.data_blocks,
+            total_blocks=self.data_blocks + self.parity_blocks,
+            repair_threshold=self.repair_threshold,
+        )
+
+    @property
+    def total_blocks(self) -> int:
+        """``n = k + m``."""
+        return self.data_blocks + self.parity_blocks
+
+    def with_threshold(self, repair_threshold: int) -> "SimulationConfig":
+        """Copy with a different repair threshold (threshold sweeps)."""
+        return replace(self, repair_threshold=repair_threshold)
+
+    def with_seed(self, seed: Optional[int]) -> "SimulationConfig":
+        """Copy with a different seed (replications)."""
+        return replace(self, seed=seed)
+
+    @classmethod
+    def paper(
+        cls,
+        repair_threshold: int = 148,
+        observers: Sequence[ObserverSpec] = (),
+        seed: Optional[int] = 0,
+    ) -> "SimulationConfig":
+        """The exact full-scale setting of section 4.1.
+
+        25 000 peers, k = m = 128, quota = 384, 50 000 one-hour rounds.
+        Running this in pure Python takes hours; it exists so the scaled
+        runs have an explicit, executable reference point.
+        """
+        return cls(
+            population=25_000,
+            rounds=50_000,
+            data_blocks=128,
+            parity_blocks=128,
+            repair_threshold=repair_threshold,
+            quota=384,
+            observers=tuple(observers),
+            seed=seed,
+        )
+
+    @classmethod
+    def scaled(
+        cls,
+        paper_threshold: int = 148,
+        population: int = 1000,
+        rounds: int = 10_000,
+        data_blocks: int = 16,
+        parity_blocks: int = 16,
+        observers: Sequence[ObserverSpec] = (),
+        seed: Optional[int] = 0,
+        **overrides,
+    ) -> "SimulationConfig":
+        """Laptop-scale configuration preserving the paper's ratios.
+
+        * the erasure-code rate stays 1/2 (m = k);
+        * the quota stays 1.5 x n (paper: 384 = 1.5 x 256);
+        * the repair threshold keeps its slack fraction
+          ``(k' - k)/(n - k)`` (148 -> 18 for k=16, n=32).
+        """
+        total = data_blocks + parity_blocks
+        threshold = scaled_threshold(
+            paper_threshold,
+            paper_k=128,
+            paper_n=256,
+            target_k=data_blocks,
+            target_n=total,
+        )
+        quota = overrides.pop("quota", int(total * 1.5))
+        return cls(
+            population=population,
+            rounds=rounds,
+            data_blocks=data_blocks,
+            parity_blocks=parity_blocks,
+            repair_threshold=threshold,
+            quota=quota,
+            observers=tuple(observers),
+            seed=seed,
+            **overrides,
+        )

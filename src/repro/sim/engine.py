@@ -1,0 +1,562 @@
+"""The round-based simulation engine (PeerSim substitute).
+
+One :class:`Simulation` object runs one configuration end to end:
+
+* churn — joins, definitive departures with immediate replacement
+  (paper section 4.1), and availability session toggles;
+* the backup protocol — initial placement, per-round monitoring,
+  threshold repairs with mutual-acceptance partner recruitment
+  (section 3.2);
+* metrics — per-category counters and the cumulative series behind
+  figures 1-4.
+
+The engine is event-driven internally (a peer only executes when
+something it must react to happens) but semantically round-based: every
+event carries the round it fires in, ties are broken uniformly at
+random, and repairs triggered in round ``t`` execute in round ``t + 1``,
+matching the paper's "each round, every peer monitors its partners"
+loop without the O(population x rounds) scan.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..churn.availability import SessionProcess
+from ..churn.lifetimes import from_profile
+from ..churn.profiles import Profile
+from ..core.acceptance import acceptance_rule
+from ..core.adaptive import AdaptiveThreshold
+from ..core.policy import RepairPolicy
+from ..core.pool import build_pool
+from ..core.selection import Candidate, SelectionStrategy, strategy_by_name
+from .config import SimulationConfig
+from .events import Event, EventKind, EventQueue
+from .metrics import MetricsCollector
+from .network import Population
+from .observers import build_observer_peer
+from .peer import Peer
+from .rng import RngStreams
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run exposes to experiments and tests."""
+
+    config: SimulationConfig
+    metrics: MetricsCollector
+    final_round: int
+    wall_clock_seconds: float
+    peers_created: int
+    deaths: int
+
+    def repair_rates(self) -> Dict[str, float]:
+        """Figure 1's y-values: repairs per round per 1000 peers, by category."""
+        return {
+            name: self.metrics.repair_rate_per_1000(name)
+            for name in self.metrics.by_category
+        }
+
+    def loss_rates(self) -> Dict[str, float]:
+        """Figure 2's y-values: losses per round per 1000 peers, by category."""
+        return {
+            name: self.metrics.loss_rate_per_1000(name)
+            for name in self.metrics.by_category
+        }
+
+    def observer_totals(self) -> Dict[str, int]:
+        """Figure 3's endpoints: total repairs per observer."""
+        return dict(self.metrics.observer_repairs)
+
+
+class Simulation:
+    """One simulation run of the peer-to-peer backup system."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self.policy: RepairPolicy = config.policy()
+        self.acceptance = acceptance_rule(config.acceptance_rule, config.age_cap)
+        self.strategy: SelectionStrategy = strategy_by_name(config.selection_strategy)
+        self.rng = RngStreams(config.seed)
+        self.queue = EventQueue(self.rng.ordering)
+        self.population = Population()
+        self.metrics = MetricsCollector(config.categories, config.warmup_rounds)
+        self.round = 0
+        self._sessions: Dict[int, SessionProcess] = {}
+        self._profile_weights = [p.proportion for p in config.profiles]
+        self.peers_created = 0
+        self.deaths = 0
+        self._needs_oracle = self.strategy.name == "oracle"
+        self._needs_availability = self.strategy.name == "availability"
+        self._setup()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _setup(self) -> None:
+        config = self.config
+        for _ in range(config.population):
+            if config.staggered_join_rounds:
+                join_round = int(
+                    self.rng.placement.integers(config.staggered_join_rounds)
+                )
+            else:
+                join_round = 0
+            self.queue.schedule(join_round, Event(EventKind.JOIN))
+        for spec in config.observers:
+            observer = build_observer_peer(self.population.new_id(), spec, 0)
+            if config.adaptive_thresholds:
+                observer.adaptive = AdaptiveThreshold(self.policy)
+            self.population.insert(observer)
+            self._schedule_check(observer, 0)
+        self.queue.schedule(0, Event(EventKind.SAMPLE))
+
+    def _draw_profile(self) -> Profile:
+        index = int(
+            self.rng.profiles.choice(len(self.config.profiles), p=self._profile_weights)
+        )
+        return self.config.profiles[index]
+
+    def _spawn_peer(self, join_round: int) -> Peer:
+        profile = self._draw_profile()
+        lifetime = from_profile(profile).sample(self.rng.lifetimes)
+        death_round: Optional[int] = None
+        if not math.isinf(lifetime):
+            death_round = join_round + max(int(lifetime), 1)
+        peer = Peer(
+            peer_id=self.population.new_id(),
+            profile=profile,
+            join_round=join_round,
+            death_round=death_round,
+        )
+        self.population.insert(peer)
+        self.peers_created += 1
+        self._sessions[peer.peer_id] = SessionProcess(
+            availability=profile.availability,
+            mean_online=profile.mean_online_session,
+            rng=self.rng.sessions,
+        )
+        if self.config.adaptive_thresholds:
+            peer.adaptive = AdaptiveThreshold(self.policy)
+        if death_round is not None:
+            self.queue.schedule(death_round, Event(EventKind.DEATH, peer.peer_id))
+        self._schedule_toggle(peer, join_round)
+        self._schedule_check(peer, join_round)
+        if self.config.proactive_rate > 0:
+            self._schedule_top_up(peer, join_round)
+        return peer
+
+    # ------------------------------------------------------------------
+    # Scheduling helpers
+    # ------------------------------------------------------------------
+    def _schedule_toggle(self, peer: Peer, now: int) -> None:
+        session = self._sessions[peer.peer_id]
+        if session.always_online:
+            return
+        duration = session.next_session_length()
+        self.queue.schedule(now + duration, Event(EventKind.TOGGLE, peer.peer_id))
+
+    def _schedule_check(self, peer: Peer, when: int) -> None:
+        """Queue a repair/placement check, deduplicating pending ones."""
+        if peer.check_scheduled is not None:
+            return
+        peer.check_scheduled = when
+        self.queue.schedule(when, Event(EventKind.REPAIR_CHECK, peer.peer_id))
+
+    def _schedule_top_up(self, peer: Peer, now: int) -> None:
+        interval = max(int(round(1.0 / self.config.proactive_rate)), 1)
+        self.queue.schedule(now + interval, Event(EventKind.TOP_UP, peer.peer_id))
+
+    # ------------------------------------------------------------------
+    # Holder/owner mutation helpers (the only places links change)
+    # ------------------------------------------------------------------
+    def _add_holder(self, owner: Peer, holder: Peer) -> None:
+        archive = owner.archive
+        archive.holders[holder.peer_id] = None
+        archive.visible += 1
+        archive.alive += 1
+        if owner.is_observer:
+            holder.hosted_free.add(owner.peer_id)
+        else:
+            holder.hosted.add(owner.peer_id)
+
+    def _drop_holder(self, owner: Peer, holder: Peer) -> None:
+        """Owner abandons a holder (repair replacement or post-loss reset)."""
+        archive = owner.archive
+        invisible_since = archive.holders.pop(holder.peer_id)
+        if holder.alive:
+            archive.alive -= 1
+            if invisible_since is None:
+                archive.visible -= 1
+        if owner.is_observer:
+            holder.hosted_free.discard(owner.peer_id)
+        else:
+            holder.hosted.discard(owner.peer_id)
+
+    def _release_all_holders(self, owner: Peer) -> None:
+        for holder_id in list(owner.archive.holders):
+            self._drop_holder(owner, self.population.get(holder_id))
+
+    def _needs_repair(self, owner: Peer, visible: int) -> bool:
+        """Threshold test, honouring a per-peer adaptive controller (A5)."""
+        if owner.adaptive is not None:
+            return owner.adaptive.needs_repair(visible)
+        return self.policy.needs_repair(visible)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_join(self, now: int) -> None:
+        self._spawn_peer(now)
+
+    def _handle_death(self, now: int, peer: Peer) -> None:
+        if not peer.alive or peer.is_observer:
+            return
+        self.deaths += 1
+        peer.accumulate_uptime(now)
+        self.population.remove(peer)
+
+        # The departed peer's own blocks disappear from its partners.
+        for holder_id in list(peer.archive.holders):
+            holder = self.population.get(holder_id)
+            holder.hosted.discard(peer.peer_id)
+        peer.archive.holders.clear()
+
+        # Blocks it hosted for others vanish "immediately" (section 4.1).
+        for owner_id in list(peer.hosted) + list(peer.hosted_free):
+            owner = self.population.get(owner_id)
+            if not owner.alive:
+                continue
+            archive = owner.archive
+            invisible_since = archive.holders.pop(peer.peer_id, None)
+            archive.alive -= 1
+            if invisible_since is None:
+                # A None timestamp means the holder was visible (online).
+                archive.visible -= 1
+            self._after_block_loss(owner, now)
+        peer.hosted.clear()
+        peer.hosted_free.clear()
+        self._sessions.pop(peer.peer_id, None)
+
+        # Immediate replacement by a fresh peer (section 4.1).
+        self.queue.schedule(now, Event(EventKind.JOIN))
+
+    def _after_block_loss(self, owner: Peer, now: int) -> None:
+        """React to a permanent block disappearance on ``owner``'s archive."""
+        archive = owner.archive
+        if archive.placed and self.policy.is_lost(archive.alive):
+            self._record_loss(owner, now)
+            return
+        if archive.placed and self._needs_repair(owner, archive.visible):
+            self._schedule_check(owner, now + 1)
+
+    def _record_loss(self, owner: Peer, now: int) -> None:
+        archive = owner.archive
+        archive.lost_count += 1
+        self.metrics.record_loss(now, owner.age(now), owner.observer_name)
+        self._release_all_holders(owner)
+        archive.reset()
+        # The user still has local data to back up again: a fresh
+        # placement follows (next round at the earliest).
+        self._schedule_check(owner, now + 1)
+
+    def _handle_toggle(self, now: int, peer: Peer) -> None:
+        if not peer.alive:
+            return
+        peer.accumulate_uptime(now)
+        session = self._sessions[peer.peer_id]
+        session.toggle()
+        peer.online = session.online
+        if peer.online:
+            self.population.mark_online(peer)
+            self._set_visibility(peer, now, visible=True)
+            if peer.pending_check:
+                peer.pending_check = False
+                self._schedule_check(peer, now)
+            if peer.archive.placed and self._needs_repair(peer, peer.archive.visible):
+                self._schedule_check(peer, now)
+        else:
+            self.population.mark_offline(peer)
+            self._set_visibility(peer, now, visible=False)
+        self._schedule_toggle(peer, now)
+
+    def _set_visibility(self, holder: Peer, now: int, visible: bool) -> None:
+        """Propagate a holder's online flip to every owner it stores for."""
+        for owner_id in list(holder.hosted) + list(holder.hosted_free):
+            owner = self.population.get(owner_id)
+            if not owner.alive:
+                continue
+            archive = owner.archive
+            if holder.peer_id not in archive.holders:
+                continue
+            if visible:
+                archive.holders[holder.peer_id] = None
+                archive.visible += 1
+            else:
+                archive.holders[holder.peer_id] = now
+                archive.visible -= 1
+                if archive.placed and self._needs_repair(owner, archive.visible):
+                    self._schedule_check(owner, now + 1)
+
+    def _handle_check(self, now: int, peer: Peer) -> None:
+        peer.check_scheduled = None
+        if not peer.alive:
+            return
+        if not peer.online:
+            peer.pending_check = True
+            return
+        archive = peer.archive
+        if not archive.placed:
+            self._run_placement(peer, now)
+            return
+        if self.policy.is_lost(archive.alive):
+            self._record_loss(peer, now)
+            return
+        if not self._needs_repair(peer, archive.visible):
+            if not archive.fully_placed:
+                # The initial upload of n blocks has not completed yet
+                # (section 3.2: it is one operation that may span rounds
+                # when the network is young or partners are scarce).
+                # Once it completes, maintenance is threshold-only.
+                self._run_placement(peer, now)
+            return
+        if not self.policy.can_decode(archive.visible):
+            archive.blocked_count += 1
+            if peer.adaptive is not None:
+                peer.adaptive.on_blocked(now)
+            self.metrics.record_blocked(now, peer.age(now), peer.observer_name)
+            self._schedule_check(peer, now + 1)
+            return
+        self._run_repair(peer, now)
+
+    def _run_placement(self, owner: Peer, now: int) -> None:
+        """Upload blocks until all n are placed (the initial d = n repair).
+
+        The peer counts as *placed* (included in the network, section
+        3.2) once the visible count clears the repair threshold, but the
+        upload keeps retrying until all ``n`` holders exist — important
+        when the whole population joins in the same round and early
+        placers see only a partially built network.
+        """
+        archive = owner.archive
+        needed = self.policy.n - len(archive.holders)
+        if needed > 0:
+            self._recruit(owner, now, needed)
+        if len(archive.holders) >= self.policy.n:
+            archive.fully_placed = True
+        if archive.visible >= self.policy.repair_threshold and not archive.placed:
+            archive.placed = True
+            if not owner.is_observer:
+                self.metrics.record_placement(now, owner.age(now))
+        if not archive.placed or not archive.fully_placed:
+            self._schedule_check(owner, now + 1)
+
+    def _run_repair(self, owner: Peer, now: int) -> None:
+        """Decode-and-reupload repair (paper section 2.2.3)."""
+        archive = owner.archive
+        grace = self.config.grace_rounds
+        for holder_id, invisible_since in list(archive.holders.items()):
+            if invisible_since is not None and now - invisible_since >= grace:
+                self._drop_holder(owner, self.population.get(holder_id))
+        needed = self.policy.n - len(archive.holders)
+        recruited = self._recruit(owner, now, needed) if needed > 0 else 0
+        if recruited > 0:
+            archive.repair_count += 1
+            if owner.adaptive is not None:
+                owner.adaptive.on_repair(now)
+            self.metrics.record_repair(
+                now, owner.age(now), recruited, owner.observer_name
+            )
+        else:
+            if owner.adaptive is not None:
+                owner.adaptive.on_starved(now)
+            self.metrics.record_starved()
+        if len(archive.holders) >= self.policy.n:
+            archive.fully_placed = True
+        if self._needs_repair(owner, archive.visible):
+            self._schedule_check(owner, now + 1)
+
+    def _handle_top_up(self, now: int, peer: Peer) -> None:
+        """Proactive-replication tick (baseline A4): keep holders at n."""
+        if not peer.alive:
+            return
+        if peer.online and peer.archive.placed:
+            missing = self.policy.n - len(peer.archive.holders)
+            if missing > 0:
+                self._recruit(peer, now, 1)
+        self._schedule_top_up(peer, now)
+
+    # ------------------------------------------------------------------
+    # Partner recruitment
+    # ------------------------------------------------------------------
+    def _candidate_stream(self, owner: Peer) -> Iterator[Candidate]:
+        """Uniform stream of distinct eligible candidates."""
+        seen = set()
+        draws = 0
+        online = self.population.online_candidates
+        max_draws = 8 * len(online) + 64
+        check_quota = not owner.is_observer
+        while draws < max_draws:
+            draws += 1
+            candidate_id = online.sample(self.rng.selection)
+            if candidate_id is None:
+                return
+            if candidate_id in seen:
+                continue
+            seen.add(candidate_id)
+            if candidate_id == owner.peer_id:
+                continue
+            if candidate_id in owner.archive.holders:
+                continue
+            candidate = self.population.get(candidate_id)
+            if check_quota and not candidate.has_free_quota(self.config.quota):
+                continue
+            yield self._describe_candidate(candidate)
+
+    def _describe_candidate(self, candidate: Peer) -> Candidate:
+        availability = None
+        remaining = None
+        if self._needs_availability:
+            availability = candidate.measured_availability(self.round)
+        if self._needs_oracle:
+            remaining = candidate.remaining_lifetime(self.round)
+        return Candidate(
+            peer_id=candidate.peer_id,
+            age=candidate.age(self.round),
+            availability=availability,
+            true_remaining_lifetime=remaining,
+        )
+
+    def _recruit(self, owner: Peer, now: int, needed: int) -> int:
+        """Build a pool, select the best ``needed`` candidates, store blocks."""
+        pool_target = int(math.ceil(self.config.pool_factor * needed))
+        max_examined = int(self.config.max_examined_factor * needed) + 16
+        pool = build_pool(
+            owner_age=owner.age(now),
+            candidates=self._candidate_stream(owner),
+            acceptance=self.acceptance,
+            rng=self.rng.acceptance,
+            target_size=pool_target,
+            max_examined=max_examined,
+        )
+        self.metrics.record_pool(pool.examined, pool.size)
+        chosen = self.strategy.select(pool.accepted, needed, self.rng.selection)
+        added = 0
+        for candidate_id in chosen:
+            holder = self.population.get(candidate_id)
+            # Quota could have filled between sampling and selection.
+            if not owner.is_observer and not holder.has_free_quota(self.config.quota):
+                continue
+            self._add_holder(owner, holder)
+            added += 1
+        return added
+
+    def _handle_sample(self, now: int) -> None:
+        ages = [peer.age(now) for peer in self.population.alive_normal_peers()]
+        self.metrics.sample(now, ages, self.config.sample_interval)
+        upcoming = now + self.config.sample_interval
+        if upcoming <= self.config.rounds:
+            self.queue.schedule(upcoming, Event(EventKind.SAMPLE))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the configured number of rounds and return the result."""
+        started = time.perf_counter()
+        dispatch = {
+            EventKind.JOIN: lambda now, event: self._handle_join(now),
+            EventKind.DEATH: lambda now, event: self._handle_death(
+                now, self.population.get(event.peer_id)
+            ),
+            EventKind.TOGGLE: lambda now, event: self._handle_toggle(
+                now, self.population.get(event.peer_id)
+            ),
+            EventKind.REPAIR_CHECK: lambda now, event: self._handle_check(
+                now, self.population.get(event.peer_id)
+            ),
+            EventKind.SAMPLE: lambda now, event: self._handle_sample(now),
+            EventKind.TOP_UP: lambda now, event: self._handle_top_up(
+                now, self.population.get(event.peer_id)
+            ),
+        }
+        for now, event in self.queue.drain_until(self.config.rounds):
+            self.round = now
+            handler = dispatch[event.kind]
+            handler(now, event)
+        elapsed = time.perf_counter() - started
+        return SimulationResult(
+            config=self.config,
+            metrics=self.metrics,
+            final_round=self.config.rounds,
+            wall_clock_seconds=elapsed,
+            peers_created=self.peers_created,
+            deaths=self.deaths,
+        )
+
+    # ------------------------------------------------------------------
+    # Consistency audit (used by integration and property tests)
+    # ------------------------------------------------------------------
+    def audit(self) -> List[str]:
+        """Recompute all incremental state from scratch; return violations."""
+        problems: List[str] = []
+        for peer in self.population.peers.values():
+            if not peer.alive:
+                continue
+            archive = peer.archive
+            visible = alive = 0
+            for holder_id, invisible_since in archive.holders.items():
+                holder = self.population.peers.get(holder_id)
+                if holder is None or not holder.alive:
+                    problems.append(
+                        f"peer {peer.peer_id}: holder {holder_id} is dead or unknown"
+                    )
+                    continue
+                alive += 1
+                if holder.online:
+                    if invisible_since is not None:
+                        problems.append(
+                            f"peer {peer.peer_id}: holder {holder_id} online "
+                            "but marked invisible"
+                        )
+                    visible += 1
+                mirror = holder.hosted_free if peer.is_observer else holder.hosted
+                if peer.peer_id not in mirror:
+                    problems.append(
+                        f"peer {peer.peer_id}: holder {holder_id} misses back-link"
+                    )
+            if visible != archive.visible:
+                problems.append(
+                    f"peer {peer.peer_id}: visible counter {archive.visible} != "
+                    f"recount {visible}"
+                )
+            if alive != archive.alive:
+                problems.append(
+                    f"peer {peer.peer_id}: alive counter {archive.alive} != "
+                    f"recount {alive}"
+                )
+            if len(peer.hosted) > self.config.quota:
+                problems.append(
+                    f"peer {peer.peer_id}: quota exceeded "
+                    f"({len(peer.hosted)} > {self.config.quota})"
+                )
+            for owner_id in peer.hosted | peer.hosted_free:
+                owner = self.population.peers.get(owner_id)
+                if owner is None or not owner.alive:
+                    problems.append(
+                        f"peer {peer.peer_id}: hosts for dead owner {owner_id}"
+                    )
+                elif peer.peer_id not in owner.archive.holders:
+                    problems.append(
+                        f"peer {peer.peer_id}: hosts for {owner_id} without "
+                        "forward link"
+                    )
+        return problems
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Convenience one-shot: build and run a simulation."""
+    return Simulation(config).run()

@@ -1,0 +1,114 @@
+"""Event queue of the round-based simulator.
+
+PeerSim (the paper's simulator) executes peers sequentially inside each
+round, in an order re-randomised every round.  We reproduce that with a
+priority queue keyed by ``(round, random_tiebreak, sequence)``: all
+events scheduled for the same round run in a random order, and the
+sequence number keeps the heap total-ordered even on tiebreak collisions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class EventKind(Enum):
+    """All event types the engine knows how to dispatch."""
+
+    JOIN = auto()            # a fresh peer enters the system
+    DEATH = auto()           # a peer leaves definitively
+    TOGGLE = auto()          # a peer's online/offline session flips
+    PLACEMENT = auto()       # initial (or post-loss) upload of all n blocks
+    REPAIR_CHECK = auto()    # re-evaluate an archive against the threshold
+    SAMPLE = auto()          # periodic metrics sampling
+    TOP_UP = auto()          # proactive-replication baseline (A4) top-up tick
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event.
+
+    ``peer_id`` is the subject peer (ignored for SAMPLE events).
+    """
+
+    kind: EventKind
+    peer_id: int = -1
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    round: int
+    tiebreak: float
+    sequence: int
+    event: Event = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Min-heap of events with random intra-round ordering."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._heap: list = []
+        self._rng = rng
+        self._sequence = itertools.count()
+        self._size = 0
+
+    def schedule(self, round_number: int, event: Event) -> _QueueEntry:
+        """Add an event; returns a handle usable with :meth:`cancel`."""
+        if round_number < 0:
+            raise ValueError("cannot schedule in a negative round")
+        entry = _QueueEntry(
+            round=round_number,
+            tiebreak=float(self._rng.random()),
+            sequence=next(self._sequence),
+            event=event,
+        )
+        heapq.heappush(self._heap, entry)
+        self._size += 1
+        return entry
+
+    def cancel(self, entry: _QueueEntry) -> None:
+        """Lazily cancel a scheduled event (skipped when popped)."""
+        if not entry.cancelled:
+            entry.cancelled = True
+            self._size -= 1
+
+    def pop(self) -> Optional[Tuple[int, Event]]:
+        """Remove and return the next live event as ``(round, event)``."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._size -= 1
+            return entry.round, entry.event
+        return None
+
+    def peek_round(self) -> Optional[int]:
+        """Round of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].round
+
+    def drain_until(self, last_round: int) -> Iterator[Tuple[int, Event]]:
+        """Yield events up to and including ``last_round``, in order."""
+        while True:
+            upcoming = self.peek_round()
+            if upcoming is None or upcoming > last_round:
+                return
+            item = self.pop()
+            if item is not None:
+                yield item
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0

@@ -1,0 +1,121 @@
+"""Export of simulation results to plain data structures and CSV text.
+
+Experiments persist their outputs through these helpers so that
+EXPERIMENTS.md and external plotting tools consume one stable format.
+No third-party serialisation is involved: rows are lists, tables are
+dicts, CSV is text.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Sequence, Tuple
+
+from .engine import SimulationResult
+
+
+def result_summary(result: SimulationResult) -> Dict[str, object]:
+    """Flat summary of one run (config echo + headline metrics)."""
+    config = result.config
+    return {
+        "population": config.population,
+        "rounds": config.rounds,
+        "k": config.data_blocks,
+        "n": config.total_blocks,
+        "repair_threshold": config.repair_threshold,
+        "quota": config.quota,
+        "strategy": config.selection_strategy,
+        "seed": config.seed,
+        "peers_created": result.peers_created,
+        "deaths": result.deaths,
+        "total_repairs": result.metrics.total_repairs,
+        "total_losses": result.metrics.total_losses,
+        "total_placements": result.metrics.total_placements,
+        "starved_repairs": result.metrics.starved_repairs,
+        "wall_clock_seconds": round(result.wall_clock_seconds, 3),
+    }
+
+
+def rates_rows(result: SimulationResult) -> List[List[object]]:
+    """Per-category rate rows: category, repairs/1000, losses/1000, counts."""
+    rows = []
+    for name, values in result.metrics.rates_table().items():
+        rows.append(
+            [
+                name,
+                round(values["repairs_per_1000"], 5),
+                round(values["losses_per_1000"], 5),
+                int(values["repairs"]),
+                int(values["losses"]),
+                int(values["blocked"]),
+            ]
+        )
+    return rows
+
+
+def series_to_csv(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as CSV text (comma-separated, newline-terminated)."""
+    if any(len(row) != len(header) for row in rows):
+        raise ValueError("every row must match the header length")
+    buffer = io.StringIO()
+    buffer.write(",".join(str(column) for column in header) + "\n")
+    for row in rows:
+        buffer.write(",".join(str(column) for column in row) + "\n")
+    return buffer.getvalue()
+
+
+def observer_series_rows(
+    result: SimulationResult, observer_names: Sequence[str]
+) -> List[List[object]]:
+    """Figure 3 rows: round, then one cumulative-repairs column per observer."""
+    by_observer: Dict[str, Dict[int, int]] = {
+        name: dict(result.metrics.observer_series(name)) for name in observer_names
+    }
+    rounds = sorted({point.round for point in result.metrics.series})
+    rows = []
+    for round_number in rounds:
+        row: List[object] = [round_number]
+        for name in observer_names:
+            row.append(by_observer[name].get(round_number, 0))
+        rows.append(row)
+    return rows
+
+
+def category_loss_rows(result: SimulationResult) -> List[List[object]]:
+    """Figure 4 rows: round, then cumulative losses-per-peer per category."""
+    names = result.config.categories.names()
+    series: Dict[str, Dict[int, float]] = {
+        name: dict(result.metrics.losses_per_peer_series(name)) for name in names
+    }
+    rounds = sorted({point.round for point in result.metrics.series})
+    rows = []
+    for round_number in rounds:
+        row: List[object] = [round_number]
+        for name in names:
+            row.append(round(series[name].get(round_number, 0.0), 6))
+        rows.append(row)
+    return rows
+
+
+def threshold_sweep_rows(
+    results_by_threshold: Dict[int, SimulationResult], metric: str
+) -> Tuple[List[str], List[List[object]]]:
+    """Figure 1/2 rows: threshold, then one rate column per category.
+
+    ``metric`` selects ``"repairs"`` (figure 1) or ``"losses"`` (figure 2).
+    """
+    if metric not in {"repairs", "losses"}:
+        raise ValueError(f"metric must be 'repairs' or 'losses', got {metric!r}")
+    any_result = next(iter(results_by_threshold.values()))
+    names = any_result.config.categories.names()
+    header = ["threshold"] + [f"{name} /1000" for name in names]
+    rows = []
+    for threshold in sorted(results_by_threshold):
+        result = results_by_threshold[threshold]
+        rates = (
+            result.repair_rates() if metric == "repairs" else result.loss_rates()
+        )
+        rows.append([threshold] + [round(rates[name], 5) for name in names])
+    return header, rows

@@ -1,0 +1,89 @@
+"""Tests for result aggregation across seeds and sweeps."""
+
+import pytest
+
+from repro.analysis.aggregate import (
+    Aggregate,
+    aggregate_loss_rates,
+    aggregate_repair_rates,
+    run_replications,
+    sweep_rates,
+    threshold_sweep,
+)
+from repro.sim.config import SimulationConfig
+
+
+def small_config():
+    return SimulationConfig(
+        population=60,
+        rounds=400,
+        data_blocks=8,
+        parity_blocks=8,
+        repair_threshold=10,
+        quota=24,
+        seed=0,
+    )
+
+
+class TestAggregate:
+    def test_single_value(self):
+        aggregate = Aggregate.of([5.0])
+        assert aggregate.mean == 5.0
+        assert aggregate.std == 0.0
+        assert aggregate.count == 1
+
+    def test_known_statistics(self):
+        aggregate = Aggregate.of([1.0, 2.0, 3.0])
+        assert aggregate.mean == pytest.approx(2.0)
+        assert aggregate.std == pytest.approx(1.0)
+        assert aggregate.minimum == 1.0
+        assert aggregate.maximum == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate.of([])
+
+
+class TestReplications:
+    def test_one_result_per_seed(self):
+        results = run_replications(small_config(), seeds=[0, 1])
+        assert len(results) == 2
+        assert results[0].config.seed == 0
+        assert results[1].config.seed == 1
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_replications(small_config(), seeds=[])
+
+    def test_aggregate_covers_categories(self):
+        results = run_replications(small_config(), seeds=[0, 1])
+        rates = aggregate_repair_rates(results)
+        assert set(rates) == set(small_config().categories.names())
+        assert all(a.count == 2 for a in rates.values())
+
+    def test_loss_aggregation(self):
+        results = run_replications(small_config(), seeds=[0])
+        rates = aggregate_loss_rates(results)
+        assert all(a.mean >= 0 for a in rates.values())
+
+
+class TestThresholdSweep:
+    def test_sweep_structure(self):
+        sweep = threshold_sweep(small_config(), thresholds=[9, 12], seeds=[0])
+        assert set(sweep) == {9, 12}
+        assert sweep[9][0].config.repair_threshold == 9
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_sweep(small_config(), thresholds=[], seeds=[0])
+
+    def test_sweep_rates_repairs(self):
+        sweep = threshold_sweep(small_config(), thresholds=[9, 12], seeds=[0])
+        rates = sweep_rates(sweep, metric="repairs")
+        assert set(rates) == {9, 12}
+        assert "Newcomers" in rates[9]
+
+    def test_sweep_rates_bad_metric(self):
+        sweep = threshold_sweep(small_config(), thresholds=[9], seeds=[0])
+        with pytest.raises(ValueError):
+            sweep_rates(sweep, metric="vibes")

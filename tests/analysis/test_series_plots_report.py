@@ -1,0 +1,151 @@
+"""Tests for series helpers, ASCII plots and report tables."""
+
+import pytest
+
+from repro.analysis.aggregate import Aggregate
+from repro.analysis.plots import ascii_chart, sparkline
+from repro.analysis.report import (
+    dict_report,
+    format_aggregate,
+    format_table,
+    rates_report,
+    sweep_report,
+)
+from repro.analysis.series import (
+    downsample,
+    final_value,
+    growth_between,
+    is_non_decreasing,
+    to_days,
+    validate_series,
+    value_at,
+)
+
+
+class TestSeries:
+    def test_validate_accepts_monotone_x(self):
+        validate_series([(0, 1), (1, 5), (1, 2)])
+
+    def test_validate_rejects_backwards_x(self):
+        with pytest.raises(ValueError):
+            validate_series([(2, 1), (1, 1)])
+
+    def test_is_non_decreasing(self):
+        assert is_non_decreasing([(0, 1), (1, 1), (2, 3)])
+        assert not is_non_decreasing([(0, 3), (1, 1)])
+
+    def test_final_value(self):
+        assert final_value([(0, 1), (5, 9)]) == 9
+        assert final_value([]) == 0.0
+
+    def test_downsample_keeps_ends(self):
+        series = [(i, i * i) for i in range(100)]
+        thinned = downsample(series, 10)
+        assert thinned[0] == series[0]
+        assert thinned[-1] == series[-1]
+        assert len(thinned) <= 11
+
+    def test_downsample_short_series_untouched(self):
+        series = [(0, 1), (1, 2)]
+        assert downsample(series, 10) == series
+
+    def test_downsample_validates(self):
+        with pytest.raises(ValueError):
+            downsample([(0, 1)], 1)
+
+    def test_to_days(self):
+        assert to_days([(48, 5)]) == [(2.0, 5)]
+        with pytest.raises(ValueError):
+            to_days([(1, 1)], rounds_per_day=0)
+
+    def test_value_at_step_interpolation(self):
+        series = [(10, 1.0), (20, 2.0)]
+        assert value_at(series, 5) == 0.0
+        assert value_at(series, 15) == 1.0
+        assert value_at(series, 25) == 2.0
+
+    def test_growth_between(self):
+        series = [(0, 0.0), (10, 4.0), (20, 10.0)]
+        assert growth_between(series, 10, 20) == pytest.approx(6.0)
+        with pytest.raises(ValueError):
+            growth_between(series, 20, 10)
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_axes(self):
+        chart = ascii_chart(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "legend:" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_log_scale_skips_non_positive(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 10), (2, 100)]}, log_y=True)
+        assert "legend:" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"a": []}, title="t")
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 1)]}, width=5, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(0, 5), (10, 5)]})
+        assert "flat" in chart
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        line = sparkline([3, 3, 3])
+        assert len(set(line)) == 1
+
+    def test_trend_visible(self):
+        line = sparkline(list(range(50)), width=25)
+        assert line[0] != line[-1]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_format_table_markdown(self):
+        text = format_table(["a"], [["x"]], markdown=True)
+        assert text.startswith("| a")
+        assert "|-" in text.split("\n")[1]
+
+    def test_format_table_validates(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_aggregate(self):
+        text = format_aggregate(Aggregate.of([1.0, 3.0]))
+        assert "±" in text
+
+    def test_rates_report(self):
+        rates = {"Newcomers": Aggregate.of([0.5, 0.7])}
+        text = rates_report(rates, "repairs/1000")
+        assert "Newcomers" in text
+        assert "repairs/1000" in text
+
+    def test_sweep_report(self):
+        sweep = {
+            9: {"Newcomers": Aggregate.of([1.0])},
+            12: {"Newcomers": Aggregate.of([2.0])},
+        }
+        text = sweep_report(sweep, ["Newcomers", "Ghost"])
+        assert "9" in text and "12" in text
+        assert "-" in text  # missing category placeholder
+
+    def test_dict_report(self):
+        text = dict_report("title", {"k": "v"})
+        assert text.startswith("title")
+        assert "k" in text

@@ -1,0 +1,138 @@
+"""Tests for the statistical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_mean,
+    difference_interval,
+    dominates,
+    monotone_trend,
+    summarize_ratio,
+)
+
+
+class TestBootstrapMean:
+    def test_interval_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, 200)
+        interval = bootstrap_mean(samples)
+        assert interval.contains(10.0)
+        assert interval.lower < interval.mean < interval.upper
+
+    def test_tight_for_constant_data(self):
+        interval = bootstrap_mean([5.0] * 20)
+        assert interval.lower == interval.upper == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], resamples=10)
+
+    def test_excludes_zero(self):
+        interval = bootstrap_mean([3.0, 4.0, 5.0, 4.5])
+        assert interval.excludes_zero()
+
+
+class TestDifferenceInterval:
+    def test_clear_separation(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(10, 1, 100)
+        b = rng.normal(5, 1, 100)
+        interval = difference_interval(a, b)
+        assert interval.excludes_zero()
+        assert interval.mean == pytest.approx(5.0, abs=0.5)
+
+    def test_overlapping_groups(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(5, 3, 30)
+        b = rng.normal(5, 3, 30)
+        interval = difference_interval(a, b)
+        assert interval.contains(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            difference_interval([], [1.0])
+
+
+class TestDominates:
+    def test_clear_dominance(self):
+        a = list(range(50, 100))
+        b = list(range(0, 50))
+        significant, p_value = dominates(a, b)
+        assert significant
+        assert p_value < 0.001
+
+    def test_reverse_is_not_significant(self):
+        a = list(range(0, 50))
+        b = list(range(50, 100))
+        significant, p_value = dominates(a, b)
+        assert not significant
+        assert p_value > 0.5
+
+    def test_identical_constant_groups(self):
+        significant, p_value = dominates([3.0, 3.0], [3.0, 3.0])
+        assert not significant
+        assert p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dominates([], [1.0])
+        with pytest.raises(ValueError):
+            dominates([1.0], [1.0], significance=0)
+
+
+class TestMonotoneTrend:
+    def test_perfect_increase(self):
+        tau, p_value = monotone_trend([1, 2, 3, 4, 5], [10, 20, 30, 40, 50])
+        assert tau == pytest.approx(1.0)
+        assert p_value < 0.05
+
+    def test_perfect_decrease(self):
+        tau, _ = monotone_trend([1, 2, 3, 4], [9, 7, 4, 1])
+        assert tau == pytest.approx(-1.0)
+
+    def test_no_trend(self):
+        tau, _ = monotone_trend([1, 2, 3, 4, 5, 6], [3, 1, 4, 1, 5, 2])
+        assert abs(tau) < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monotone_trend([1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            monotone_trend([1, 2, 3], [1, 2])
+
+
+class TestSummarizeRatio:
+    def test_paired_ratio(self):
+        assert summarize_ratio([10, 20], [2, 4]) == pytest.approx(5.0)
+
+    def test_zero_denominators_skipped(self):
+        assert summarize_ratio([10, 20], [0, 4]) == pytest.approx(5.0)
+
+    def test_all_zero_denominators(self):
+        assert summarize_ratio([10], [0]) == float("inf")
+        assert summarize_ratio([0], [0]) == 1.0
+
+
+class TestOnSimulationData:
+    def test_fig1_trend_is_statistically_monotone(self):
+        """The figure 1 claim as a Kendall-tau statement on real runs."""
+        from repro.analysis.aggregate import sweep_rates, threshold_sweep
+        from repro.sim.config import SimulationConfig
+
+        config = SimulationConfig(
+            population=120, rounds=1500, data_blocks=8, parity_blocks=8,
+            repair_threshold=10, quota=24, seed=0,
+        )
+        sweep = threshold_sweep(config, thresholds=[9, 10, 12, 14], seeds=[0])
+        rates = sweep_rates(sweep, "repairs")
+        thresholds = sorted(rates)
+        totals = [
+            sum(agg.mean for agg in rates[t].values()) for t in thresholds
+        ]
+        tau, _ = monotone_trend(thresholds, totals)
+        assert tau > 0.5

@@ -1,0 +1,67 @@
+"""Tests for the automated threshold-tuning rule."""
+
+import pytest
+
+from repro.analysis.aggregate import Aggregate
+from repro.analysis.tuning import choose_threshold
+
+
+def sweep(values):
+    """Build a fake sweep: threshold -> {'all': Aggregate(value)}."""
+    return {t: {"all": Aggregate.of([v])} for t, v in values.items()}
+
+
+class TestChooseThreshold:
+    def test_paper_scenario(self):
+        """Losses flatten by the middle of the sweep; repairs keep
+        growing: pick the smallest flat-loss threshold (the paper's 148)."""
+        losses = sweep({132: 2.5, 140: 1.0, 148: 0.05, 156: 0.05, 180: 0.05})
+        repairs = sweep({132: 0.5, 140: 0.8, 148: 1.2, 156: 2.0, 180: 8.0})
+        recommendation = choose_threshold(repairs, losses)
+        assert recommendation.threshold == 148
+        assert recommendation.candidates == (148, 156, 180)
+
+    def test_explicit_acceptable_loss(self):
+        losses = sweep({10: 3.0, 12: 1.5, 14: 0.4})
+        repairs = sweep({10: 1.0, 12: 2.0, 14: 3.0})
+        recommendation = choose_threshold(repairs, losses, acceptable_loss=2.0)
+        assert recommendation.threshold == 12
+
+    def test_all_lossless_picks_smallest(self):
+        losses = sweep({10: 0.0, 12: 0.0})
+        repairs = sweep({10: 1.0, 12: 2.0})
+        assert choose_threshold(repairs, losses).threshold == 10
+
+    def test_mismatched_sweeps_rejected(self):
+        with pytest.raises(ValueError):
+            choose_threshold(sweep({10: 1.0}), sweep({12: 1.0}))
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            choose_threshold({}, {})
+
+    def test_explain_mentions_threshold(self):
+        losses = sweep({10: 0.0})
+        repairs = sweep({10: 1.0})
+        text = choose_threshold(repairs, losses).explain()
+        assert "threshold 10" in text
+
+    def test_on_real_sweep(self):
+        """End to end on simulation output: the rule lands on a
+        threshold whose losses are at the sweep's floor."""
+        from repro.analysis.aggregate import sweep_rates, threshold_sweep
+        from repro.sim.config import SimulationConfig
+
+        config = SimulationConfig(
+            population=100, rounds=1200, data_blocks=8, parity_blocks=8,
+            repair_threshold=10, quota=24, seed=0,
+        )
+        runs = threshold_sweep(config, thresholds=[9, 11, 13], seeds=[0])
+        repairs = sweep_rates(runs, "repairs")
+        losses = sweep_rates(runs, "losses")
+        recommendation = choose_threshold(repairs, losses)
+        assert recommendation.threshold in (9, 11, 13)
+        floor = min(
+            sum(a.mean for a in losses[t].values()) for t in (9, 11, 13)
+        )
+        assert recommendation.loss_rate == pytest.approx(floor, abs=1e-9)

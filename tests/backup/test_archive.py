@@ -1,0 +1,197 @@
+"""Tests for the archive container format and session-key cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backup.archive import (
+    Archive,
+    ArchiveBuilder,
+    ArchiveFormatError,
+    FileEntry,
+    build_metadata_archive,
+    decrypt,
+    encrypt,
+    iter_chunks,
+    new_session_key,
+    pack_entries,
+    parse_metadata_archive,
+    unpack_entries,
+)
+
+
+class TestCipher:
+    def test_roundtrip(self):
+        key = new_session_key()
+        payload = b"secret bytes" * 20
+        assert decrypt(encrypt(payload, key), key) == payload
+
+    def test_wrong_key_garbles(self):
+        payload = b"secret bytes" * 20
+        garbled = decrypt(encrypt(payload, b"key-a" * 7), b"key-b" * 7)
+        assert garbled != payload
+
+    def test_ciphertext_differs_from_plaintext(self):
+        payload = b"hello world hello world"
+        assert encrypt(payload, new_session_key()) != payload
+
+    def test_empty_payload(self):
+        key = new_session_key()
+        assert encrypt(b"", key) == b""
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt(b"data", b"")
+
+    def test_keys_are_random(self):
+        assert new_session_key() != new_session_key()
+        assert len(new_session_key()) == 32
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.binary(max_size=500), key=st.binary(min_size=1, max_size=64))
+    def test_involution_property(self, payload, key):
+        assert encrypt(encrypt(payload, key), key) == payload
+
+
+class TestEntries:
+    def test_pack_unpack_roundtrip(self):
+        entries = [
+            FileEntry("a.txt", b"alpha"),
+            FileEntry("dir/b.bin", bytes(range(256))),
+            FileEntry("empty", b""),
+        ]
+        assert unpack_entries(pack_entries(entries)) == entries
+
+    def test_unicode_names(self):
+        entries = [FileEntry("fichier-été.txt", b"data")]
+        assert unpack_entries(pack_entries(entries)) == entries
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            FileEntry("", b"data")
+
+    def test_truncated_header(self):
+        payload = pack_entries([FileEntry("a", b"abc")])
+        with pytest.raises(ArchiveFormatError):
+            unpack_entries(payload[:-5] + b"\xff" * 20)
+
+    def test_truncated_body(self):
+        payload = pack_entries([FileEntry("a", b"abcdef")])
+        with pytest.raises(ArchiveFormatError):
+            unpack_entries(payload[:-2])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(min_size=1, max_size=20),
+                st.binary(max_size=200),
+            ),
+            max_size=8,
+        )
+    )
+    def test_roundtrip_property(self, raw):
+        entries = [FileEntry(name, content) for name, content in raw]
+        assert unpack_entries(pack_entries(entries)) == entries
+
+
+class TestArchiveBuilder:
+    def test_seals_on_size_limit(self):
+        builder = ArchiveBuilder(max_size=256, encrypt_payloads=False)
+        sealed = []
+        for i in range(10):
+            sealed.extend(builder.add_file(f"f{i}", b"y" * 100))
+        sealed.extend(builder.flush())
+        assert len(sealed) >= 2
+        for archive in sealed:
+            assert archive.size <= 256
+
+    def test_archive_ids_sequential(self):
+        builder = ArchiveBuilder(max_size=256, owner_tag="me", encrypt_payloads=False)
+        builder.add_file("a", b"x" * 100)
+        builder.add_file("b", b"x" * 100)
+        builder.add_file("c", b"x" * 100)
+        sealed = builder.flush()
+        assert all(a.archive_id.startswith("me-archive-") for a in sealed)
+
+    def test_oversized_file_rejected(self):
+        builder = ArchiveBuilder(max_size=64)
+        with pytest.raises(ValueError):
+            builder.add_file("big", b"z" * 100)
+
+    def test_flush_empty_is_empty(self):
+        assert ArchiveBuilder(max_size=256).flush() == []
+
+    def test_encrypted_archives_open(self):
+        builder = ArchiveBuilder(max_size=1024, encrypt_payloads=True)
+        builder.add_file("secret.txt", b"top secret")
+        (archive,) = builder.flush()
+        assert archive.session_key
+        entries = archive.open()
+        assert entries == [FileEntry("secret.txt", b"top secret")]
+
+    def test_unencrypted_archives_open(self):
+        builder = ArchiveBuilder(max_size=1024, encrypt_payloads=False)
+        builder.add_file("public.txt", b"readable")
+        (archive,) = builder.flush()
+        assert archive.session_key == b""
+        assert archive.open() == [FileEntry("public.txt", b"readable")]
+
+    def test_too_small_max_size(self):
+        with pytest.raises(ValueError):
+            ArchiveBuilder(max_size=4)
+
+    def test_contents_preserved_across_rollover(self):
+        builder = ArchiveBuilder(max_size=300, encrypt_payloads=False)
+        files = {f"f{i}": bytes([i]) * 80 for i in range(8)}
+        archives = []
+        for name, content in files.items():
+            archives.extend(builder.add_file(name, content))
+        archives.extend(builder.flush())
+        recovered = {}
+        for archive in archives:
+            for entry in archive.open():
+                recovered[entry.name] = entry.content
+        assert recovered == files
+
+
+class TestMetadataArchive:
+    def test_roundtrip(self):
+        index = {
+            "arch-0": [("a.txt", 100), ("b.txt", 3)],
+            "arch-1": [("c.bin", 999)],
+        }
+        archive = build_metadata_archive("me", index)
+        assert archive.is_metadata
+        assert parse_metadata_archive(archive) == index
+
+    def test_empty_index(self):
+        archive = build_metadata_archive("me", {})
+        assert parse_metadata_archive(archive) == {}
+
+    def test_non_metadata_rejected(self):
+        plain = Archive(archive_id="x", payload=b"data")
+        with pytest.raises(ArchiveFormatError):
+            parse_metadata_archive(plain)
+
+    def test_malformed_line(self):
+        bad = Archive(archive_id="x", payload=b"only-one-field", is_metadata=True)
+        with pytest.raises(ArchiveFormatError):
+            parse_metadata_archive(bad)
+
+
+class TestIterChunks:
+    def test_exact_division(self):
+        chunks = list(iter_chunks(b"abcdef", 2))
+        assert chunks == [b"ab", b"cd", b"ef"]
+
+    def test_remainder(self):
+        chunks = list(iter_chunks(b"abcde", 2))
+        assert chunks == [b"ab", b"cd", b"e"]
+
+    def test_empty(self):
+        assert list(iter_chunks(b"", 4)) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(b"abc", 0))

@@ -1,0 +1,150 @@
+"""Tests for the byte-level swarm and node plumbing."""
+
+import pytest
+
+from repro.backup.client import BackupSwarm
+from repro.net.message import (
+    AvailabilityProbe,
+    AvailabilityReport,
+    PartnershipAnswer,
+    PartnershipProposal,
+    StoreReply,
+    StoreRequest,
+)
+
+
+@pytest.fixture
+def swarm():
+    s = BackupSwarm(data_blocks=4, parity_blocks=4, quota_blocks=8, seed=3)
+    for _ in range(6):
+        s.add_node()
+    return s
+
+
+class TestSwarmMembership:
+    def test_sequential_peer_ids(self, swarm):
+        assert sorted(swarm.nodes) == list(range(6))
+
+    def test_nodes_registered_on_transport_and_dht(self, swarm):
+        assert len(swarm.transport) == 6
+        assert len(swarm.dht) == 6
+
+    def test_default_user_keys_distinct(self, swarm):
+        keys = {node.user_key for node in swarm.nodes.values()}
+        assert len(keys) == 6
+
+    def test_custom_user_key(self, swarm):
+        node = swarm.add_node(user_key=b"my-key" * 6)
+        assert node.user_key == b"my-key" * 6
+
+    def test_set_online_everywhere(self, swarm):
+        swarm.set_online(2, False)
+        assert not swarm.nodes[2].online
+        assert not swarm.transport.is_online(2)
+        assert swarm.transport.try_send(
+            StoreRequest(sender=0, recipient=2, archive_id="a", payload=b"x")
+        ) is None
+
+    def test_default_threshold_midway(self, swarm):
+        # k=4, m=4 -> threshold defaults to k + ceil(m/2) = 6.
+        assert swarm.policy.repair_threshold == 6
+
+
+class TestClockAndAges:
+    def test_ages_grow_with_ticks(self, swarm):
+        assert swarm.nodes[0].age() == 0
+        swarm.tick(48)
+        assert swarm.nodes[0].age() == 48
+
+    def test_later_joiners_are_younger(self, swarm):
+        swarm.tick(100)
+        newcomer = swarm.add_node()
+        assert newcomer.age() == 0
+        assert swarm.nodes[0].age() == 100
+
+    def test_availability_tracks_downtime(self, swarm):
+        swarm.set_online(1, False)
+        swarm.tick(50)
+        swarm.set_online(1, True)
+        swarm.tick(50)
+        assert swarm.nodes[1].availability() == pytest.approx(0.5)
+
+    def test_negative_tick_rejected(self, swarm):
+        with pytest.raises(ValueError):
+            swarm.tick(-1)
+
+
+class TestNodeHandlers:
+    def test_store_then_fetch(self, swarm):
+        reply = swarm.transport.send(
+            StoreRequest(sender=0, recipient=1, archive_id="a",
+                         block_index=2, payload=b"block-bytes")
+        )
+        assert isinstance(reply, StoreReply) and reply.accepted
+        fetched = swarm.nodes[1].store.fetch(0, "a", 2)
+        assert fetched.payload == b"block-bytes"
+
+    def test_store_refused_when_quota_full(self, swarm):
+        for index in range(8):
+            swarm.transport.send(
+                StoreRequest(sender=0, recipient=1, archive_id="a",
+                             block_index=index, payload=b"x")
+            )
+        overflow = swarm.transport.send(
+            StoreRequest(sender=0, recipient=1, archive_id="b",
+                         block_index=0, payload=b"x")
+        )
+        assert not overflow.accepted
+        assert "full" in overflow.reason
+
+    def test_availability_probe(self, swarm):
+        swarm.tick(10)
+        reply = swarm.transport.send(
+            AvailabilityProbe(sender=0, recipient=1, window_rounds=100)
+        )
+        assert isinstance(reply, AvailabilityReport)
+        assert reply.availability == 1.0
+
+    def test_partnership_proposal_answered(self, swarm):
+        reply = swarm.transport.send(
+            PartnershipProposal(sender=0, recipient=1, proposer_age=5.0)
+        )
+        assert isinstance(reply, PartnershipAnswer)
+
+    def test_full_node_refuses_partnership(self, swarm):
+        for index in range(8):
+            swarm.transport.send(
+                StoreRequest(sender=0, recipient=1, archive_id="a",
+                             block_index=index, payload=b"x")
+            )
+        reply = swarm.transport.send(
+            PartnershipProposal(sender=2, recipient=1, proposer_age=5.0)
+        )
+        assert not reply.accepted
+
+
+class TestCandidates:
+    def test_excludes_owner_and_offline_and_full(self, swarm):
+        owner = swarm.nodes[0]
+        swarm.set_online(1, False)
+        for index in range(8):
+            swarm.transport.send(
+                StoreRequest(sender=3, recipient=2, archive_id="a",
+                             block_index=index, payload=b"x")
+            )
+        candidates = {c.peer_id for c in swarm.candidates_for(owner)}
+        assert 0 not in candidates          # the owner itself
+        assert 1 not in candidates          # offline
+        assert 2 not in candidates          # quota full
+        assert {3, 4, 5} <= candidates
+
+    def test_explicit_exclusions(self, swarm):
+        owner = swarm.nodes[0]
+        candidates = {c.peer_id for c in swarm.candidates_for(owner, exclude={4, 5})}
+        assert not candidates & {4, 5}
+
+    def test_candidates_carry_age_and_availability(self, swarm):
+        swarm.tick(24)
+        candidate = swarm.candidates_for(swarm.nodes[0])[0]
+        assert candidate.age == 24
+        assert candidate.availability == 1.0

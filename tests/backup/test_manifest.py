@@ -1,0 +1,123 @@
+"""Tests for the master block serialisation."""
+
+import pytest
+
+from repro.backup.manifest import (
+    ManifestError,
+    MasterBlock,
+    master_block_key,
+)
+
+
+def sample_master() -> MasterBlock:
+    master = MasterBlock(owner_id=42)
+    master.add_archive(
+        archive_id="peer42-archive-000000",
+        is_metadata=False,
+        size=4096,
+        partners=[3, 7, 9, 11],
+        session_key=b"k" * 32,
+        user_key=b"user-key" * 4,
+    )
+    master.add_archive(
+        archive_id="peer42-metadata",
+        is_metadata=True,
+        size=128,
+        partners=[5, 6, 7, 8],
+        session_key=b"",
+        user_key=b"user-key" * 4,
+    )
+    return master
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        master = sample_master()
+        recovered = MasterBlock.deserialize(master.serialize())
+        assert recovered.owner_id == 42
+        assert set(recovered.archives) == set(master.archives)
+        original = master.archives["peer42-archive-000000"]
+        restored = recovered.archives["peer42-archive-000000"]
+        assert restored.partners == original.partners
+        assert restored.size == original.size
+        assert restored.sealed_session_key == original.sealed_session_key
+
+    def test_session_key_roundtrip_through_user_key(self):
+        master = sample_master()
+        recovered = MasterBlock.deserialize(master.serialize())
+        record = recovered.archives["peer42-archive-000000"]
+        assert record.session_key(b"user-key" * 4) == b"k" * 32
+
+    def test_wrong_user_key_garbles_session_key(self):
+        recovered = MasterBlock.deserialize(sample_master().serialize())
+        record = recovered.archives["peer42-archive-000000"]
+        assert record.session_key(b"wrong" * 8) != b"k" * 32
+
+    def test_empty_session_key_stays_empty(self):
+        recovered = MasterBlock.deserialize(sample_master().serialize())
+        assert recovered.archives["peer42-metadata"].session_key(b"any") == b""
+
+    def test_tamper_detection(self):
+        payload = bytearray(sample_master().serialize())
+        payload[20] ^= 0xFF
+        with pytest.raises(ManifestError):
+            MasterBlock.deserialize(bytes(payload))
+
+    def test_truncation_detection(self):
+        payload = sample_master().serialize()
+        with pytest.raises(ManifestError):
+            MasterBlock.deserialize(payload[: len(payload) // 2])
+
+    def test_bad_magic(self):
+        payload = sample_master().serialize()
+        with pytest.raises(ManifestError):
+            MasterBlock.deserialize(b"XXXXXXXX" + payload[8:])
+
+    def test_too_short(self):
+        with pytest.raises(ManifestError):
+            MasterBlock.deserialize(b"short")
+
+    def test_empty_master_block(self):
+        master = MasterBlock(owner_id=1)
+        recovered = MasterBlock.deserialize(master.serialize())
+        assert recovered.archives == {}
+
+
+class TestUpdates:
+    def test_update_partner(self):
+        master = sample_master()
+        master.update_partner("peer42-archive-000000", 2, 99)
+        assert master.archives["peer42-archive-000000"].partners[2] == 99
+
+    def test_update_unknown_archive(self):
+        with pytest.raises(ManifestError):
+            sample_master().update_partner("nope", 0, 1)
+
+    def test_update_out_of_range_index(self):
+        with pytest.raises(ManifestError):
+            sample_master().update_partner("peer42-archive-000000", 99, 1)
+
+    def test_metadata_archives_filter(self):
+        metadata = sample_master().metadata_archives()
+        assert [record.archive_id for record in metadata] == ["peer42-metadata"]
+
+    def test_add_archive_replaces(self):
+        master = sample_master()
+        master.add_archive(
+            archive_id="peer42-archive-000000",
+            is_metadata=False,
+            size=1,
+            partners=[1],
+            session_key=b"",
+            user_key=b"u",
+        )
+        assert master.archives["peer42-archive-000000"].partners == [1]
+
+
+class TestDhtKey:
+    def test_key_is_deterministic(self):
+        assert master_block_key(7) == master_block_key(7)
+        assert master_block_key(7) != master_block_key(8)
+
+    def test_method_matches_function(self):
+        assert sample_master().dht_key() == master_block_key(42)

@@ -1,0 +1,163 @@
+"""Tests for the availability monitor and the partnership handshake."""
+
+import numpy as np
+import pytest
+
+from repro.backup.monitor import AvailabilityMonitor
+from repro.backup.partnership import PartnershipProtocol, answer_proposal
+from repro.core.acceptance import AcceptancePolicy, UniformAcceptancePolicy
+from repro.net.message import (
+    AvailabilityProbe,
+    AvailabilityReport,
+    PartnershipProposal,
+)
+from repro.net.transport import InMemoryTransport
+
+
+def report_handler(peer_id, availability=0.8):
+    def handle(message):
+        if isinstance(message, AvailabilityProbe):
+            return AvailabilityReport(
+                sender=peer_id,
+                recipient=message.sender,
+                availability=availability,
+                observed_rounds=message.window_rounds,
+            )
+        return None
+
+    return handle
+
+
+@pytest.fixture
+def transport():
+    t = InMemoryTransport()
+    t.register(1, report_handler(1))
+    t.register(2, report_handler(2, availability=0.4))
+    return t
+
+
+class TestAvailabilityMonitor:
+    def test_probe_online_partner(self, transport):
+        monitor = AvailabilityMonitor(transport, owner_id=1, window_rounds=100)
+        report = monitor.probe(2)
+        assert report is not None
+        assert report.availability == 0.4
+        assert monitor.is_visible(2)
+
+    def test_probe_offline_partner(self, transport):
+        transport.set_online(2, False)
+        monitor = AvailabilityMonitor(transport, owner_id=1, window_rounds=100)
+        assert monitor.probe(2) is None
+        assert not monitor.is_visible(2)
+
+    def test_departure_threshold(self, transport):
+        transport.set_online(2, False)
+        monitor = AvailabilityMonitor(
+            transport, owner_id=1, window_rounds=100, departure_threshold=3
+        )
+        for _ in range(2):
+            monitor.probe(2)
+        assert not monitor.presumed_departed(2)
+        monitor.probe(2)
+        assert monitor.presumed_departed(2)
+
+    def test_reappearance_resets_misses(self, transport):
+        monitor = AvailabilityMonitor(
+            transport, owner_id=1, window_rounds=100, departure_threshold=2
+        )
+        transport.set_online(2, False)
+        monitor.probe(2)
+        transport.set_online(2, True)
+        monitor.probe(2)
+        assert monitor.ledger.record_for(2).consecutive_misses == 0
+
+    def test_measured_availability(self, transport):
+        monitor = AvailabilityMonitor(transport, owner_id=1, window_rounds=100)
+        assert monitor.measured_availability(2) is None
+        monitor.probe(2)
+        assert monitor.measured_availability(2) == 0.4
+
+    def test_validation(self, transport):
+        with pytest.raises(ValueError):
+            AvailabilityMonitor(transport, 1, window_rounds=0)
+        with pytest.raises(ValueError):
+            AvailabilityMonitor(transport, 1, window_rounds=10, departure_threshold=0)
+
+
+class TestAnswerProposal:
+    def proposal(self, age=100.0):
+        return PartnershipProposal(sender=5, recipient=6, proposer_age=age)
+
+    def test_full_store_refuses(self):
+        rng = np.random.default_rng(0)
+        answer = answer_proposal(
+            self.proposal(), own_age=0, acceptance=UniformAcceptancePolicy(),
+            rng=rng, has_capacity=False,
+        )
+        assert not answer.accepted
+
+    def test_uniform_acceptance_accepts(self):
+        rng = np.random.default_rng(0)
+        answer = answer_proposal(
+            self.proposal(), own_age=0, acceptance=UniformAcceptancePolicy(),
+            rng=rng, has_capacity=True,
+        )
+        assert answer.accepted
+        assert answer.recipient == 5
+
+    def test_old_candidate_rarely_accepts_newborn(self):
+        policy = AcceptancePolicy(age_cap=100)
+        rng = np.random.default_rng(0)
+        accepted = sum(
+            answer_proposal(
+                PartnershipProposal(sender=5, recipient=6, proposer_age=0.0),
+                own_age=100.0,
+                acceptance=policy,
+                rng=rng,
+                has_capacity=True,
+            ).accepted
+            for _ in range(2000)
+        )
+        # f(100, 0) = 1/100: about 1% acceptance.
+        assert accepted / 2000 == pytest.approx(0.01, abs=0.01)
+
+
+class TestPartnershipProtocol:
+    def test_mutual_agreement_with_uniform_policy(self, transport):
+        # Override handlers so candidates answer proposals.
+        policy = UniformAcceptancePolicy()
+        rng = np.random.default_rng(3)
+        transport.register(
+            2,
+            lambda m: answer_proposal(m, 50.0, policy, rng, True)
+            if isinstance(m, PartnershipProposal)
+            else None,
+        )
+        protocol = PartnershipProtocol(transport, policy, rng)
+        outcome = protocol.propose(1, 10.0, 2, 50.0)
+        assert outcome.agreed
+
+    def test_offline_candidate_is_network_failure(self, transport):
+        transport.set_online(2, False)
+        protocol = PartnershipProtocol(
+            transport, UniformAcceptancePolicy(), np.random.default_rng(0)
+        )
+        outcome = protocol.propose(1, 10.0, 2, 50.0)
+        assert not outcome.agreed
+        assert outcome.refused_by == "network"
+
+    def test_candidate_refusal(self, transport):
+        policy = AcceptancePolicy(age_cap=100)
+        rng = np.random.default_rng(1)
+        # Candidate is at the cap, proposer newborn: ~1% acceptance,
+        # so with a fixed seed the first answer is a refusal.
+        transport.register(
+            2,
+            lambda m: answer_proposal(m, 100.0, policy, rng, True)
+            if isinstance(m, PartnershipProposal)
+            else None,
+        )
+        protocol = PartnershipProtocol(transport, policy, rng)
+        outcome = protocol.propose(1, 0.0, 2, 100.0)
+        assert not outcome.agreed
+        assert outcome.refused_by == "candidate"

@@ -1,0 +1,178 @@
+"""Integration tests for the three tasks: backup, restore, maintenance."""
+
+import pytest
+
+from repro.backup.backup_task import BackupError, BackupTask
+from repro.backup.client import BackupSwarm
+from repro.backup.maintenance import MaintenanceTask
+from repro.backup.restore_task import RestoreError, RestoreTask, restore_files
+
+FILES = {
+    "docs/report.txt": b"quarterly numbers " * 40,
+    "photos/holiday.raw": bytes(range(256)) * 6,
+    "empty.txt": b"",
+}
+
+
+class TestBackupTask:
+    def test_backup_completes(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        report = BackupTask(owner, archive_size=2048).run(FILES)
+        assert report.complete
+        assert report.master_block_replicas >= 1
+
+    def test_blocks_on_distinct_partners(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        report = BackupTask(owner, archive_size=2048).run(FILES)
+        for placement in report.placements:
+            placed = [p for p in placement.partners if p >= 0]
+            assert len(placed) == len(set(placed))
+            assert owner.peer_id not in placed
+
+    def test_archives_recorded_in_master(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        report = BackupTask(owner, archive_size=2048).run(FILES)
+        assert set(owner.master.archives) == {
+            p.archive_id for p in report.placements
+        }
+
+    def test_metadata_archive_created(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        BackupTask(owner, archive_size=2048).run(FILES)
+        assert owner.master.metadata_archives()
+
+    def test_empty_backup_rejected(self, small_swarm):
+        with pytest.raises(BackupError):
+            BackupTask(small_swarm.nodes[0]).run({})
+
+    def test_blocks_actually_stored_on_partners(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        report = BackupTask(owner, archive_size=2048).run(FILES)
+        placement = report.placements[0]
+        for index, partner_id in enumerate(placement.partners):
+            block = small_swarm.nodes[partner_id].store.fetch(
+                owner.peer_id, placement.archive_id, index
+            )
+            assert block is not None and block.verify()
+
+    def test_large_file_chunked(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        big = {"huge.bin": bytes(range(256)) * 64}  # 16 KiB >> archive size
+        report = BackupTask(owner, archive_size=2048).run(big)
+        assert report.complete
+        restored = RestoreTask(small_swarm, owner.peer_id, owner.user_key).run()
+        assert restored.files == big
+
+
+class TestRestoreTask:
+    def test_disaster_restore(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        BackupTask(owner, archive_size=2048).run(FILES)
+        owner.local_archives.clear()  # the disk is gone
+        restored = restore_files(small_swarm, owner.peer_id, owner.user_key)
+        assert restored == FILES
+
+    def test_restore_with_k_partners_only(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        report = BackupTask(owner, archive_size=2048).run(FILES)
+        # Keep the DHT replicas of the master block reachable: this test
+        # exercises archive-block erasure tolerance, not DHT durability.
+        protected = set(
+            small_swarm.dht.replica_locations(owner.master.dht_key())
+        )
+        # Knock out m partners of every archive: exactly k remain.
+        for placement in report.placements:
+            victims = [p for p in placement.partners if p >= 0][small_swarm.codec.k:]
+            for victim in victims:
+                if victim not in protected and small_swarm.nodes[victim].online:
+                    small_swarm.set_online(victim, False)
+        restored = RestoreTask(small_swarm, owner.peer_id, owner.user_key).run()
+        assert restored.files == FILES
+
+    def test_restore_fails_below_k(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        report = BackupTask(owner, archive_size=2048).run(FILES)
+        protected = set(
+            small_swarm.dht.replica_locations(owner.master.dht_key())
+        )
+        placement = report.placements[0]
+        victims = {p for p in placement.partners if p >= 0} - protected
+        for victim in victims:
+            small_swarm.set_online(victim, False)
+        surviving = len({p for p in placement.partners if p >= 0} & protected)
+        if surviving >= small_swarm.codec.k:
+            pytest.skip("too few distinct victims in this topology draw")
+        result = RestoreTask(small_swarm, owner.peer_id, owner.user_key).run()
+        assert placement.archive_id in result.unreachable_archives
+        with pytest.raises(RestoreError):
+            restore_files(small_swarm, owner.peer_id, owner.user_key)
+
+    def test_missing_master_block(self, small_swarm):
+        with pytest.raises(RestoreError):
+            RestoreTask(small_swarm, owner_id=999, user_key=b"k").run()
+
+    def test_metadata_index_restored(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        BackupTask(owner, archive_size=2048).run(FILES)
+        result = RestoreTask(small_swarm, owner.peer_id, owner.user_key).run()
+        indexed = {
+            name for entries in result.metadata_index.values()
+            for name, _ in entries
+        }
+        assert "docs/report.txt" in indexed
+
+
+class TestMaintenanceTask:
+    def kill_partners(self, swarm, placement, count):
+        victims = [p for p in placement.partners if p >= 0][:count]
+        for victim in victims:
+            swarm.set_online(victim, False)
+        return victims
+
+    def test_no_repair_when_healthy(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        BackupTask(owner, archive_size=2048).run(FILES)
+        report = MaintenanceTask(owner).run()
+        assert report.repairs == 0
+        assert report.losses == 0
+
+    def test_repair_replaces_missing_blocks(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        backup = BackupTask(owner, archive_size=2048).run(FILES)
+        placement = backup.placements[0]
+        threshold = small_swarm.policy.repair_threshold
+        lost = small_swarm.policy.n - threshold + 1
+        victims = self.kill_partners(small_swarm, placement, lost)
+        report = MaintenanceTask(owner).run()
+        assert report.repairs >= 1
+        repaired = next(
+            a for a in report.archives if a.archive_id == placement.archive_id
+        )
+        assert repaired.repaired
+        assert repaired.new_partners
+        assert not set(repaired.new_partners.values()) & set(victims)
+
+    def test_master_block_updated_after_repair(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        backup = BackupTask(owner, archive_size=2048).run(FILES)
+        placement = backup.placements[0]
+        lost = small_swarm.policy.n - small_swarm.policy.repair_threshold + 1
+        self.kill_partners(small_swarm, placement, lost)
+        MaintenanceTask(owner).run()
+        # A fresh restore must succeed using the updated master block.
+        restored = RestoreTask(small_swarm, owner.peer_id, owner.user_key).run()
+        assert restored.files == FILES
+
+    def test_blocked_when_below_k(self, small_swarm):
+        owner = small_swarm.nodes[0]
+        backup = BackupTask(owner, archive_size=2048).run(FILES)
+        placement = backup.placements[0]
+        self.kill_partners(
+            small_swarm, placement, small_swarm.policy.n - small_swarm.policy.k + 1
+        )
+        report = MaintenanceTask(owner).run()
+        blocked = next(
+            a for a in report.archives if a.archive_id == placement.archive_id
+        )
+        assert blocked.blocked
+        assert not blocked.repaired

@@ -1,0 +1,98 @@
+"""Tests for the baseline package: proactive estimation and comparison."""
+
+import pytest
+
+from repro.baselines.comparison import compare_strategies, comparison_rows
+from repro.baselines.proactive import estimate_churn, measured_churn
+from repro.churn.profiles import PAPER_PROFILES, Profile
+from repro.sim.config import SimulationConfig
+
+
+class TestEstimateChurn:
+    def test_durable_only_population_never_churns(self):
+        durable = (Profile("D", 1.0, None, 0.9),)
+        estimate = estimate_churn(durable, blocks_per_archive=16)
+        assert estimate.departure_rate_per_peer == 0.0
+        assert estimate.block_loss_rate_per_archive == 0.0
+
+    def test_paper_mix_rate_is_positive_and_small(self):
+        estimate = estimate_churn(PAPER_PROFILES, blocks_per_archive=256)
+        assert 0 < estimate.departure_rate_per_peer < 0.01
+        assert estimate.block_loss_rate_per_archive == pytest.approx(
+            estimate.departure_rate_per_peer * 256
+        )
+
+    def test_erratic_dominates_the_rate(self):
+        # Erratic peers (mean 2 months) churn ~10x faster than stable ones.
+        erratic_only = (Profile("E", 1.0, (720, 2160), 0.33),)
+        stable_only = (Profile("S", 1.0, (13140, 30660), 0.87),)
+        fast = estimate_churn(erratic_only, 16).departure_rate_per_peer
+        slow = estimate_churn(stable_only, 16).departure_rate_per_peer
+        assert fast > 10 * slow
+
+    def test_recommended_rate_scales_with_safety(self):
+        estimate = estimate_churn(PAPER_PROFILES, 16)
+        assert estimate.recommended_proactive_rate(2.0) == pytest.approx(
+            2 * estimate.block_loss_rate_per_archive
+        )
+        with pytest.raises(ValueError):
+            estimate.recommended_proactive_rate(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_churn(PAPER_PROFILES, 0)
+
+
+class TestMeasuredChurn:
+    def test_from_simulation_counters(self):
+        estimate = measured_churn(deaths=50, peer_rounds=100_000, blocks_per_archive=16)
+        assert estimate.departure_rate_per_peer == pytest.approx(0.0005)
+        assert estimate.block_loss_rate_per_archive == pytest.approx(0.008)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measured_churn(1, 0, 16)
+        with pytest.raises(ValueError):
+            measured_churn(1, 10, 0)
+
+
+class TestCompareStrategies:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        config = SimulationConfig(
+            population=70,
+            rounds=700,
+            data_blocks=8,
+            parity_blocks=8,
+            repair_threshold=10,
+            quota=24,
+            seed=0,
+        )
+        return compare_strategies(
+            config, strategies=("age", "random"), seeds=(0,)
+        )
+
+    def test_one_outcome_per_strategy(self, outcomes):
+        assert [o.strategy for o in outcomes] == ["age", "random"]
+
+    def test_rates_present_for_all_categories(self, outcomes):
+        for outcome in outcomes:
+            assert set(outcome.repair_rates) == {
+                "Newcomers", "Young peers", "Old peers", "Elder peers",
+            }
+
+    def test_comparison_rows_shape(self, outcomes):
+        rows = comparison_rows(outcomes)
+        assert len(rows) == 2
+        assert rows[0][0] == "age"
+        assert all(len(row) == 5 for row in rows)
+
+    def test_unknown_strategy_rejected(self):
+        config = SimulationConfig(population=10, rounds=10)
+        with pytest.raises(ValueError):
+            compare_strategies(config, strategies=("psychic",), seeds=(0,))
+
+    def test_empty_seeds_rejected(self):
+        config = SimulationConfig(population=10, rounds=10)
+        with pytest.raises(ValueError):
+            compare_strategies(config, strategies=("age",), seeds=())

@@ -1,0 +1,131 @@
+"""Tests for on/off session processes and the availability history."""
+
+import numpy as np
+import pytest
+
+from repro.churn.availability import (
+    AvailabilityHistory,
+    SessionProcess,
+    empirical_availability,
+    geometric_duration,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestGeometricDuration:
+    def test_minimum_one_round(self, rng):
+        assert geometric_duration(rng, 0.2) == 1
+
+    def test_mean_matches(self, rng):
+        samples = [geometric_duration(rng, 12.0) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(12.0, rel=0.05)
+
+    def test_all_positive(self, rng):
+        assert all(geometric_duration(rng, 3.0) >= 1 for _ in range(100))
+
+
+class TestSessionProcess:
+    def test_duty_cycle_long_run(self, rng):
+        process = SessionProcess(availability=0.33, mean_online=24, rng=rng)
+        timeline = list(process.sessions(600_000))
+        assert empirical_availability(timeline) == pytest.approx(0.33, abs=0.02)
+
+    def test_high_availability_duty_cycle(self, rng):
+        process = SessionProcess(availability=0.95, mean_online=100, rng=rng)
+        timeline = list(process.sessions(800_000))
+        assert empirical_availability(timeline) == pytest.approx(0.95, abs=0.01)
+
+    def test_always_online(self, rng):
+        process = SessionProcess(availability=1.0, mean_online=10, rng=rng)
+        assert process.always_online
+        timeline = list(process.sessions(1000))
+        assert empirical_availability(timeline) == 1.0
+
+    def test_sessions_cover_horizon_exactly(self, rng):
+        process = SessionProcess(availability=0.5, mean_online=7, rng=rng)
+        timeline = list(process.sessions(12_345))
+        assert sum(d for _, d in timeline) == 12_345
+
+    def test_starts_online_by_default(self, rng):
+        process = SessionProcess(availability=0.5, mean_online=5, rng=rng)
+        first_state, _ = next(process.sessions(100))
+        assert first_state is True
+
+    def test_toggle_flips_state(self, rng):
+        process = SessionProcess(availability=0.5, mean_online=5, rng=rng)
+        assert process.online
+        assert process.toggle() is False
+        assert process.toggle() is True
+
+    def test_zero_horizon(self, rng):
+        process = SessionProcess(availability=0.5, mean_online=5, rng=rng)
+        assert list(process.sessions(0)) == []
+
+    def test_negative_horizon_rejected(self, rng):
+        process = SessionProcess(availability=0.5, mean_online=5, rng=rng)
+        with pytest.raises(ValueError):
+            list(process.sessions(-1))
+
+    @pytest.mark.parametrize("availability", [0.0, -0.1, 1.1])
+    def test_invalid_availability(self, rng, availability):
+        with pytest.raises(ValueError):
+            SessionProcess(availability=availability, mean_online=5, rng=rng)
+
+    def test_invalid_mean_online(self, rng):
+        with pytest.raises(ValueError):
+            SessionProcess(availability=0.5, mean_online=0, rng=rng)
+
+
+class TestEmpiricalAvailability:
+    def test_empty_timeline(self):
+        assert empirical_availability([]) == 0.0
+
+    def test_simple_split(self):
+        assert empirical_availability([(True, 3), (False, 1)]) == 0.75
+
+
+class TestAvailabilityHistory:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AvailabilityHistory(0)
+
+    def test_empty_history(self):
+        assert AvailabilityHistory(10).availability() == 0.0
+
+    def test_partial_window(self):
+        history = AvailabilityHistory(10)
+        history.record(True)
+        history.record(True)
+        history.record(False)
+        assert history.observed_rounds == 3
+        assert history.availability() == pytest.approx(2 / 3)
+
+    def test_full_window_rolls_over(self):
+        history = AvailabilityHistory(4)
+        for _ in range(4):
+            history.record(False)
+        for _ in range(2):
+            history.record(True)
+        # Window now holds [False, False, True, True].
+        assert history.availability() == pytest.approx(0.5)
+
+    def test_record_span(self):
+        history = AvailabilityHistory(100)
+        history.record_span(True, 30)
+        history.record_span(False, 10)
+        assert history.observed_rounds == 40
+        assert history.availability() == pytest.approx(0.75)
+
+    def test_record_span_longer_than_window(self):
+        history = AvailabilityHistory(8)
+        history.record_span(True, 100)
+        assert history.observed_rounds == 8
+        assert history.availability() == 1.0
+
+    def test_record_span_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityHistory(4).record_span(True, -1)

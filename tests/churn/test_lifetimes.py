@@ -1,0 +1,147 @@
+"""Tests for lifetime distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.churn import lifetimes
+from repro.churn.profiles import DURABLE, ERRATIC, PAPER_PROFILES, STABLE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestUniformLifetime:
+    def test_samples_stay_in_range(self, rng):
+        dist = lifetimes.UniformLifetime(10, 20)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert all(10 <= s <= 20 for s in samples)
+
+    def test_mean(self):
+        assert lifetimes.UniformLifetime(10, 30).mean() == 20
+
+    def test_survival_boundaries(self):
+        dist = lifetimes.UniformLifetime(10, 20)
+        assert dist.survival(5) == 1.0
+        assert dist.survival(20) == 0.0
+        assert dist.survival(15) == pytest.approx(0.5)
+
+    def test_expected_remaining_decreases_with_age(self):
+        dist = lifetimes.UniformLifetime(100, 200)
+        values = [dist.expected_remaining(age) for age in (0, 50, 120, 180)]
+        assert values == sorted(values, reverse=True)
+
+    def test_expected_remaining_past_high_is_zero(self):
+        assert lifetimes.UniformLifetime(5, 10).expected_remaining(11) == 0.0
+
+    def test_expected_remaining_at_zero_equals_mean(self):
+        dist = lifetimes.UniformLifetime(100, 200)
+        assert dist.expected_remaining(0) == pytest.approx(dist.mean())
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            lifetimes.UniformLifetime(10, 5)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            lifetimes.UniformLifetime(1, 2).expected_remaining(-1)
+
+
+class TestImmortalLifetime:
+    def test_everything_is_infinite(self, rng):
+        dist = lifetimes.ImmortalLifetime()
+        assert math.isinf(dist.sample(rng))
+        assert math.isinf(dist.mean())
+        assert math.isinf(dist.expected_remaining(1000))
+        assert dist.survival(1e12) == 1.0
+
+
+class TestParetoLifetime:
+    def test_samples_above_scale(self, rng):
+        dist = lifetimes.ParetoLifetime(shape=2.0, scale=50.0)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert all(s >= 50.0 for s in samples)
+
+    def test_mean_formula(self):
+        dist = lifetimes.ParetoLifetime(shape=3.0, scale=10.0)
+        assert dist.mean() == pytest.approx(15.0)
+
+    def test_heavy_tail_mean_infinite(self):
+        assert math.isinf(lifetimes.ParetoLifetime(shape=0.9).mean())
+
+    def test_survival_formula(self):
+        dist = lifetimes.ParetoLifetime(shape=2.0, scale=10.0)
+        assert dist.survival(20.0) == pytest.approx(0.25)
+        assert dist.survival(5.0) == 1.0
+
+    def test_expected_remaining_grows_with_age(self):
+        """The paper's key property: older => longer expected remaining."""
+        dist = lifetimes.ParetoLifetime(shape=1.5, scale=10.0)
+        ages = [10, 50, 100, 500, 1000]
+        values = [dist.expected_remaining(a) for a in ages]
+        assert values == sorted(values)
+
+    def test_expected_remaining_closed_form(self):
+        dist = lifetimes.ParetoLifetime(shape=2.0, scale=10.0)
+        # E[T | T>t] = alpha t / (alpha - 1) = 2t  =>  remaining = t.
+        assert dist.expected_remaining(40.0) == pytest.approx(40.0)
+
+    def test_heavy_tail_remaining_infinite(self):
+        dist = lifetimes.ParetoLifetime(shape=1.0, scale=1.0)
+        assert math.isinf(dist.expected_remaining(5.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            lifetimes.ParetoLifetime(shape=0)
+        with pytest.raises(ValueError):
+            lifetimes.ParetoLifetime(shape=1, scale=0)
+
+    def test_empirical_mean_matches(self, rng):
+        dist = lifetimes.ParetoLifetime(shape=3.0, scale=10.0)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.05)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shape=st.floats(min_value=1.1, max_value=5.0),
+        scale=st.floats(min_value=0.1, max_value=100.0),
+        age_factor=st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_monotone_remaining_property(self, shape, scale, age_factor):
+        dist = lifetimes.ParetoLifetime(shape=shape, scale=scale)
+        younger = scale * age_factor
+        older = younger * 2
+        assert dist.expected_remaining(older) >= dist.expected_remaining(younger)
+
+
+class TestFromProfile:
+    def test_durable_maps_to_immortal(self):
+        assert isinstance(lifetimes.from_profile(DURABLE), lifetimes.ImmortalLifetime)
+
+    def test_bounded_maps_to_uniform(self):
+        dist = lifetimes.from_profile(STABLE)
+        assert isinstance(dist, lifetimes.UniformLifetime)
+        assert (dist.low, dist.high) == STABLE.life_expectancy
+
+    def test_erratic_mean(self):
+        dist = lifetimes.from_profile(ERRATIC)
+        assert dist.mean() == pytest.approx(ERRATIC.mean_lifetime())
+
+
+class TestMixtureSurvival:
+    def test_at_zero_everyone_survives(self):
+        assert lifetimes.mixture_survival(PAPER_PROFILES, 0) == pytest.approx(1.0)
+
+    def test_long_run_only_durable_remains(self):
+        far = 100 * 8760
+        assert lifetimes.mixture_survival(PAPER_PROFILES, far) == pytest.approx(0.10)
+
+    def test_monotone_decreasing(self):
+        ages = [0, 720, 2160, 8760, 17520, 30660]
+        values = [lifetimes.mixture_survival(PAPER_PROFILES, a) for a in ages]
+        assert values == sorted(values, reverse=True)

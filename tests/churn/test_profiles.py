@@ -1,0 +1,113 @@
+"""Tests for behaviour profiles (paper table T2)."""
+
+import math
+
+import pytest
+
+from repro.churn import profiles
+
+
+class TestPaperValues:
+    """Pin the published profile table exactly."""
+
+    def test_four_profiles(self):
+        assert len(profiles.PAPER_PROFILES) == 4
+
+    def test_proportions(self):
+        expected = {"Durable": 0.10, "Stable": 0.25, "Unstable": 0.30, "Erratic": 0.35}
+        for profile in profiles.PAPER_PROFILES:
+            assert profile.proportion == expected[profile.name]
+
+    def test_availabilities(self):
+        expected = {"Durable": 0.95, "Stable": 0.87, "Unstable": 0.75, "Erratic": 0.33}
+        for profile in profiles.PAPER_PROFILES:
+            assert profile.availability == expected[profile.name]
+
+    def test_durable_is_unlimited(self):
+        assert profiles.DURABLE.is_durable
+        assert profiles.DURABLE.life_expectancy is None
+        assert math.isinf(profiles.DURABLE.mean_lifetime())
+
+    def test_stable_lifetime_is_1_5_to_3_5_years(self):
+        low, high = profiles.STABLE.life_expectancy
+        assert low == int(1.5 * profiles.ROUNDS_PER_YEAR)
+        assert high == int(3.5 * profiles.ROUNDS_PER_YEAR)
+
+    def test_unstable_lifetime_is_3_to_18_months(self):
+        low, high = profiles.UNSTABLE.life_expectancy
+        assert low == 3 * profiles.ROUNDS_PER_MONTH
+        assert high == 18 * profiles.ROUNDS_PER_MONTH
+
+    def test_erratic_lifetime_is_1_to_3_months(self):
+        low, high = profiles.ERRATIC.life_expectancy
+        assert low == 1 * profiles.ROUNDS_PER_MONTH
+        assert high == 3 * profiles.ROUNDS_PER_MONTH
+
+    def test_proportions_sum_to_one(self):
+        profiles.validate_mix(profiles.PAPER_PROFILES)
+
+    def test_round_constants(self):
+        assert profiles.ROUNDS_PER_DAY == 24
+        assert profiles.ROUNDS_PER_MONTH == 720
+        assert profiles.ROUNDS_PER_YEAR == 8760
+
+
+class TestProfileValidation:
+    def test_bad_proportion(self):
+        with pytest.raises(ValueError):
+            profiles.Profile("X", 1.5, None, 0.5)
+
+    def test_bad_availability(self):
+        with pytest.raises(ValueError):
+            profiles.Profile("X", 0.5, None, 0.0)
+
+    def test_bad_lifetime_bounds(self):
+        with pytest.raises(ValueError):
+            profiles.Profile("X", 0.5, (100, 50), 0.5)
+
+    def test_zero_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            profiles.Profile("X", 0.5, (0, 50), 0.5)
+
+    def test_bad_session_length(self):
+        with pytest.raises(ValueError):
+            profiles.Profile("X", 0.5, None, 0.5, mean_online_session=0)
+
+
+class TestDerivedQuantities:
+    def test_mean_offline_session_duty_cycle(self):
+        profile = profiles.Profile("X", 1.0, None, 0.25, mean_online_session=10)
+        # availability = u / (u + d)  =>  d = 30 for u=10, a=0.25.
+        assert profile.mean_offline_session == pytest.approx(30.0)
+
+    def test_full_availability_has_no_offline(self):
+        profile = profiles.Profile("X", 1.0, None, 1.0, mean_online_session=10)
+        assert profile.mean_offline_session == 0.0
+
+    def test_mean_lifetime_is_midpoint(self):
+        profile = profiles.Profile("X", 1.0, (100, 300), 0.5)
+        assert profile.mean_lifetime() == 200.0
+
+
+class TestMixValidation:
+    def test_empty_mix(self):
+        with pytest.raises(ValueError):
+            profiles.validate_mix([])
+
+    def test_non_unit_sum(self):
+        bad = [profiles.Profile("A", 0.5, None, 0.5)]
+        with pytest.raises(ValueError):
+            profiles.validate_mix(bad)
+
+    def test_duplicate_names(self):
+        half = profiles.Profile("A", 0.5, None, 0.5)
+        with pytest.raises(ValueError):
+            profiles.validate_mix([half, half])
+
+
+class TestProfileTable:
+    def test_table_contents(self):
+        table = profiles.profile_table()
+        assert table["Durable"]["life_expectancy"] == "unlimited"
+        assert table["Erratic"]["proportion"] == 0.35
+        assert set(table) == {"Durable", "Stable", "Unstable", "Erratic"}

@@ -1,0 +1,131 @@
+"""Tests for the age categories (paper table in section 4.2.1)."""
+
+import pytest
+
+from repro.churn.profiles import ROUNDS_PER_MONTH
+from repro.core.categories import (
+    DEFAULT_SCHEME,
+    ELDER,
+    NEWCOMER,
+    OLD,
+    PAPER_CATEGORIES,
+    YOUNG,
+    Category,
+    CategoryScheme,
+)
+
+
+class TestPaperBrackets:
+    def test_newcomer_is_under_three_months(self):
+        assert NEWCOMER.lower == 0
+        assert NEWCOMER.upper == 3 * ROUNDS_PER_MONTH
+
+    def test_young_is_three_to_six_months(self):
+        assert (YOUNG.lower, YOUNG.upper) == (
+            3 * ROUNDS_PER_MONTH,
+            6 * ROUNDS_PER_MONTH,
+        )
+
+    def test_old_is_six_to_eighteen_months(self):
+        assert (OLD.lower, OLD.upper) == (
+            6 * ROUNDS_PER_MONTH,
+            18 * ROUNDS_PER_MONTH,
+        )
+
+    def test_elder_is_unbounded_above_eighteen_months(self):
+        assert ELDER.lower == 18 * ROUNDS_PER_MONTH
+        assert ELDER.upper is None
+
+    def test_order(self):
+        assert PAPER_CATEGORIES == (NEWCOMER, YOUNG, OLD, ELDER)
+
+
+class TestCategory:
+    def test_contains_boundaries(self):
+        category = Category("X", 10, 20)
+        assert not category.contains(9.99)
+        assert category.contains(10)
+        assert category.contains(19.99)
+        assert not category.contains(20)
+
+    def test_unbounded_contains(self):
+        category = Category("X", 10, None)
+        assert category.contains(1e12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Category("X", -1, 5)
+        with pytest.raises(ValueError):
+            Category("X", 10, 10)
+
+
+class TestCategoryScheme:
+    def test_classify_each_bracket(self):
+        month = ROUNDS_PER_MONTH
+        assert DEFAULT_SCHEME.classify(0).name == "Newcomers"
+        assert DEFAULT_SCHEME.classify(4 * month).name == "Young peers"
+        assert DEFAULT_SCHEME.classify(12 * month).name == "Old peers"
+        assert DEFAULT_SCHEME.classify(24 * month).name == "Elder peers"
+
+    def test_classify_negative_age(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SCHEME.classify(-1)
+
+    def test_names_in_order(self):
+        assert DEFAULT_SCHEME.names() == [
+            "Newcomers",
+            "Young peers",
+            "Old peers",
+            "Elder peers",
+        ]
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryScheme((Category("A", 0, 10), Category("B", 20, None)))
+
+    def test_bounded_middle_unbounded_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryScheme((Category("A", 0, None), Category("B", 10, None)))
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CategoryScheme((Category("A", 5, None),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryScheme(())
+
+    def test_single_unbounded_category(self):
+        scheme = CategoryScheme((Category("All", 0, None),))
+        assert scheme.classify(123).name == "All"
+
+    def test_bounded_final_category_raises_past_end(self):
+        scheme = CategoryScheme((Category("A", 0, 10),))
+        with pytest.raises(ValueError):
+            scheme.classify(10)
+
+
+class TestScaling:
+    def test_scaled_preserves_names_and_order(self):
+        scaled = DEFAULT_SCHEME.scaled(0.5)
+        assert scaled.names() == DEFAULT_SCHEME.names()
+
+    def test_scaled_halves_bounds(self):
+        scaled = DEFAULT_SCHEME.scaled(0.5)
+        assert scaled.categories[0].upper == int(3 * ROUNDS_PER_MONTH * 0.5)
+
+    def test_scaled_stays_contiguous(self):
+        for factor in (0.05, 0.15, 0.33, 0.5):
+            scaled = DEFAULT_SCHEME.scaled(factor)
+            assert scaled.classify(0).name == "Newcomers"
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SCHEME.scaled(0)
+
+
+class TestTable:
+    def test_table_rendering(self):
+        table = DEFAULT_SCHEME.table()
+        assert table["Elder peers"].startswith(">")
+        assert "2160" in table["Newcomers"]

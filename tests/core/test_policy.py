@@ -1,0 +1,128 @@
+"""Tests for the repair policy and threshold scaling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import RepairPolicy, scaled_threshold
+
+
+class TestRepairPolicy:
+    def test_paper_policy_constructs(self):
+        policy = RepairPolicy(128, 256, 148)
+        assert policy.k == 128
+        assert policy.n == 256
+        assert policy.parity_blocks == 128
+
+    @pytest.mark.parametrize("k,n,threshold", [
+        (0, 10, 5),       # k < 1
+        (10, 5, 7),       # n < k
+        (10, 20, 9),      # threshold < k
+        (10, 20, 21),     # threshold > n
+    ])
+    def test_invalid_parameters(self, k, n, threshold):
+        with pytest.raises(ValueError):
+            RepairPolicy(k, n, threshold)
+
+    def test_needs_repair_boundary(self):
+        policy = RepairPolicy(128, 256, 148)
+        assert policy.needs_repair(147)
+        assert not policy.needs_repair(148)
+        assert not policy.needs_repair(256)
+
+    def test_can_decode_boundary(self):
+        policy = RepairPolicy(128, 256, 148)
+        assert policy.can_decode(128)
+        assert not policy.can_decode(127)
+
+    def test_is_lost_boundary(self):
+        policy = RepairPolicy(128, 256, 148)
+        assert policy.is_lost(127)
+        assert not policy.is_lost(128)
+
+    def test_blocks_to_recruit(self):
+        policy = RepairPolicy(128, 256, 148)
+        assert policy.blocks_to_recruit(140) == 116
+        assert policy.blocks_to_recruit(256) == 0
+        assert policy.blocks_to_recruit(0) == 256
+
+    def test_negative_counts_rejected(self):
+        policy = RepairPolicy(4, 8, 5)
+        for method in (
+            policy.needs_repair,
+            policy.can_decode,
+            policy.is_lost,
+            policy.blocks_to_recruit,
+        ):
+            with pytest.raises(ValueError):
+                method(-1)
+
+    def test_with_threshold(self):
+        policy = RepairPolicy(128, 256, 148)
+        updated = policy.with_threshold(160)
+        assert updated.repair_threshold == 160
+        assert updated.k == policy.k
+
+    def test_paper_loss_scenario(self):
+        """Section 4.2.1's example: threshold 132, burst below 128."""
+        policy = RepairPolicy(128, 256, 132)
+        assert not policy.needs_repair(133)
+        assert policy.needs_repair(131)
+        # A burst of >5 failures jumps under k: repair impossible.
+        assert not policy.can_decode(127)
+        assert policy.is_lost(127)
+
+
+class TestScaledThreshold:
+    def test_identity_at_paper_scale(self):
+        for threshold in (132, 148, 180):
+            assert scaled_threshold(
+                threshold, target_k=128, target_n=256
+            ) == threshold
+
+    def test_focus_threshold_at_k16(self):
+        # 148 has slack 20/128 = 15.6%; k=16, n=32 gives 16 + 2.5 -> 18.
+        assert scaled_threshold(148, target_k=16, target_n=32) == 18
+
+    def test_never_degenerates_to_k(self):
+        # The lowest paper threshold keeps a strictly positive slack.
+        assert scaled_threshold(132, target_k=8, target_n=16) == 9
+
+    def test_zero_slack_maps_to_k(self):
+        assert scaled_threshold(128, target_k=8, target_n=16) == 8
+
+    def test_full_slack_maps_to_n(self):
+        assert scaled_threshold(256, target_k=8, target_n=16) == 16
+
+    def test_out_of_range_paper_threshold(self):
+        with pytest.raises(ValueError):
+            scaled_threshold(100, target_k=8, target_n=16)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            scaled_threshold(148, target_k=16, target_n=16)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        paper_threshold=st.integers(min_value=129, max_value=256),
+        target_k=st.integers(min_value=2, max_value=64),
+        extra=st.integers(min_value=1, max_value=64),
+    )
+    def test_result_always_valid_for_policy(self, paper_threshold, target_k, extra):
+        target_n = target_k + extra
+        threshold = scaled_threshold(
+            paper_threshold, target_k=target_k, target_n=target_n
+        )
+        RepairPolicy(target_k, target_n, threshold)  # must not raise
+        assert threshold > target_k  # positive slack preserved
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.integers(min_value=129, max_value=256),
+        b=st.integers(min_value=129, max_value=256),
+    )
+    def test_monotone_in_paper_threshold(self, a, b):
+        low, high = sorted((a, b))
+        assert scaled_threshold(low, target_k=16, target_n=32) <= scaled_threshold(
+            high, target_k=16, target_n=32
+        )

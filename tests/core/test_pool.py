@@ -1,0 +1,127 @@
+"""Tests for partner-pool construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.acceptance import AcceptancePolicy, UniformAcceptancePolicy
+from repro.core.pool import build_pool
+from repro.core.selection import Candidate
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(8)
+
+
+def candidates(ages):
+    return [Candidate(peer_id=i, age=age) for i, age in enumerate(ages)]
+
+
+class TestBuildPool:
+    def test_uniform_acceptance_fills_target(self, rng):
+        result = build_pool(
+            owner_age=0,
+            candidates=iter(candidates([10] * 20)),
+            acceptance=UniformAcceptancePolicy(),
+            rng=rng,
+            target_size=5,
+            max_examined=100,
+        )
+        assert result.size == 5
+        assert result.examined == 5
+
+    def test_examination_budget_respected(self, rng):
+        result = build_pool(
+            owner_age=0,
+            candidates=iter(candidates([10] * 100)),
+            acceptance=UniformAcceptancePolicy(),
+            rng=rng,
+            target_size=50,
+            max_examined=7,
+        )
+        assert result.examined == 7
+        assert result.size == 7
+
+    def test_exhausted_candidate_stream(self, rng):
+        result = build_pool(
+            owner_age=0,
+            candidates=iter(candidates([10, 20])),
+            acceptance=UniformAcceptancePolicy(),
+            rng=rng,
+            target_size=5,
+            max_examined=100,
+        )
+        assert result.size == 2
+
+    def test_old_candidates_always_accepted_by_young_owner(self, rng):
+        policy = AcceptancePolicy(age_cap=100)
+        result = build_pool(
+            owner_age=0,
+            candidates=iter(candidates([200] * 10)),
+            acceptance=policy,
+            rng=rng,
+            target_size=10,
+            max_examined=10,
+        )
+        # Candidate side: f(200, 0) = 1/100 — most will refuse the
+        # newborn owner; owner side always accepts the elders.
+        assert result.rejected_by_owner == 0
+        assert result.size + result.rejected_by_candidate == 10
+
+    def test_rejection_counts_add_up(self, rng):
+        policy = AcceptancePolicy(age_cap=50)
+        result = build_pool(
+            owner_age=50,
+            candidates=iter(candidates([0] * 200)),
+            acceptance=policy,
+            rng=rng,
+            target_size=200,
+            max_examined=200,
+        )
+        assert (
+            result.size
+            + result.rejected_by_owner
+            + result.rejected_by_candidate
+            == result.examined
+        )
+        # f(50, 0) with L=50 is 1/50: the owner rejects most newborns.
+        assert result.rejected_by_owner > 100
+
+    def test_zero_target(self, rng):
+        result = build_pool(
+            owner_age=0,
+            candidates=iter(candidates([1] * 5)),
+            acceptance=UniformAcceptancePolicy(),
+            rng=rng,
+            target_size=0,
+            max_examined=10,
+        )
+        assert result.size == 0
+        assert result.examined == 0
+
+    def test_negative_arguments(self, rng):
+        with pytest.raises(ValueError):
+            build_pool(0, iter([]), UniformAcceptancePolicy(), rng, -1, 10)
+        with pytest.raises(ValueError):
+            build_pool(0, iter([]), UniformAcceptancePolicy(), rng, 1, -10)
+
+    def test_mutual_acceptance_probability_statistics(self):
+        """Acceptance frequency matches the analytic mutual probability."""
+        policy = AcceptancePolicy(age_cap=100)
+        owner_age, candidate_age = 80.0, 30.0
+        expected = policy.mutual_probability(owner_age, candidate_age)
+        rng = np.random.default_rng(0)
+        accepted = 0
+        trials = 20_000
+        result = build_pool(
+            owner_age=owner_age,
+            candidates=iter(
+                Candidate(peer_id=i, age=candidate_age) for i in range(trials)
+            ),
+            acceptance=policy,
+            rng=rng,
+            target_size=trials,
+            max_examined=trials,
+        )
+        accepted = result.size
+        assert accepted / trials == pytest.approx(expected, abs=0.02)

@@ -1,0 +1,125 @@
+"""Tests for partner-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    AgeSelection,
+    AvailabilitySelection,
+    Candidate,
+    OracleSelection,
+    RandomSelection,
+    available_strategies,
+    strategy_by_name,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+def make_candidates():
+    return [
+        Candidate(peer_id=1, age=10, availability=0.2, true_remaining_lifetime=5),
+        Candidate(peer_id=2, age=500, availability=0.9, true_remaining_lifetime=100),
+        Candidate(peer_id=3, age=100, availability=0.5, true_remaining_lifetime=5000),
+        Candidate(peer_id=4, age=2000, availability=None, true_remaining_lifetime=None),
+    ]
+
+
+class TestCandidate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Candidate(peer_id=1, age=-1)
+        with pytest.raises(ValueError):
+            Candidate(peer_id=1, age=1, availability=1.5)
+
+    def test_optional_fields_default_none(self):
+        candidate = Candidate(peer_id=1, age=0)
+        assert candidate.availability is None
+        assert candidate.true_remaining_lifetime is None
+
+
+class TestAgeSelection:
+    def test_orders_by_age_descending(self, rng):
+        ranked = AgeSelection().rank(make_candidates(), rng)
+        assert ranked == [4, 2, 3, 1]
+
+    def test_ties_broken_randomly_not_by_id(self):
+        candidates = [Candidate(peer_id=i, age=50) for i in range(40)]
+        first_positions = set()
+        for seed in range(10):
+            ranked = AgeSelection().rank(candidates, np.random.default_rng(seed))
+            first_positions.add(ranked[0])
+        assert len(first_positions) > 1
+
+    def test_select_respects_count(self, rng):
+        chosen = AgeSelection().select(make_candidates(), 2, rng)
+        assert chosen == [4, 2]
+
+    def test_select_with_scarce_candidates(self, rng):
+        chosen = AgeSelection().select(make_candidates(), 99, rng)
+        assert len(chosen) == 4
+
+    def test_select_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            AgeSelection().select(make_candidates(), -1, rng)
+
+
+class TestRandomSelection:
+    def test_is_a_permutation(self, rng):
+        candidates = make_candidates()
+        ranked = RandomSelection().rank(candidates, rng)
+        assert sorted(ranked) == [1, 2, 3, 4]
+
+    def test_varies_with_seed(self):
+        candidates = [Candidate(peer_id=i, age=i) for i in range(30)]
+        a = RandomSelection().rank(candidates, np.random.default_rng(1))
+        b = RandomSelection().rank(candidates, np.random.default_rng(2))
+        assert a != b
+
+
+class TestAvailabilitySelection:
+    def test_orders_by_availability(self, rng):
+        ranked = AvailabilitySelection().rank(make_candidates(), rng)
+        # 0.9 > 0.5 > 0.2 > unmeasured.
+        assert ranked == [2, 3, 1, 4]
+
+    def test_age_breaks_ties(self, rng):
+        candidates = [
+            Candidate(peer_id=1, age=10, availability=0.5),
+            Candidate(peer_id=2, age=99, availability=0.5),
+        ]
+        assert AvailabilitySelection().rank(candidates, rng)[0] == 2
+
+
+class TestOracleSelection:
+    def test_orders_by_true_remaining(self, rng):
+        ranked = OracleSelection().rank(make_candidates(), rng)
+        # None -> inf first, then 5000, 100, 5.
+        assert ranked == [4, 3, 2, 1]
+
+    def test_infinite_remaining_sorts_first(self, rng):
+        candidates = [
+            Candidate(peer_id=1, age=0, true_remaining_lifetime=float("inf")),
+            Candidate(peer_id=2, age=0, true_remaining_lifetime=10.0),
+        ]
+        assert OracleSelection().rank(candidates, rng)[0] == 1
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        assert available_strategies() == ["age", "availability", "oracle", "random"]
+
+    @pytest.mark.parametrize("name", ["age", "random", "availability", "oracle"])
+    def test_lookup(self, name):
+        assert strategy_by_name(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            strategy_by_name("fortune-teller")
+
+    def test_empty_candidate_list(self, rng):
+        for name in available_strategies():
+            assert strategy_by_name(name).rank([], rng) == []

@@ -1,0 +1,127 @@
+"""Tests for the archive codec (bytes <-> coded blocks)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.codec import ArchiveCodec, CodedBlock
+from repro.erasure.reed_solomon import ErasureCodingError
+
+
+@pytest.fixture
+def codec() -> ArchiveCodec:
+    return ArchiveCodec(4, 4)
+
+
+class TestSplit:
+    def test_block_count(self, codec):
+        blocks = codec.split(b"hello world")
+        assert len(blocks) == codec.n
+        assert [b.index for b in blocks] == list(range(codec.n))
+
+    def test_blocks_verify(self, codec):
+        for block in codec.split(b"payload"):
+            assert block.verify()
+
+    def test_equal_block_sizes(self, codec):
+        blocks = codec.split(b"x" * 101)
+        sizes = {len(b.payload) for b in blocks}
+        assert len(sizes) == 1
+        assert sizes.pop() == codec.block_size_for(101)
+
+    def test_empty_archive(self, codec):
+        blocks = codec.split(b"")
+        assert len(blocks) == codec.n
+        assert codec.reassemble({b.index: b for b in blocks}) == b""
+
+    def test_block_size_for_negative(self, codec):
+        with pytest.raises(ValueError):
+            codec.block_size_for(-1)
+
+
+class TestReassemble:
+    def test_roundtrip_all_blocks(self, codec):
+        payload = bytes(range(256)) * 3 + b"tail"
+        blocks = {b.index: b for b in codec.split(payload)}
+        assert codec.reassemble(blocks) == payload
+
+    def test_roundtrip_minimum_blocks(self, codec):
+        payload = b"the quick brown fox" * 9
+        blocks = codec.split(payload)
+        subset = {b.index: b for b in blocks[codec.k:]}  # parity only
+        assert len(subset) == codec.k
+        assert codec.reassemble(subset) == payload
+
+    def test_too_few_blocks(self, codec):
+        blocks = codec.split(b"data")
+        subset = {b.index: b for b in blocks[: codec.k - 1]}
+        with pytest.raises(ErasureCodingError):
+            codec.reassemble(subset)
+
+    def test_corrupted_blocks_are_discarded(self, codec):
+        payload = b"important bytes" * 10
+        blocks = codec.split(payload)
+        tampered = CodedBlock(
+            index=blocks[0].index,
+            payload=b"\x00" * len(blocks[0].payload),
+            checksum=blocks[0].checksum,  # stale digest -> verify() fails
+        )
+        available = {b.index: b for b in blocks[1:]}
+        available[0] = tampered
+        assert codec.reassemble(available) == payload
+
+    def test_all_corrupted_raises(self, codec):
+        payload = b"abc" * 7
+        blocks = codec.split(payload)
+        bad = {
+            b.index: CodedBlock(b.index, b.payload[:-1] + b"\xff", b.checksum)
+            for b in blocks
+        }
+        with pytest.raises(ErasureCodingError):
+            codec.reassemble(bad)
+
+
+class TestRepairBlock:
+    def test_repair_matches_original(self, codec):
+        payload = b"block to regenerate" * 5
+        blocks = codec.split(payload)
+        available = {b.index: b for b in blocks if b.index != 2}
+        regenerated = codec.repair_block(available, 2)
+        assert regenerated.payload == blocks[2].payload
+        assert regenerated.verify()
+
+    def test_repair_parity_block(self, codec):
+        payload = b"parity path" * 4
+        blocks = codec.split(payload)
+        target = codec.n - 1
+        available = {b.index: b for b in blocks if b.index != target}
+        assert codec.repair_block(available, target).payload == blocks[target].payload
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        payload=st.binary(min_size=0, max_size=512),
+        data=st.data(),
+    )
+    def test_any_k_subset_roundtrips(self, payload, data):
+        codec = ArchiveCodec(3, 3)
+        blocks = codec.split(payload)
+        survivors = data.draw(
+            st.lists(
+                st.sampled_from(range(codec.n)),
+                min_size=codec.k,
+                max_size=codec.n,
+                unique=True,
+            )
+        )
+        available = {i: blocks[i] for i in survivors}
+        assert codec.reassemble(available) == payload
+
+    @settings(max_examples=25, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=300))
+    def test_sizes_are_exact_for_any_payload(self, payload):
+        codec = ArchiveCodec(5, 2)
+        blocks = codec.split(payload)
+        expected = codec.block_size_for(len(payload))
+        assert all(len(b.payload) == expected for b in blocks)

@@ -1,0 +1,147 @@
+"""Unit and property tests for GF(2^8) arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.erasure import gf256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_exp_table_is_periodic_copy(self):
+        for i in range(255):
+            assert gf256.EXP_TABLE[i] == gf256.EXP_TABLE[i + 255]
+
+    def test_exp_log_inverse_on_nonzero(self):
+        for value in range(1, 256):
+            assert gf256.EXP_TABLE[gf256.LOG_TABLE[value]] == value
+
+    def test_exp_covers_all_nonzero_elements(self):
+        assert sorted(set(gf256.EXP_TABLE[:255])) == list(range(1, 256))
+
+    def test_generator_has_full_order(self):
+        # 0x03 generates the whole multiplicative group.
+        assert gf256.LOG_TABLE[gf256.GENERATOR] == 1
+
+
+class TestBasicOps:
+    def test_add_is_xor(self):
+        assert gf256.add(0b1010, 0b0110) == 0b1100
+
+    def test_subtract_equals_add(self):
+        assert gf256.subtract(200, 123) == gf256.add(200, 123)
+
+    def test_multiply_by_zero(self):
+        assert gf256.multiply(0, 77) == 0
+        assert gf256.multiply(77, 0) == 0
+
+    def test_multiply_by_one(self):
+        for value in (1, 2, 77, 255):
+            assert gf256.multiply(value, 1) == value
+
+    def test_known_aes_product(self):
+        # 0x53 * 0xCA = 0x01 in the AES field (classic test vector).
+        assert gf256.multiply(0x53, 0xCA) == 0x01
+
+    def test_divide_inverts_multiply(self):
+        assert gf256.divide(gf256.multiply(123, 45), 45) == 123
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.divide(10, 0)
+
+    def test_zero_divided_is_zero(self):
+        assert gf256.divide(0, 99) == 0
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.inverse(0)
+
+    def test_power_zero_exponent(self):
+        assert gf256.power(0, 0) == 1
+        assert gf256.power(123, 0) == 1
+
+    def test_power_matches_repeated_multiplication(self):
+        value = 1
+        for exponent in range(1, 10):
+            value = gf256.multiply(value, 7)
+            assert gf256.power(7, exponent) == value
+
+    def test_power_negative_exponent(self):
+        assert gf256.multiply(gf256.power(9, -1), 9) == 1
+
+    def test_power_zero_base_negative_exponent_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.power(0, -1)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_multiplication_commutes(self, a, b):
+        assert gf256.multiply(a, b) == gf256.multiply(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associates(self, a, b, c):
+        left = gf256.multiply(gf256.multiply(a, b), c)
+        right = gf256.multiply(a, gf256.multiply(b, c))
+        assert left == right
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        left = gf256.multiply(a, gf256.add(b, c))
+        right = gf256.add(gf256.multiply(a, b), gf256.multiply(a, c))
+        assert left == right
+
+    @given(nonzero)
+    def test_inverse_property(self, a):
+        assert gf256.multiply(a, gf256.inverse(a)) == 1
+
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert gf256.add(a, a) == 0
+
+    @given(elements, nonzero)
+    def test_division_consistent_with_inverse(self, a, b):
+        assert gf256.divide(a, b) == gf256.multiply(a, gf256.inverse(b))
+
+    @given(nonzero, nonzero)
+    def test_product_never_zero_for_nonzero_factors(self, a, b):
+        assert gf256.multiply(a, b) != 0
+
+
+class TestVectorOps:
+    def test_dot_product_known(self):
+        assert gf256.dot_product([1, 0, 2], [3, 9, 1]) == gf256.add(
+            3, gf256.multiply(2, 1)
+        )
+
+    def test_dot_product_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gf256.dot_product([1, 2], [1])
+
+    def test_scale_vector_by_zero(self):
+        assert gf256.scale_vector([1, 2, 3], 0) == [0, 0, 0]
+
+    def test_scale_vector_known(self):
+        assert gf256.scale_vector([1, 2], 2) == [2, 4]
+
+    def test_add_vectors(self):
+        assert gf256.add_vectors([1, 2, 3], [1, 2, 3]) == [0, 0, 0]
+
+    def test_add_vectors_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gf256.add_vectors([1], [1, 2])
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-1, 256, 1000, 1.5, "7", True])
+    def test_validate_element_rejects(self, bad):
+        with pytest.raises(ValueError):
+            gf256.validate_element(bad)
+
+    @pytest.mark.parametrize("good", [0, 1, 255])
+    def test_validate_element_accepts(self, good):
+        assert gf256.validate_element(good) == good

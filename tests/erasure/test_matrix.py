@@ -1,0 +1,154 @@
+"""Tests for matrix algebra over GF(256)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import gf256, matrix
+
+
+def random_matrix(draw, size):
+    return [
+        [draw(st.integers(min_value=0, max_value=255)) for _ in range(size)]
+        for _ in range(size)
+    ]
+
+
+class TestConstruction:
+    def test_zeros_shape(self):
+        m = matrix.zeros(2, 3)
+        assert len(m) == 2 and all(len(row) == 3 for row in m)
+        assert all(value == 0 for row in m for value in row)
+
+    def test_zeros_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            matrix.zeros(0, 3)
+
+    def test_identity(self):
+        eye = matrix.identity(3)
+        for i in range(3):
+            for j in range(3):
+                assert eye[i][j] == (1 if i == j else 0)
+
+    def test_copy_is_deep(self):
+        original = [[1, 2], [3, 4]]
+        duplicate = matrix.copy(original)
+        duplicate[0][0] = 99
+        assert original[0][0] == 1
+
+    def test_dimensions_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            matrix.dimensions([[1, 2], [3]])
+
+    def test_dimensions_rejects_empty(self):
+        with pytest.raises(ValueError):
+            matrix.dimensions([])
+
+
+class TestMultiply:
+    def test_identity_is_neutral(self):
+        m = [[5, 6], [7, 8]]
+        assert matrix.multiply(matrix.identity(2), m) == m
+        assert matrix.multiply(m, matrix.identity(2)) == m
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            matrix.multiply([[1, 2]], [[1, 2]])
+
+    def test_multiply_vector_matches_matrix_product(self):
+        m = [[1, 2, 3], [4, 5, 6]]
+        v = [7, 8, 9]
+        expected = [row[0] for row in matrix.multiply(m, [[x] for x in v])]
+        assert matrix.multiply_vector(m, v) == expected
+
+    def test_multiply_vector_length_check(self):
+        with pytest.raises(ValueError):
+            matrix.multiply_vector([[1, 2]], [1, 2, 3])
+
+
+class TestInvert:
+    def test_identity_inverts_to_itself(self):
+        assert matrix.invert(matrix.identity(4)) == matrix.identity(4)
+
+    def test_invert_roundtrip(self):
+        m = matrix.vandermonde(3, 3)
+        inv = matrix.invert(m)
+        assert matrix.multiply(m, inv) == matrix.identity(3)
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            matrix.invert([[1, 2], [1, 2]])
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(ValueError):
+            matrix.invert(matrix.zeros(2, 2))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            matrix.invert([[1, 2, 3], [4, 5, 6]])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_invertible_roundtrip(self, data):
+        size = data.draw(st.integers(min_value=1, max_value=5))
+        m = [
+            [data.draw(st.integers(min_value=0, max_value=255)) for _ in range(size)]
+            for _ in range(size)
+        ]
+        if matrix.rank(m) < size:
+            return  # singular draw; nothing to check
+        inv = matrix.invert(m)
+        assert matrix.multiply(m, inv) == matrix.identity(size)
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert matrix.rank(matrix.identity(5)) == 5
+
+    def test_zero_matrix_rank(self):
+        assert matrix.rank(matrix.zeros(3, 3)) == 0
+
+    def test_duplicated_row(self):
+        assert matrix.rank([[1, 2], [1, 2]]) == 1
+
+    def test_rectangular(self):
+        assert matrix.rank([[1, 0, 0], [0, 1, 0]]) == 2
+
+
+class TestVandermonde:
+    def test_shape_and_values(self):
+        v = matrix.vandermonde(4, 3)
+        for r in range(4):
+            for c in range(3):
+                assert v[r][c] == gf256.power(r, c)
+
+    def test_any_square_subset_invertible(self):
+        v = matrix.vandermonde(8, 4)
+        for rows in [(0, 1, 2, 3), (0, 2, 4, 6), (4, 5, 6, 7), (1, 3, 5, 7)]:
+            sub = matrix.submatrix(v, rows)
+            assert matrix.rank(sub) == 4
+
+    def test_too_many_rows(self):
+        with pytest.raises(ValueError):
+            matrix.vandermonde(257, 2)
+
+
+class TestCauchy:
+    def test_all_square_submatrices_invertible(self):
+        c = matrix.cauchy([4, 5, 6, 7], [0, 1, 2, 3])
+        assert matrix.rank(c) == 4
+        for rows in [(0, 1), (1, 3), (0, 3)]:
+            sub = [matrix.submatrix(c, rows)[i][:2] for i in range(2)]
+            assert matrix.rank(sub) == 2
+
+    def test_overlapping_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            matrix.cauchy([1, 2], [2, 3])
+
+    def test_duplicate_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            matrix.cauchy([1, 1], [2, 3])
+
+    def test_values_are_inverses_of_sums(self):
+        c = matrix.cauchy([10], [3])
+        assert c[0][0] == gf256.inverse(10 ^ 3)

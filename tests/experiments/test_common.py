@@ -1,0 +1,121 @@
+"""Tests for experiment scales and the parameter mappings."""
+
+import pytest
+
+from repro.core.acceptance import DEFAULT_AGE_CAP
+from repro.experiments.common import (
+    DEFAULT,
+    FULL,
+    PAPER_FOCUS_THRESHOLD,
+    PAPER_THRESHOLDS,
+    QUICK,
+    ExperimentScale,
+    scale_by_name,
+    scaled_profiles,
+)
+
+
+class TestPresets:
+    def test_all_presets_resolvable(self):
+        for preset in (QUICK, DEFAULT, FULL):
+            assert scale_by_name(preset.name) is preset
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            scale_by_name("galactic")
+
+    def test_full_scale_is_the_paper(self):
+        assert FULL.population == 25_000
+        assert FULL.rounds == 50_000
+        assert FULL.data_blocks == 128
+        assert FULL.time_scale == 1.0
+        config = FULL.config()
+        assert config.repair_threshold == PAPER_FOCUS_THRESHOLD
+        assert config.quota == 384
+        assert config.age_cap == DEFAULT_AGE_CAP
+
+    def test_paper_threshold_range(self):
+        assert PAPER_THRESHOLDS[0] == 132
+        assert PAPER_THRESHOLDS[-1] == 180
+        assert 148 in PAPER_THRESHOLDS
+
+
+class TestScaledProfiles:
+    def test_identity_at_full_scale(self):
+        from repro.churn.profiles import PAPER_PROFILES
+
+        assert scaled_profiles(1.0) is PAPER_PROFILES
+
+    def test_proportions_and_availability_preserved(self):
+        for original, scaled in zip(scaled_profiles(1.0), scaled_profiles(0.25)):
+            assert scaled.proportion == original.proportion
+            assert scaled.availability == original.availability
+            assert scaled.name == original.name
+
+    def test_lifetimes_shrink(self):
+        scaled = scaled_profiles(0.5)
+        stable = next(p for p in scaled if p.name == "Stable")
+        assert stable.life_expectancy[0] == int(13140 * 0.5)
+
+    def test_durable_stays_unlimited(self):
+        scaled = scaled_profiles(0.1)
+        durable = next(p for p in scaled if p.name == "Durable")
+        assert durable.life_expectancy is None
+
+    def test_extreme_shrink_still_valid(self):
+        for profile in scaled_profiles(0.01):
+            if profile.life_expectancy:
+                low, high = profile.life_expectancy
+                assert 0 < low <= high
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scaled_profiles(0)
+
+
+class TestExperimentScale:
+    def test_threshold_mapping_preserves_slack(self):
+        # Both presets use a k=16, n=32 code: 148's slack fraction
+        # (20/128) maps to 16 + round(2.5) = 18.
+        assert DEFAULT.threshold(148) == 18
+        assert QUICK.threshold(148) == 18
+
+    def test_thresholds_deduplicated_and_sorted_like_input(self):
+        mapped = QUICK.thresholds()
+        assert len(mapped) == len(set(mapped))
+        assert list(mapped) == sorted(mapped)
+
+    def test_age_cap_scales(self):
+        assert QUICK.age_cap == int(DEFAULT_AGE_CAP * QUICK.time_scale)
+        assert FULL.age_cap == DEFAULT_AGE_CAP
+
+    def test_categories_scale(self):
+        scaled = QUICK.categories()
+        assert scaled.names() == [
+            "Newcomers", "Young peers", "Old peers", "Elder peers",
+        ]
+        newcomer = scaled.categories[0]
+        assert newcomer.upper < 2160  # shrunk from 3 months
+
+    def test_observers_scale(self):
+        observers = {spec.name: spec.fixed_age for spec in QUICK.observers()}
+        assert observers["Baby"] == 1
+        assert observers["Elder"] < 2160
+
+    def test_config_is_valid_and_consistent(self):
+        config = QUICK.config(paper_threshold=148, with_observers=True)
+        assert config.population == QUICK.population
+        assert config.observers
+        assert config.quota == int(QUICK.total_blocks * 1.5)
+        config.policy()  # must validate
+
+    def test_config_seed_override(self):
+        assert QUICK.config(seed=42).seed == 42
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale("x", 0, 10, 8, 8, 0.5, (0,))
+        with pytest.raises(ValueError):
+            ExperimentScale("x", 10, 10, 8, 8, 1.5, (0,))
+        with pytest.raises(ValueError):
+            ExperimentScale("x", 10, 10, 8, 8, 0.5, ())

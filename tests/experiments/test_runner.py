@@ -1,0 +1,52 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_tables_command_parses(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.experiment == "tables"
+
+    def test_scale_and_seeds(self):
+        args = build_parser().parse_args(
+            ["fig1", "--scale", "quick", "--seeds", "1", "2", "--markdown"]
+        )
+        assert args.scale == "quick"
+        assert args.seeds == [1, 2]
+        assert args.markdown
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        for name in (
+            "fig1", "fig2", "fig3", "fig4",
+            "ablation-selection", "ablation-quota",
+            "ablation-grace", "ablation-proactive",
+            "tables", "all",
+        ):
+            assert parser.parse_args([name]).experiment == name
+
+
+class TestMain:
+    def test_tables_exit_code(self, capsys):
+        assert main(["tables"]) == 0
+        output = capsys.readouterr().out
+        assert "T1" in output and "C1" in output
+
+    def test_csv_dir_option_parses(self):
+        args = build_parser().parse_args(["fig1", "--csv-dir", "/tmp/x"])
+        assert args.csv_dir == "/tmp/x"
+
+    def test_tables_markdown(self, capsys):
+        assert main(["tables", "--markdown"]) == 0
+        assert "|" in capsys.readouterr().out
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            main(["fig1", "--scale", "cosmic"])

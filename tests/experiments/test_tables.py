@@ -1,0 +1,76 @@
+"""Tests pinning the paper's tables (T1-T4) and cost analysis (C1)."""
+
+import pytest
+
+from repro.experiments import tables
+
+
+class TestT1SystemParameters:
+    def test_exact_published_values(self):
+        t1 = tables.t1_system_parameters()
+        assert t1["Archive Size"] == "128 MB"
+        assert t1["k (initial blocks)"] == 128
+        assert t1["m (added blocks)"] == 128
+
+
+class TestT2Profiles:
+    def test_rows_match_section_411(self):
+        t2 = tables.t2_profiles()
+        assert t2["Durable"]["proportion"] == 0.10
+        assert t2["Durable"]["availability"] == 0.95
+        assert t2["Stable"]["proportion"] == 0.25
+        assert t2["Unstable"]["availability"] == 0.75
+        assert t2["Erratic"]["proportion"] == 0.35
+        assert t2["Erratic"]["availability"] == 0.33
+
+
+class TestT3Categories:
+    def test_brackets_match_section_421(self):
+        t3 = tables.t3_categories()
+        assert t3["Newcomers"] == "0 - 2160 rounds"       # < 3 months
+        assert t3["Young peers"] == "2160 - 4320 rounds"  # 3-6 months
+        assert t3["Old peers"] == "4320 - 12960 rounds"   # 6-18 months
+        assert t3["Elder peers"] == "> 12960 rounds"      # > 18 months
+
+
+class TestT4Observers:
+    def test_ages_match_section_422(self):
+        t4 = tables.t4_observers()
+        assert t4 == {
+            "Elder": "3 month(s)",
+            "Senior": "1 month(s)",
+            "Adult": "1 week(s)",
+            "Teenager": "1 day(s)",
+            "Baby": "1 hour(s)",
+        }
+
+
+class TestC1Cost:
+    def test_headline_numbers(self):
+        c1 = tables.c1_cost_analysis()
+        assert c1["download_seconds"] == pytest.approx(512.0)
+        assert c1["worst_case_total_minutes"] == pytest.approx(76.8, abs=0.5)
+        assert c1["max_repairs_per_day"] == 18
+
+    def test_feasibility_32_archives_monthly(self):
+        rows = tables.c1_feasibility_rows()
+        by_archives = {row[0]: row for row in rows}
+        # The paper: 32 archives (4 GB) => about one repair per month.
+        assert by_archives[32][1] == 4096
+        assert 28 <= by_archives[32][3] <= 36
+
+    def test_feasibility_scales_linearly(self):
+        rows = tables.c1_feasibility_rows()
+        days = [row[3] for row in rows]
+        assert days == sorted(days)
+
+
+class TestRenderAll:
+    def test_contains_every_section(self):
+        text = tables.render_all()
+        for marker in ("T1", "T2", "T3", "T4", "C1"):
+            assert marker in text
+
+    def test_markdown_mode(self):
+        text = tables.render_all(markdown=True)
+        assert "|" in text

@@ -1,0 +1,110 @@
+"""Tests for the section 2.2.4 cost model — pinned to the paper's numbers."""
+
+import pytest
+
+from repro.net.bandwidth import (
+    FTTH,
+    KILOBYTE,
+    MEGABYTE,
+    MODERN_DSL,
+    PAPER_DSL,
+    CostModel,
+    LinkProfile,
+    paper_cost_table,
+)
+
+
+class TestLinkProfiles:
+    def test_paper_dsl_rates(self):
+        assert PAPER_DSL.download_bps == 256 * KILOBYTE
+        assert PAPER_DSL.upload_bps == 32 * KILOBYTE
+
+    def test_modern_dsl_is_four_times_faster(self):
+        assert MODERN_DSL.download_bps == 4 * PAPER_DSL.download_bps
+        assert MODERN_DSL.upload_bps == 4 * PAPER_DSL.upload_bps
+
+    def test_ftth_symmetric(self):
+        assert FTTH.download_bps == FTTH.upload_bps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile(download_bps=0, upload_bps=1)
+
+
+class TestCostModel:
+    def test_block_size_is_one_megabyte(self):
+        model = CostModel()
+        assert model.block_size == MEGABYTE
+
+    def test_download_exceeds_512_seconds(self):
+        """The paper: delta_download > 512 s on the reference DSL."""
+        cost = CostModel().repair_cost(regenerated_blocks=0)
+        assert cost.download_seconds == pytest.approx(512.0)
+
+    def test_upload_is_32_seconds_per_block(self):
+        """The paper: delta_upload > d x 32 s."""
+        model = CostModel()
+        one = model.repair_cost(1).upload_seconds
+        assert one == pytest.approx(32.0)
+
+    def test_worst_case_repair_is_77_minutes(self):
+        """The paper: 'a total repair time should last 69+8 = 77 minutes'."""
+        cost = CostModel().repair_cost(regenerated_blocks=128)
+        assert cost.total_minutes == pytest.approx(76.8, abs=0.5)
+        # Upload dominates ('most of which is taken by the upload').
+        assert cost.upload_seconds > cost.download_seconds
+
+    def test_max_repairs_per_day_about_20(self):
+        """The paper: 'no more than 20 repair operations per day'."""
+        per_day = CostModel().max_repairs_per_day(128)
+        assert 18 <= per_day <= 20
+
+    def test_32_archives_need_monthly_repair_rate(self):
+        """The paper: with 32 archives and a one-repair-per-day budget,
+        'the repair rate should be less than one per month approximatively'."""
+        model = CostModel()
+        budget = 1.0 / model.max_repairs_per_day(128)  # one repair/day of link
+        rate = model.feasible_repair_rate(32, 128, budget_fraction=budget)
+        days_between = 1.0 / rate
+        assert 28 <= days_between <= 36
+
+    def test_backup_cost(self):
+        # 256 blocks of 1 MB at 32 kB/s = 8192 s.
+        model = CostModel()
+        assert model.backup_cost_seconds(256) == pytest.approx(8192.0)
+
+    def test_restore_cost_equals_download(self):
+        model = CostModel()
+        assert model.restore_cost_seconds() == pytest.approx(512.0)
+
+    def test_modern_dsl_is_four_times_cheaper(self):
+        paper = CostModel(link=PAPER_DSL).repair_cost(128).total_seconds
+        modern = CostModel(link=MODERN_DSL).repair_cost(128).total_seconds
+        assert paper / modern == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(archive_size=0)
+        with pytest.raises(ValueError):
+            CostModel(data_blocks=0)
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.repair_cost(-1)
+        with pytest.raises(ValueError):
+            model.feasible_repair_rate(0, 10)
+        with pytest.raises(ValueError):
+            model.feasible_repair_rate(1, 10, budget_fraction=0)
+        with pytest.raises(ValueError):
+            model.backup_cost_seconds(10)
+
+
+class TestPaperCostTable:
+    def test_all_published_numbers(self):
+        table = paper_cost_table()
+        assert table["download_seconds"] == pytest.approx(512.0)
+        assert table["upload_seconds_per_block"] == pytest.approx(32.0)
+        assert table["worst_case_total_minutes"] == pytest.approx(76.8, abs=0.5)
+        assert table["max_repairs_per_day"] == 18
+        assert table["worst_case_upload_minutes"] > table[
+            "worst_case_download_minutes"
+        ]

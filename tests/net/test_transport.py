@@ -1,0 +1,128 @@
+"""Tests for the in-memory transport."""
+
+import pytest
+
+from repro.net.message import FetchReply, FetchRequest, Message, StoreRequest
+from repro.net.transport import InMemoryTransport, TransportError
+
+
+def echo_handler(peer_id):
+    def handle(message):
+        if isinstance(message, FetchRequest):
+            return FetchReply(
+                sender=peer_id,
+                recipient=message.sender,
+                archive_id=message.archive_id,
+                block_index=message.block_index,
+                payload=b"echo",
+            )
+        return None
+
+    return handle
+
+
+@pytest.fixture
+def transport():
+    t = InMemoryTransport()
+    t.register(1, echo_handler(1))
+    t.register(2, echo_handler(2))
+    return t
+
+
+class TestRegistration:
+    def test_len_counts_endpoints(self, transport):
+        assert len(transport) == 2
+
+    def test_unregister(self, transport):
+        transport.unregister(2)
+        assert len(transport) == 1
+        with pytest.raises(TransportError):
+            transport.send(FetchRequest(sender=1, recipient=2))
+
+    def test_is_online(self, transport):
+        assert transport.is_online(1)
+        transport.set_online(1, False)
+        assert not transport.is_online(1)
+        assert not transport.is_online(99)
+
+    def test_set_online_unknown_peer(self, transport):
+        with pytest.raises(TransportError):
+            transport.set_online(99, True)
+
+
+class TestDelivery:
+    def test_request_reply(self, transport):
+        reply = transport.send(FetchRequest(sender=1, recipient=2, archive_id="a"))
+        assert isinstance(reply, FetchReply)
+        assert reply.payload == b"echo"
+        assert reply.recipient == 1
+
+    def test_unknown_recipient(self, transport):
+        with pytest.raises(TransportError):
+            transport.send(FetchRequest(sender=1, recipient=9))
+
+    def test_unknown_sender(self, transport):
+        with pytest.raises(TransportError):
+            transport.send(FetchRequest(sender=9, recipient=1))
+
+    def test_offline_recipient(self, transport):
+        transport.set_online(2, False)
+        with pytest.raises(TransportError):
+            transport.send(FetchRequest(sender=1, recipient=2))
+
+    def test_offline_sender(self, transport):
+        transport.set_online(1, False)
+        with pytest.raises(TransportError):
+            transport.send(FetchRequest(sender=1, recipient=2))
+
+    def test_try_send_swallows_failures(self, transport):
+        transport.set_online(2, False)
+        assert transport.try_send(FetchRequest(sender=1, recipient=2)) is None
+
+    def test_try_send_success(self, transport):
+        assert transport.try_send(FetchRequest(sender=1, recipient=2)) is not None
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=1, recipient=1)
+
+
+class TestAccounting:
+    def test_payload_bytes_counted(self, transport):
+        transport.send(
+            StoreRequest(sender=1, recipient=2, archive_id="a", payload=b"x" * 100)
+        )
+        assert transport.stats_for(1).bytes_sent == 100
+        assert transport.stats_for(2).bytes_received == 100
+
+    def test_reply_bytes_counted_both_ways(self, transport):
+        transport.send(FetchRequest(sender=1, recipient=2))
+        # The 4-byte "echo" reply flows back to peer 1.
+        assert transport.stats_for(2).bytes_sent == 4
+        assert transport.stats_for(1).bytes_received == 4
+
+    def test_message_counts(self, transport):
+        transport.send(FetchRequest(sender=1, recipient=2))
+        assert transport.stats_for(1).messages_sent == 1
+        assert transport.stats_for(2).messages_received == 1
+        assert transport.stats_for(2).messages_sent == 1  # the reply
+
+    def test_stats_unknown_peer(self, transport):
+        with pytest.raises(TransportError):
+            transport.stats_for(42)
+
+    def test_log_disabled_by_default(self, transport):
+        transport.send(FetchRequest(sender=1, recipient=2))
+        assert transport.log == []
+
+    def test_log_records_when_enabled(self, transport):
+        transport.record_log = True
+        transport.send(FetchRequest(sender=1, recipient=2))
+        assert len(transport.log) == 2  # request + reply
+
+
+class TestMessageIds:
+    def test_ids_are_unique(self):
+        a = FetchRequest(sender=1, recipient=2)
+        b = FetchRequest(sender=1, recipient=2)
+        assert a.message_id != b.message_id

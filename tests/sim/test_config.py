@@ -1,0 +1,92 @@
+"""Tests for the simulation configuration."""
+
+import pytest
+
+from repro.core.policy import RepairPolicy
+from repro.sim.config import PAPER_OBSERVERS, ObserverSpec, SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = SimulationConfig()
+        assert isinstance(config.policy(), RepairPolicy)
+
+    @pytest.mark.parametrize("field,value", [
+        ("population", 0),
+        ("rounds", 0),
+        ("quota", -1),
+        ("sample_interval", 0),
+        ("pool_factor", 0.5),
+        ("max_examined_factor", 0),
+        ("grace_rounds", -1),
+        ("staggered_join_rounds", -1),
+        ("proactive_rate", -0.1),
+        ("acceptance_rule", "telepathy"),
+        ("warmup_rounds", 10_000),
+    ])
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ValueError):
+            SimulationConfig(**{field: value})
+
+    def test_threshold_outside_kn_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(data_blocks=16, parity_blocks=16, repair_threshold=40)
+
+
+class TestFactories:
+    def test_paper_parameters(self):
+        """Pin section 4.1: 25000 peers, k=m=128, quota=384, 50000 rounds."""
+        config = SimulationConfig.paper()
+        assert config.population == 25_000
+        assert config.rounds == 50_000
+        assert config.data_blocks == 128
+        assert config.parity_blocks == 128
+        assert config.total_blocks == 256
+        assert config.quota == 384
+        assert config.repair_threshold == 148
+
+    def test_paper_threshold_override(self):
+        assert SimulationConfig.paper(repair_threshold=132).repair_threshold == 132
+
+    def test_scaled_preserves_ratios(self):
+        config = SimulationConfig.scaled(
+            paper_threshold=148, data_blocks=16, parity_blocks=16
+        )
+        assert config.repair_threshold == 18
+        assert config.quota == 48  # 1.5 x n, like 384 = 1.5 x 256
+
+    def test_scaled_quota_override(self):
+        config = SimulationConfig.scaled(quota=99)
+        assert config.quota == 99
+
+    def test_scaled_forwards_overrides(self):
+        config = SimulationConfig.scaled(selection_strategy="random")
+        assert config.selection_strategy == "random"
+
+
+class TestCopies:
+    def test_with_threshold(self):
+        config = SimulationConfig()
+        updated = config.with_threshold(20)
+        assert updated.repair_threshold == 20
+        assert updated.population == config.population
+
+    def test_with_seed(self):
+        assert SimulationConfig().with_seed(9).seed == 9
+
+
+class TestObserverSpecs:
+    def test_paper_observers(self):
+        """Pin the observer table: 3 months, 1 month, 1 week, 1 day, 1 hour."""
+        by_name = {spec.name: spec.fixed_age for spec in PAPER_OBSERVERS}
+        assert by_name == {
+            "Elder": 90 * 24,
+            "Senior": 30 * 24,
+            "Adult": 7 * 24,
+            "Teenager": 24,
+            "Baby": 1,
+        }
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            ObserverSpec("X", -1)

@@ -1,0 +1,135 @@
+"""Property tests of the simulation engine: state stays exact under any knobs.
+
+The engine's incremental counters (visible/alive per archive, quota per
+holder, bidirectional holder links) are recomputed from scratch by
+``Simulation.audit``; these tests drive randomized configurations through
+short runs and require a spotless audit plus a handful of global
+conservation laws.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import ObserverSpec, SimulationConfig
+from repro.sim.engine import Simulation
+
+knob_strategy = st.fixed_dictionaries(
+    {
+        "population": st.integers(min_value=30, max_value=90),
+        "rounds": st.integers(min_value=200, max_value=700),
+        "data_blocks": st.sampled_from([4, 8]),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "grace_rounds": st.sampled_from([0, 12, 48]),
+        "acceptance_rule": st.sampled_from(["age", "uniform"]),
+        "selection_strategy": st.sampled_from(
+            ["age", "random", "availability", "oracle"]
+        ),
+        "adaptive_thresholds": st.booleans(),
+        "proactive": st.sampled_from([0.0, 0.02]),
+        "staggered": st.sampled_from([0, 100]),
+        "with_observers": st.booleans(),
+    }
+)
+
+
+def build_config(knobs) -> SimulationConfig:
+    k = knobs["data_blocks"]
+    observers = ()
+    if knobs["with_observers"]:
+        observers = (ObserverSpec("Baby", 1), ObserverSpec("Elder", 500))
+    return SimulationConfig(
+        population=knobs["population"],
+        rounds=knobs["rounds"],
+        data_blocks=k,
+        parity_blocks=k,
+        repair_threshold=k + max(k // 4, 1),
+        quota=3 * k,
+        seed=knobs["seed"],
+        grace_rounds=knobs["grace_rounds"],
+        acceptance_rule=knobs["acceptance_rule"],
+        selection_strategy=knobs["selection_strategy"],
+        adaptive_thresholds=knobs["adaptive_thresholds"],
+        proactive_rate=knobs["proactive"],
+        staggered_join_rounds=knobs["staggered"],
+        observers=observers,
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(knobs=knob_strategy)
+def test_audit_clean_for_any_configuration(knobs):
+    simulation = Simulation(build_config(knobs))
+    simulation.run()
+    assert simulation.audit() == []
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(knobs=knob_strategy)
+def test_conservation_laws(knobs):
+    config = build_config(knobs)
+    simulation = Simulation(config)
+    result = simulation.run()
+
+    # Population is maintained: alive normal peers == configured size.
+    assert len(simulation.population) == config.population
+    # Every death spawned exactly one replacement.
+    assert result.peers_created == config.population + result.deaths
+
+    # Block conservation: holder links match hosted sets, split by kind.
+    hosted_normal = sum(
+        len(p.hosted) for p in simulation.population.peers.values() if p.alive
+    )
+    hosted_free = sum(
+        len(p.hosted_free)
+        for p in simulation.population.peers.values()
+        if p.alive
+    )
+    held_normal = held_free = 0
+    for peer in simulation.population.peers.values():
+        if not peer.alive:
+            continue
+        if peer.is_observer:
+            held_free += len(peer.archive.holders)
+        else:
+            held_normal += len(peer.archive.holders)
+    assert hosted_normal == held_normal
+    assert hosted_free == held_free
+
+    # No archive ever exceeds n holders, and counters stay in range.
+    for peer in simulation.population.peers.values():
+        if not peer.alive:
+            continue
+        archive = peer.archive
+        assert len(archive.holders) <= config.total_blocks
+        assert 0 <= archive.visible <= archive.alive <= len(archive.holders)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_metrics_totals_match_archive_counters(seed):
+    """Per-archive repair counters of *surviving* peers never exceed the
+    global metric total (dead peers' counters are discarded)."""
+    config = SimulationConfig(
+        population=60,
+        rounds=900,
+        data_blocks=8,
+        parity_blocks=8,
+        repair_threshold=10,
+        quota=24,
+        seed=seed,
+    )
+    simulation = Simulation(config)
+    result = simulation.run()
+    surviving_repairs = sum(
+        p.archive.repair_count
+        for p in simulation.population.alive_normal_peers()
+    )
+    assert surviving_repairs <= result.metrics.total_repairs

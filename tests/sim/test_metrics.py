@@ -1,0 +1,129 @@
+"""Tests for the metrics collector and its derived rates."""
+
+import pytest
+
+from repro.core.categories import DEFAULT_SCHEME
+from repro.sim.metrics import MetricsCollector
+
+
+@pytest.fixture
+def metrics():
+    return MetricsCollector(DEFAULT_SCHEME)
+
+
+MONTH = 720
+
+
+class TestRecording:
+    def test_repairs_attributed_by_age(self, metrics):
+        metrics.record_repair(100, age=0, regenerated=4)
+        metrics.record_repair(100, age=20 * MONTH, regenerated=2)
+        assert metrics.by_category["Newcomers"].repairs == 1
+        assert metrics.by_category["Elder peers"].repairs == 1
+        assert metrics.total_repairs == 2
+
+    def test_observer_events_tracked_separately(self, metrics):
+        metrics.record_repair(100, age=0, regenerated=1, observer_name="Baby")
+        assert metrics.observer_repairs["Baby"] == 1
+        assert metrics.total_repairs == 0
+        assert metrics.by_category["Newcomers"].repairs == 0
+
+    def test_losses(self, metrics):
+        metrics.record_loss(5, age=4 * MONTH)
+        assert metrics.by_category["Young peers"].losses == 1
+        assert metrics.total_losses == 1
+
+    def test_blocked_and_placements(self, metrics):
+        metrics.record_blocked(5, age=0)
+        metrics.record_placement(5, age=0)
+        assert metrics.by_category["Newcomers"].blocked == 1
+        assert metrics.by_category["Newcomers"].placements == 1
+
+    def test_warmup_exclusion(self):
+        metrics = MetricsCollector(DEFAULT_SCHEME, warmup_rounds=1000)
+        metrics.record_repair(500, age=0, regenerated=1)   # during warmup
+        metrics.record_repair(1500, age=0, regenerated=1)  # after warmup
+        assert metrics.by_category["Newcomers"].repairs == 1
+        assert metrics.total_repairs == 2  # the raw total still counts both
+
+    def test_pool_and_starved_counters(self, metrics):
+        metrics.record_pool(examined=10, accepted=4)
+        metrics.record_starved()
+        assert metrics.pool_examined == 10
+        assert metrics.pool_accepted == 4
+        assert metrics.starved_repairs == 1
+
+
+class TestSampling:
+    def test_population_census(self, metrics):
+        ages = [0, 0, 4 * MONTH, 20 * MONTH]
+        metrics.sample(240, ages, interval=24)
+        point = metrics.series[-1]
+        assert point.population["Newcomers"] == 2
+        assert point.population["Young peers"] == 1
+        assert point.population["Elder peers"] == 1
+
+    def test_peer_rounds_accrue(self, metrics):
+        metrics.sample(24, [0, 0, 0], interval=24)
+        metrics.sample(48, [0, 0], interval=24)
+        assert metrics.by_category["Newcomers"].peer_rounds == 3 * 24 + 2 * 24
+
+    def test_series_snapshots_cumulative_counts(self, metrics):
+        metrics.record_repair(5, age=0, regenerated=1)
+        metrics.sample(24, [0], interval=24)
+        metrics.record_repair(30, age=0, regenerated=1)
+        metrics.sample(48, [0], interval=24)
+        repairs = [p.cumulative_repairs["Newcomers"] for p in metrics.series]
+        assert repairs == [1, 2]
+
+
+class TestRates:
+    def test_repair_rate_per_1000(self, metrics):
+        for _ in range(6):
+            metrics.record_repair(100, age=0, regenerated=1)
+        metrics.sample(24, [0] * 250, interval=24)
+        # 6 repairs over 250 peers x 24 rounds = 0.001 per peer-round.
+        assert metrics.repair_rate_per_1000("Newcomers") == pytest.approx(1.0)
+
+    def test_rate_with_no_exposure_is_zero(self, metrics):
+        metrics.record_repair(100, age=0, regenerated=1)
+        assert metrics.repair_rate_per_1000("Newcomers") == 0.0
+
+    def test_loss_rate(self, metrics):
+        metrics.record_loss(100, age=0)
+        metrics.sample(24, [0] * 1000, interval=1)
+        assert metrics.loss_rate_per_1000("Newcomers") == pytest.approx(1.0)
+
+    def test_rates_table_structure(self, metrics):
+        metrics.sample(24, [0], interval=24)
+        table = metrics.rates_table()
+        assert set(table) == set(DEFAULT_SCHEME.names())
+        assert "repairs_per_1000" in table["Newcomers"]
+
+
+class TestSeriesViews:
+    def test_observer_series(self, metrics):
+        metrics.record_repair(5, age=0, regenerated=1, observer_name="Baby")
+        metrics.sample(24, [], interval=24)
+        metrics.record_repair(30, age=0, regenerated=1, observer_name="Baby")
+        metrics.sample(48, [], interval=24)
+        assert metrics.observer_series("Baby") == [(24, 1), (48, 2)]
+
+    def test_observer_series_unknown_name(self, metrics):
+        metrics.sample(24, [], interval=24)
+        assert metrics.observer_series("Ghost") == [(24, 0)]
+
+    def test_losses_per_peer_series(self, metrics):
+        metrics.record_loss(5, age=0)
+        metrics.sample(24, [0, 0], interval=24)  # 2 newcomers, 1 loss
+        series = metrics.losses_per_peer_series("Newcomers")
+        assert series == [(24, 0.5)]
+
+    def test_losses_per_peer_handles_empty_category(self, metrics):
+        metrics.sample(24, [], interval=24)
+        assert metrics.losses_per_peer_series("Newcomers") == [(24, 0.0)]
+
+    def test_category_loss_series(self, metrics):
+        metrics.record_loss(5, age=0)
+        metrics.sample(24, [0], interval=24)
+        assert metrics.category_loss_series("Newcomers") == [(24, 1)]

@@ -1,0 +1,127 @@
+"""Tests for the RNG streams and the event queue."""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.rng import STREAM_NAMES, RngStreams
+
+
+class TestRngStreams:
+    def test_all_streams_exist(self):
+        streams = RngStreams(0)
+        for name in STREAM_NAMES:
+            assert streams.stream(name) is not None
+
+    def test_attribute_access(self):
+        streams = RngStreams(0)
+        assert streams.sessions is streams.stream("sessions")
+
+    def test_unknown_stream(self):
+        with pytest.raises(ValueError):
+            RngStreams(0).stream("nope")
+        with pytest.raises(AttributeError):
+            RngStreams(0).nope
+
+    def test_same_seed_same_draws(self):
+        a, b = RngStreams(5), RngStreams(5)
+        assert a.lifetimes.random(10).tolist() == b.lifetimes.random(10).tolist()
+
+    def test_different_seeds_differ(self):
+        a, b = RngStreams(5), RngStreams(6)
+        assert a.lifetimes.random(10).tolist() != b.lifetimes.random(10).tolist()
+
+    def test_streams_are_independent(self):
+        """Consuming one stream must not shift another."""
+        a, b = RngStreams(5), RngStreams(5)
+        a.sessions.random(1000)  # burn only in a
+        assert a.lifetimes.random(5).tolist() == b.lifetimes.random(5).tolist()
+
+    def test_spawned_generators_deterministic(self):
+        a, b = RngStreams(5), RngStreams(5)
+        assert a.spawn().random(5).tolist() == b.spawn().random(5).tolist()
+
+    def test_none_seed_accepted(self):
+        assert RngStreams(None).sessions.random() is not None
+
+
+class TestEventQueue:
+    @pytest.fixture
+    def queue(self):
+        return EventQueue(np.random.default_rng(0))
+
+    def test_pop_in_round_order(self, queue):
+        queue.schedule(5, Event(EventKind.DEATH, 1))
+        queue.schedule(1, Event(EventKind.JOIN))
+        queue.schedule(3, Event(EventKind.TOGGLE, 2))
+        rounds = [queue.pop()[0] for _ in range(3)]
+        assert rounds == [1, 3, 5]
+
+    def test_same_round_order_is_randomised(self):
+        orders = set()
+        for seed in range(8):
+            queue = EventQueue(np.random.default_rng(seed))
+            for peer in range(6):
+                queue.schedule(1, Event(EventKind.TOGGLE, peer))
+            order = tuple(queue.pop()[1].peer_id for _ in range(6))
+            orders.add(order)
+        assert len(orders) > 1
+
+    def test_cancel_skips_event(self, queue):
+        keep = queue.schedule(1, Event(EventKind.JOIN))
+        drop = queue.schedule(1, Event(EventKind.DEATH, 9))
+        queue.cancel(drop)
+        assert len(queue) == 1
+        round_number, event = queue.pop()
+        assert event.kind == EventKind.JOIN
+        assert queue.pop() is None
+        del keep
+
+    def test_cancel_twice_is_safe(self, queue):
+        entry = queue.schedule(1, Event(EventKind.JOIN))
+        queue.cancel(entry)
+        queue.cancel(entry)
+        assert len(queue) == 0
+
+    def test_pop_empty(self, queue):
+        assert queue.pop() is None
+        assert not queue
+
+    def test_peek_round(self, queue):
+        assert queue.peek_round() is None
+        queue.schedule(7, Event(EventKind.SAMPLE))
+        assert queue.peek_round() == 7
+
+    def test_peek_skips_cancelled(self, queue):
+        entry = queue.schedule(2, Event(EventKind.SAMPLE))
+        queue.schedule(9, Event(EventKind.JOIN))
+        queue.cancel(entry)
+        assert queue.peek_round() == 9
+
+    def test_drain_until_respects_bound(self, queue):
+        for round_number in (1, 5, 10, 15):
+            queue.schedule(round_number, Event(EventKind.SAMPLE))
+        drained = list(queue.drain_until(10))
+        assert [r for r, _ in drained] == [1, 5, 10]
+        assert queue.peek_round() == 15
+
+    def test_drain_processes_events_scheduled_during_drain(self, queue):
+        queue.schedule(1, Event(EventKind.JOIN))
+        seen = []
+        for round_number, event in queue.drain_until(10):
+            seen.append((round_number, event.kind))
+            if event.kind == EventKind.JOIN and round_number == 1:
+                queue.schedule(1, Event(EventKind.REPAIR_CHECK, 1))
+                queue.schedule(4, Event(EventKind.DEATH, 1))
+        kinds = [kind for _, kind in seen]
+        assert EventKind.REPAIR_CHECK in kinds
+        assert EventKind.DEATH in kinds
+
+    def test_negative_round_rejected(self, queue):
+        with pytest.raises(ValueError):
+            queue.schedule(-1, Event(EventKind.JOIN))
+
+    def test_len_tracks_live_events(self, queue):
+        entries = [queue.schedule(1, Event(EventKind.JOIN)) for _ in range(5)]
+        queue.cancel(entries[0])
+        assert len(queue) == 4

@@ -1,0 +1,36 @@
+"""Every module in the package must import cleanly and be documented."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_module_names():
+    names = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return names
+
+
+@pytest.mark.parametrize("name", _all_module_names())
+def test_module_imports_and_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} is missing a module docstring"
+
+
+def test_public_symbols_are_documented():
+    """Every name re-exported by a package __init__ has a docstring."""
+    undocumented = []
+    for package_name in (
+        "repro.core", "repro.sim", "repro.churn", "repro.erasure",
+        "repro.net", "repro.backup", "repro.analysis", "repro.baselines",
+    ):
+        package = importlib.import_module(package_name)
+        for symbol in getattr(package, "__all__", []):
+            value = getattr(package, symbol)
+            if callable(value) and not getattr(value, "__doc__", None):
+                undocumented.append(f"{package_name}.{symbol}")
+    assert not undocumented, undocumented
