@@ -9,9 +9,40 @@ backup/restore pipeline.
 import numpy as np
 
 from repro.backup import BackupSwarm, BackupTask, RestoreTask
-from repro.erasure import ArchiveCodec, ReedSolomonCode
+from repro.erasure import ArchiveCodec, ReedSolomonCode, gf256, matrix
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import run_simulation
+
+
+def test_gf256_dot_product(benchmark):
+    """Pure-python inner-product throughput (the matrix-algebra hot path).
+
+    Exercises the 256x256 product-table lookups that replaced the
+    log/antilog arithmetic in ``gf256`` inner loops.
+    """
+    rng = np.random.default_rng(2)
+    xs = [int(v) for v in rng.integers(0, 256, 4096)]
+    ys = [int(v) for v in rng.integers(0, 256, 4096)]
+
+    def many():
+        total = 0
+        for _ in range(50):
+            total ^= gf256.dot_product(xs, ys)
+        return total
+
+    benchmark(many)
+
+
+def test_gf256_matrix_invert(benchmark):
+    """Gauss-Jordan inversion of a 64x64 Cauchy matrix (decode setup cost).
+
+    ``matrix.invert`` spends its time in ``scale_vector`` row lookups;
+    this is the pure-python decoder's dominant term at paper-scale k.
+    """
+    cauchy = matrix.cauchy(list(range(64, 128)), list(range(64)))
+    inverted = benchmark(matrix.invert, cauchy)
+    product = matrix.multiply(cauchy, inverted)
+    assert product == matrix.identity(64)
 
 
 def test_reed_solomon_encode_paper_dimensions(benchmark):

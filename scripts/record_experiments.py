@@ -1,14 +1,23 @@
 #!/usr/bin/env python
 """Run the recorded experiment suite and dump raw results for EXPERIMENTS.md.
 
-One process, default scale, every figure and ablation; figures 1 and 2
-share a single threshold sweep.  Output is plain text on stdout.
+Default scale, every figure and ablation, all through one
+:class:`~repro.exec.SweepExecutor`: ``--workers N`` fans simulation
+cells over a process pool, figures 1 and 2 (identical threshold sweeps)
+cost one set of simulations through the executor's cell memo, and the
+on-disk result cache means re-running the script only simulates what
+changed.  Output is plain text on stdout.
 """
 
+import argparse
 import time
 
-from repro.analysis.aggregate import sweep_rates, threshold_sweep
-from repro.analysis.report import sweep_report
+from repro.exec import ResultCache, SweepExecutor
+from repro.experiments.runner import _positive_int
+from repro.experiments.ablation_adaptive import (
+    check_shape as check_a5,
+    run_ablation_adaptive,
+)
 from repro.experiments.ablation_grace import run_ablation_grace
 from repro.experiments.ablation_proactive import run_ablation_proactive
 from repro.experiments.ablation_quota import run_ablation_quota
@@ -16,14 +25,14 @@ from repro.experiments.ablation_selection import (
     check_shape as check_a1,
     run_ablation_selection,
 )
-from repro.experiments.common import DEFAULT, PAPER_THRESHOLDS
+from repro.experiments.common import DEFAULT
 from repro.experiments.fig1_repairs_by_threshold import (
-    Figure1Result,
     check_shape as check_fig1,
+    run_figure1,
 )
 from repro.experiments.fig2_losses_by_threshold import (
-    Figure2Result,
     check_shape as check_fig2,
+    run_figure2,
 )
 from repro.experiments.fig3_observer_repairs import (
     check_shape as check_fig3,
@@ -40,60 +49,68 @@ def banner(title):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="concurrent simulation cells (process pool)")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="on-disk result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    args = parser.parse_args()
+
     started = time.time()
     scale = DEFAULT
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = SweepExecutor(workers=args.workers, cache=cache)
 
-    banner("F1 + F2 — threshold sweep (shared runs)")
-    base = scale.config()
-    thresholds = scale.thresholds(PAPER_THRESHOLDS)
-    print(f"mapped thresholds: {thresholds} (from paper {PAPER_THRESHOLDS})")
-    sweep = threshold_sweep(base, thresholds, scale.seeds)
-    categories = base.categories.names()
-
-    fig1 = Figure1Result(
-        scale_name=scale.name,
-        thresholds=list(thresholds),
-        paper_thresholds=list(PAPER_THRESHOLDS),
-        rates=sweep_rates(sweep, "repairs"),
-        categories=categories,
-    )
+    banner("F1 — threshold sweep, repairs")
+    fig1 = run_figure1(scale=scale, executor=executor)
     print(fig1.render())
     print("fig1 shape:", check_fig1(fig1) or "OK", flush=True)
 
-    fig2 = Figure2Result(
-        scale_name=scale.name,
-        thresholds=list(thresholds),
-        rates=sweep_rates(sweep, "losses"),
-        categories=categories,
-    )
+    # Identical sweep cells: the executor's memo means F2 simulates
+    # nothing new, cache or no cache.
+    banner("F2 — threshold sweep, losses")
+    fig2 = run_figure2(scale=scale, executor=executor)
     print(fig2.render())
     print("fig2 shape:", check_fig2(fig2) or "OK", flush=True)
 
     banner("F3 — observers")
-    fig3 = run_figure3(scale=scale)
+    fig3 = run_figure3(scale=scale, executor=executor)
     print(fig3.render())
     print("fig3 shape:", check_fig3(fig3) or "OK", flush=True)
 
     banner("F4 — cumulative losses")
-    fig4 = run_figure4(scale=scale)
+    fig4 = run_figure4(scale=scale, executor=executor)
     print(fig4.render())
     print("fig4 shape:", check_fig4(fig4) or "OK", flush=True)
 
     banner("A1 — selection strategies")
-    a1 = run_ablation_selection(scale=scale, seeds=(0,))
+    a1 = run_ablation_selection(scale=scale, seeds=(0,), executor=executor)
     print(a1.render())
     print("a1 shape:", check_a1(a1) or "OK", flush=True)
 
     banner("A2 — quota")
-    print(run_ablation_quota(scale=scale, seeds=(0,)).render(), flush=True)
+    print(run_ablation_quota(scale=scale, seeds=(0,),
+                             executor=executor).render(), flush=True)
 
     banner("A3 — grace")
-    print(run_ablation_grace(scale=scale, seeds=(0,)).render(), flush=True)
+    print(run_ablation_grace(scale=scale, seeds=(0,),
+                             executor=executor).render(), flush=True)
 
     banner("A4 — proactive")
-    print(run_ablation_proactive(scale=scale, seeds=(0,)).render(), flush=True)
+    print(run_ablation_proactive(scale=scale, seeds=(0,),
+                                 executor=executor).render(), flush=True)
 
-    print(f"\ntotal wall clock: {time.time() - started:.0f}s")
+    banner("A5 — adaptive thresholds")
+    a5 = run_ablation_adaptive(scale=scale, seeds=(0,), executor=executor)
+    print(a5.render())
+    print("a5 shape:", check_a5(a5) or "OK", flush=True)
+
+    stats = executor.stats
+    print(f"\n[executor] {stats.cells} cells: {stats.simulated} simulated, "
+          f"{stats.cache_hits} from cache ({args.workers} worker(s))")
+    print(f"total wall clock: {time.time() - started:.0f}s")
 
 
 if __name__ == "__main__":

@@ -5,9 +5,12 @@ from .aggregate import (
     aggregate_loss_rates,
     aggregate_metric,
     aggregate_repair_rates,
+    axis_rates,
+    replication_spec,
     run_replications,
     sweep_rates,
     threshold_sweep,
+    threshold_sweep_spec,
 )
 from .plots import ascii_chart, sparkline
 from .report import (
@@ -41,9 +44,12 @@ __all__ = [
     "aggregate_loss_rates",
     "aggregate_metric",
     "aggregate_repair_rates",
+    "axis_rates",
+    "replication_spec",
     "run_replications",
     "sweep_rates",
     "threshold_sweep",
+    "threshold_sweep_spec",
     "ascii_chart",
     "sparkline",
     "dict_report",

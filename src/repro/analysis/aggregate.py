@@ -4,16 +4,23 @@ The paper reports single-run numbers; we replicate each configuration
 over several seeds and report means with spread, which makes the shape
 claims (ordering of categories, monotonicity in the threshold) testable
 statements rather than one-off observations.
+
+Execution goes through :mod:`repro.exec`: the helpers here build
+:class:`~repro.exec.ExperimentSpec` objects and consume executor result
+sets, so replications and threshold sweeps inherit parallelism and
+on-disk result caching from whatever :class:`~repro.exec.SweepExecutor`
+the caller supplies.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from ..exec import ExperimentSpec, SweepExecutor, SweepResult
 from ..sim.config import SimulationConfig
-from ..sim.engine import SimulationResult, run_simulation
+from ..sim.engine import SimulationResult
 
 
 @dataclass(frozen=True)
@@ -46,13 +53,27 @@ class Aggregate:
         )
 
 
-def run_replications(
+def replication_spec(
     config: SimulationConfig, seeds: Sequence[int]
-) -> List[SimulationResult]:
-    """Run one configuration once per seed."""
+) -> ExperimentSpec:
+    """A gridless spec: one configuration, one cell per seed."""
     if not seeds:
         raise ValueError("at least one seed is required")
-    return [run_simulation(config.with_seed(seed)) for seed in seeds]
+    return ExperimentSpec(
+        name="replications",
+        build=lambda params: config,
+        seeds=tuple(seeds),
+    )
+
+
+def run_replications(
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    executor: Optional[SweepExecutor] = None,
+) -> List[SimulationResult]:
+    """Run one configuration once per seed."""
+    executor = executor if executor is not None else SweepExecutor()
+    return executor.run(replication_spec(config, seeds)).replications()
 
 
 def aggregate_metric(
@@ -87,20 +108,34 @@ def aggregate_loss_rates(
     return aggregate_metric(results, lambda r: r.loss_rates())
 
 
+def threshold_sweep_spec(
+    base_config: SimulationConfig,
+    thresholds: Sequence[int],
+    seeds: Sequence[int],
+) -> ExperimentSpec:
+    """The figure 1/2 spec: a ``threshold`` axis crossed with seeds."""
+    if not thresholds:
+        raise ValueError("at least one threshold is required")
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    return ExperimentSpec(
+        name="threshold-sweep",
+        build=lambda params: base_config.with_threshold(params["threshold"]),
+        grid={"threshold": tuple(thresholds)},
+        seeds=tuple(seeds),
+    )
+
+
 def threshold_sweep(
     base_config: SimulationConfig,
     thresholds: Sequence[int],
     seeds: Sequence[int],
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[int, List[SimulationResult]]:
     """Run the figure 1/2 sweep: every threshold x every seed."""
-    if not thresholds:
-        raise ValueError("at least one threshold is required")
-    sweep: Dict[int, List[SimulationResult]] = {}
-    for threshold in thresholds:
-        sweep[threshold] = run_replications(
-            base_config.with_threshold(threshold), seeds
-        )
-    return sweep
+    executor = executor if executor is not None else SweepExecutor()
+    sweep = executor.run(threshold_sweep_spec(base_config, thresholds, seeds))
+    return sweep.by_axis("threshold")
 
 
 def sweep_rates(
@@ -116,3 +151,15 @@ def sweep_rates(
     return {
         threshold: aggregator(results) for threshold, results in sweep.items()
     }
+
+
+def axis_rates(
+    sweep: SweepResult, axis: str, metric: str
+) -> Dict[object, Dict[str, Aggregate]]:
+    """Collapse an executor result set along one grid axis.
+
+    The :class:`~repro.exec.SweepResult` counterpart of
+    :func:`sweep_rates`: groups results by ``axis`` value and aggregates
+    the chosen metric (``"repairs"`` or ``"losses"``) across seeds.
+    """
+    return sweep_rates(sweep.by_axis(axis), metric)

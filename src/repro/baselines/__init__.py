@@ -23,6 +23,7 @@ from .comparison import (
     StrategyOutcome,
     compare_strategies,
     comparison_rows,
+    strategy_spec,
 )
 from .proactive import ChurnEstimate, estimate_churn, measured_churn
 
@@ -33,6 +34,7 @@ __all__ = [
     "StrategyOutcome",
     "compare_strategies",
     "comparison_rows",
+    "strategy_spec",
     "ChurnEstimate",
     "estimate_churn",
     "measured_churn",

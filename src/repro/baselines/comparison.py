@@ -9,11 +9,12 @@ age-blind baseline and the oracle upper bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.selection import available_strategies
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
 from ..sim.config import SimulationConfig
-from ..sim.engine import SimulationResult, run_simulation
+from ..sim.engine import SimulationResult
 
 
 @dataclass
@@ -28,12 +29,12 @@ class StrategyOutcome:
     observer_repairs: Dict[str, float] = field(default_factory=dict)
 
 
-def compare_strategies(
+def strategy_spec(
     base_config: SimulationConfig,
     strategies: Sequence[str] = ("age", "random", "availability", "oracle"),
     seeds: Sequence[int] = (0,),
-) -> List[StrategyOutcome]:
-    """Run every strategy over every seed; returns per-strategy means."""
+) -> ExperimentSpec:
+    """The strategy comparison as a declarative spec (one axis: strategy)."""
     known = set(available_strategies())
     unknown = [s for s in strategies if s not in known]
     if unknown:
@@ -41,24 +42,44 @@ def compare_strategies(
     if not seeds:
         raise ValueError("at least one seed is required")
 
-    outcomes = []
-    for strategy in strategies:
+    def build(params: Dict[str, object]) -> SimulationConfig:
+        strategy = params["strategy"]
         # The paper's mechanism is two-sided: the acceptation function
         # filters the pool AND the selection ranks it by age.  Baselines
         # therefore run with the age-blind uniform acceptance, so that
         # "random" really is a system without lifetime estimation.
         acceptance = "age" if strategy == "age" else "uniform"
-        results: List[SimulationResult] = []
-        for seed in seeds:
-            config = replace(
-                base_config,
-                selection_strategy=strategy,
-                acceptance_rule=acceptance,
-                seed=seed,
-            )
-            results.append(run_simulation(config))
-        outcomes.append(_summarise(strategy, results))
-    return outcomes
+        return replace(
+            base_config,
+            selection_strategy=strategy,
+            acceptance_rule=acceptance,
+        )
+
+    def reduce(sweep) -> List[StrategyOutcome]:
+        return [
+            _summarise(strategy, results)
+            for strategy, results in sweep.by_axis("strategy").items()
+        ]
+
+    return ExperimentSpec(
+        name="strategy-comparison",
+        build=build,
+        grid={"strategy": tuple(strategies)},
+        seeds=tuple(seeds),
+        reduce=reduce,
+    )
+
+
+def compare_strategies(
+    base_config: SimulationConfig,
+    strategies: Sequence[str] = ("age", "random", "availability", "oracle"),
+    seeds: Sequence[int] = (0,),
+    executor: Optional[SweepExecutor] = None,
+) -> List[StrategyOutcome]:
+    """Run every strategy over every seed; returns per-strategy means."""
+    return run_experiment(
+        strategy_spec(base_config, strategies, seeds), executor
+    )
 
 
 def _summarise(strategy: str, results: List[SimulationResult]) -> StrategyOutcome:

@@ -95,6 +95,32 @@ class Profile:
         low, high = self.life_expectancy
         return (low + high) / 2.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-safe), for config hashing and transport."""
+        return {
+            "name": self.name,
+            "proportion": self.proportion,
+            "life_expectancy": (
+                None
+                if self.life_expectancy is None
+                else list(self.life_expectancy)
+            ),
+            "availability": self.availability,
+            "mean_online_session": self.mean_online_session,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Profile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        expectancy = data["life_expectancy"]
+        return cls(
+            name=data["name"],
+            proportion=data["proportion"],
+            life_expectancy=None if expectancy is None else tuple(expectancy),
+            availability=data["availability"],
+            mean_online_session=data["mean_online_session"],
+        )
+
 
 #: The paper's four profiles, with the exact proportions, life-expectancy
 #: ranges and availabilities of the table in section 4.1.1.

@@ -36,6 +36,15 @@ class Category:
             return False
         return self.upper is None or age < self.upper
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-safe)."""
+        return {"name": self.name, "lower": self.lower, "upper": self.upper}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Category":
+        """Rebuild a category from :meth:`to_dict` output."""
+        return cls(name=data["name"], lower=data["lower"], upper=data["upper"])
+
 
 #: The paper's four categories: Newcomers < 3 months, Young 3-6 months,
 #: Old 6-18 months, Elder > 18 months.
@@ -68,6 +77,17 @@ class CategoryScheme:
         if last.lower != previous_upper:
             raise ValueError("categories must be contiguous from age 0")
         self.categories = tuple(categories)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CategoryScheme):
+            return NotImplemented
+        return self.categories == other.categories
+
+    def __hash__(self) -> int:
+        return hash(self.categories)
+
+    def __repr__(self) -> str:
+        return f"CategoryScheme({self.categories!r})"
 
     def classify(self, age: float) -> Category:
         """Return the category an age belongs to."""
@@ -102,6 +122,19 @@ class CategoryScheme:
                 Category(category.name, int(category.lower * factor), upper)
             )
         return CategoryScheme(tuple(scaled))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-safe), for config hashing and transport."""
+        return {
+            "categories": [category.to_dict() for category in self.categories]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CategoryScheme":
+        """Rebuild a scheme from :meth:`to_dict` output."""
+        return cls(
+            tuple(Category.from_dict(entry) for entry in data["categories"])
+        )
 
     def table(self) -> Dict[str, str]:
         """The category table (T4.2.1) as ``name -> bracket`` strings."""

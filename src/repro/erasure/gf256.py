@@ -7,8 +7,11 @@ principles: elements are integers in ``[0, 255]``, addition is XOR, and
 multiplication is polynomial multiplication modulo the AES reduction
 polynomial ``x^8 + x^4 + x^3 + x + 1`` (0x11B).
 
-Log/antilog tables over the generator ``0x03`` accelerate multiplication,
-division, inversion and exponentiation to table lookups.
+Log/antilog tables over the generator ``0x03`` accelerate division,
+inversion and exponentiation to table lookups; multiplication goes one
+step further through a precomputed 256x256 product table
+(:data:`MUL_TABLE`), so the inner loops of vector and matrix arithmetic
+are single indexed loads with no zero-checks and no index arithmetic.
 """
 
 from __future__ import annotations
@@ -58,6 +61,23 @@ def _build_tables() -> tuple:
 EXP_TABLE, LOG_TABLE = _build_tables()
 
 
+def _build_mul_table() -> tuple:
+    table = [[0] * FIELD_SIZE for _ in range(FIELD_SIZE)]
+    for a in range(1, FIELD_SIZE):
+        row = table[a]
+        log_a = LOG_TABLE[a]
+        for b in range(1, FIELD_SIZE):
+            row[b] = EXP_TABLE[log_a + LOG_TABLE[b]]
+    return tuple(tuple(row) for row in table)
+
+
+#: Full 256x256 multiplication table: ``MUL_TABLE[a][b] == a * b``.
+#: Row 0 and column 0 are zero, so hot loops need no zero special-case;
+#: grabbing one row (``MUL_TABLE[scalar]``) turns scalar-vector products
+#: into single lookups per element.
+MUL_TABLE = _build_mul_table()
+
+
 def validate_element(value: int) -> int:
     """Return ``value`` if it is a valid field element, else raise ``ValueError``."""
     if not isinstance(value, int) or isinstance(value, bool):
@@ -78,10 +98,8 @@ def subtract(a: int, b: int) -> int:
 
 
 def multiply(a: int, b: int) -> int:
-    """Field multiplication via log/antilog tables."""
-    if a == 0 or b == 0:
-        return 0
-    return EXP_TABLE[LOG_TABLE[a] + LOG_TABLE[b]]
+    """Field multiplication via the precomputed product table."""
+    return MUL_TABLE[a][b]
 
 
 def divide(a: int, b: int) -> int:
@@ -116,19 +134,17 @@ def dot_product(xs: Sequence[int], ys: Sequence[int]) -> int:
     """Inner product of two equal-length vectors over GF(256)."""
     if len(xs) != len(ys):
         raise ValueError(f"vector length mismatch: {len(xs)} != {len(ys)}")
+    table = MUL_TABLE
     acc = 0
     for x, y in zip(xs, ys):
-        if x and y:
-            acc ^= EXP_TABLE[LOG_TABLE[x] + LOG_TABLE[y]]
+        acc ^= table[x][y]
     return acc
 
 
 def scale_vector(vector: Iterable[int], scalar: int) -> List[int]:
-    """Multiply every element of ``vector`` by ``scalar``."""
-    if scalar == 0:
-        return [0 for _ in vector]
-    log_s = LOG_TABLE[scalar]
-    return [EXP_TABLE[LOG_TABLE[v] + log_s] if v else 0 for v in vector]
+    """Multiply every element of ``vector`` by ``scalar`` (one row lookup)."""
+    row = MUL_TABLE[scalar]
+    return [row[v] for v in vector]
 
 
 def add_vectors(xs: Sequence[int], ys: Sequence[int]) -> List[int]:

@@ -25,18 +25,9 @@ class ErasureCodingError(Exception):
     """Raised when encoding or decoding is impossible."""
 
 
-def _build_numpy_tables() -> np.ndarray:
-    """Full 256x256 multiplication table for vectorised block math."""
-    mul = np.zeros((256, 256), dtype=np.uint8)
-    exp = np.array(gf256.EXP_TABLE, dtype=np.int32)
-    log = np.array(gf256.LOG_TABLE[1:], dtype=np.int32)
-    # mul[a, b] for a, b >= 1 via log tables; row/column 0 stay zero.
-    logs = log[:, None] + log[None, :]
-    mul[1:, 1:] = exp[logs].astype(np.uint8)
-    return mul
-
-
-_MUL_TABLE = _build_numpy_tables()
+#: numpy view of the shared 256x256 product table (gf256.MUL_TABLE),
+#: for vectorised block math via fancy-indexed row lookups.
+_MUL_TABLE = np.array(gf256.MUL_TABLE, dtype=np.uint8)
 
 
 def _gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -1,0 +1,39 @@
+"""Declarative experiment execution: specs, sweep executor, result cache.
+
+This subsystem factors the sweep machinery out of the individual
+experiment modules (in the spirit of factorised query processing): an
+experiment is an :class:`ExperimentSpec` — parameter grid x seeds, a
+pure ``cell -> SimulationConfig`` builder and a ``results -> artifact``
+reducer — and one :class:`SweepExecutor` runs any spec serially or
+across a process pool, with an optional content-addressed on-disk
+:class:`ResultCache`.
+
+Guarantee: for a fixed spec, the serialized results are byte-identical
+regardless of backend, worker count or cache temperature.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    canonical_json,
+    config_digest,
+)
+from .executor import (
+    ExecutionStats,
+    SweepExecutor,
+    run_experiment,
+)
+from .spec import Cell, ExperimentSpec, SweepResult
+
+__all__ = [
+    "Cell",
+    "DEFAULT_CACHE_DIR",
+    "ExecutionStats",
+    "ExperimentSpec",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepResult",
+    "canonical_json",
+    "config_digest",
+    "run_experiment",
+]

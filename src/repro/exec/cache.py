@@ -1,0 +1,95 @@
+"""Content-addressed on-disk cache of simulation results.
+
+The cache key is the SHA-256 of the canonical JSON serialization of a
+:class:`~repro.sim.config.SimulationConfig` — every knob, including the
+seed — salted with the package version and a cache schema version, so
+cached results never outlive the simulator that produced them.  Two
+sweeps that share a cell (e.g. figures 1 and 2, which run the same
+threshold grid) therefore share the cached run, and re-running
+``repro-experiments`` only simulates cells whose parameters changed.
+
+Payloads are the ``SimulationResult.to_dict()`` dicts, stored as
+canonical JSON, so a cache hit is byte-identical to a fresh run's
+serialized result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .. import __version__
+from ..sim.config import SimulationConfig
+
+#: Default cache location (relative to the working directory, gitignored).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump whenever simulation semantics or the result schema change
+#: without a package-version bump: it invalidates every existing cache
+#: entry, so stale results can never masquerade as fresh ones.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: object) -> str:
+    """Serialize plain data deterministically (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(config: SimulationConfig) -> str:
+    """The cache key of one cell: SHA-256 over config + code versions."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "package": __version__,
+        "config": config.to_dict(),
+    }
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<digest>.json`` result payloads, sharded by prefix."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        """Where a digest's payload lives (two-character shard directories)."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def load(self, digest: str) -> Optional[Dict[str, object]]:
+        """The cached payload for ``digest``, or ``None`` on miss/corruption."""
+        path = self.path_for(digest)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # Missing, truncated or corrupted entries (including invalid
+            # UTF-8: UnicodeDecodeError is a ValueError) behave like a
+            # miss; the fresh run will overwrite them.
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def store(self, digest: str, payload: Dict[str, object]) -> None:
+        """Persist a payload atomically (safe under concurrent writers)."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(canonical_json(payload))
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, config: SimulationConfig) -> bool:
+        return self.load(config_digest(config)) is not None

@@ -1,0 +1,189 @@
+"""The sweep executor: pluggable serial and process-pool backends.
+
+One :class:`SweepExecutor` turns an
+:class:`~repro.exec.spec.ExperimentSpec` into a
+:class:`~repro.exec.spec.SweepResult`.  Every cell — cached, serial or
+pooled — travels through the same serialized representation
+(``SimulationResult.to_dict()``), which guarantees bit-identical results
+regardless of backend, worker count or cache temperature:
+
+* the serial backend round-trips each result through the dict form;
+* the process-pool backend ships config dicts to workers and result
+  dicts back (no pickling of live simulator objects);
+* the cache stores exactly those dicts as canonical JSON.
+
+Cells are independent simulations, so execution order never affects the
+outcome; results are always reassembled in spec cell order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim.config import SimulationConfig
+from ..sim.engine import SimulationResult, run_simulation
+from .cache import ResultCache, config_digest
+from .spec import Cell, ExperimentSpec, SweepResult
+
+#: Progress callback signature: (cells done, cells total, cell, source)
+#: where source is ``"cache"`` or ``"run"``.
+ProgressCallback = Callable[[int, int, Cell, str], None]
+
+
+@dataclass
+class ExecutionStats:
+    """What one ``run()`` (or an executor lifetime) actually did."""
+
+    simulated: int = 0
+    cache_hits: int = 0
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def cells(self) -> int:
+        """Total cells accounted for."""
+        return self.simulated + self.cache_hits
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another run's stats into this one."""
+        self.simulated += other.simulated
+        self.cache_hits += other.cache_hits
+        self.wall_clock_seconds += other.wall_clock_seconds
+
+
+def _execute_cell(config_payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: config dict in, result dict out.
+
+    Module-level (not a closure) so the process-pool backend can pickle
+    it; the dict round trip keeps worker transport identical to the
+    cache format.
+    """
+    config = SimulationConfig.from_dict(config_payload)
+    return run_simulation(config).to_dict()
+
+
+class SweepExecutor:
+    """Runs sweep cells serially or across a process pool, with caching.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrent simulations.  ``1`` (default) executes
+        in-process; larger values fan cells out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.
+    cache:
+        Optional :class:`~repro.exec.cache.ResultCache`.  When present,
+        cells whose config digest is already stored load from disk
+        instead of simulating, and fresh results are stored back.
+    progress:
+        Optional callback invoked after every finished cell with
+        ``(done, total, cell, source)``.
+
+    Independently of the on-disk cache, the executor memoises every
+    cell it runs for its own lifetime, so sweeps sharing cells within
+    one executor (figures 1 and 2 run the same threshold grid) cost one
+    set of simulations even with the disk cache disabled.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.progress = progress
+        #: Cumulative stats across every run() of this executor.
+        self.stats = ExecutionStats()
+        # In-process memo (digest -> payload) for this executor's lifetime.
+        self._memo: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> SweepResult:
+        """Execute every cell of ``spec`` and return the aligned results."""
+        started = time.perf_counter()
+        cells = spec.cells()
+        total = len(cells)
+        payloads: List[Optional[Dict[str, Any]]] = [None] * total
+        run_stats = ExecutionStats()
+        done = 0
+
+        pending: List[int] = []
+        digests: Dict[int, str] = {}
+        for i, cell in enumerate(cells):
+            digest = config_digest(cell.config)
+            digests[i] = digest
+            payload = self._memo.get(digest)
+            if payload is None and self.cache is not None:
+                payload = self.cache.load(digest)
+            if payload is not None:
+                payloads[i] = payload
+                self._memo[digest] = payload
+                run_stats.cache_hits += 1
+                done += 1
+                self._notify(done, total, cell, "cache")
+                continue
+            pending.append(i)
+
+        def finish(i: int, payload: Dict[str, Any]) -> None:
+            nonlocal done
+            payloads[i] = payload
+            self._memo[digests[i]] = payload
+            if self.cache is not None:
+                self.cache.store(digests[i], payload)
+            run_stats.simulated += 1
+            done += 1
+            self._notify(done, total, cells[i], "run")
+
+        if self.workers == 1 or len(pending) <= 1:
+            for i in pending:
+                finish(i, _execute_cell(cells[i].config.to_dict()))
+        else:
+            max_workers = min(self.workers, len(pending))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(_execute_cell, cells[i].config.to_dict()): i
+                    for i in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        finish(futures[future], future.result())
+
+        results = [
+            SimulationResult.from_dict(payload) for payload in payloads
+        ]
+        run_stats.wall_clock_seconds = time.perf_counter() - started
+        self.stats.merge(run_stats)
+        return SweepResult(
+            spec=spec, cells=cells, results=results, stats=run_stats
+        )
+
+    # ------------------------------------------------------------------
+    def _notify(self, done: int, total: int, cell: Cell, source: str) -> None:
+        if self.progress is not None:
+            self.progress(done, total, cell, source)
+
+
+def run_experiment(
+    spec: ExperimentSpec, executor: Optional[SweepExecutor] = None
+) -> Any:
+    """Execute a spec and apply its reducer (if any).
+
+    The one entry point every experiment module funnels through: with a
+    ``reduce`` callable the artifact comes back, otherwise the raw
+    :class:`~repro.exec.spec.SweepResult`.
+    """
+    executor = executor if executor is not None else SweepExecutor()
+    sweep = executor.run(spec)
+    if spec.reduce is None:
+        return sweep
+    return spec.reduce(sweep)

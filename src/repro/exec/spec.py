@@ -1,0 +1,173 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes a whole sweep — a parameter grid
+crossed with replication seeds — as data plus two pure functions: a
+``build`` callable mapping one grid point to a
+:class:`~repro.sim.config.SimulationConfig`, and an optional ``reduce``
+callable collapsing the executed :class:`SweepResult` into the
+experiment's artifact (a figure result, an ablation table, ...).
+
+The spec fully determines every cell's randomness: a cell's config is
+``build(params).with_seed(seed)``, and the simulation engine derives all
+of its RNG streams from ``config.seed`` (see :mod:`repro.sim.rng`).  Two
+executions of the same spec therefore produce byte-identical serialized
+results regardless of execution order, backend or worker count — which
+is what makes the process-pool backend and the on-disk result cache
+drop-in replacements for the serial loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..sim.config import SimulationConfig
+from ..sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One executable unit of a sweep: a grid point crossed with a seed."""
+
+    index: int
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+    config: SimulationConfig
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        """The grid-point coordinates as a plain dict."""
+        return dict(self.params)
+
+    def param(self, name: str) -> Any:
+        """One grid coordinate by axis name."""
+        return dict(self.params)[name]
+
+    def label(self) -> str:
+        """Human-readable cell description (progress callbacks, logs)."""
+        coords = ", ".join(f"{k}={v}" for k, v in self.params)
+        prefix = f"[{coords}] " if coords else ""
+        return f"{prefix}seed={self.seed}"
+
+
+@dataclass
+class ExperimentSpec:
+    """A declarative sweep: grid x seeds, a config builder and a reducer.
+
+    Parameters
+    ----------
+    name:
+        Sweep identifier (progress display and diagnostics only; the
+        result cache keys on config content, not on this name).
+    build:
+        Pure function mapping one grid point (``axis -> value`` dict) to
+        the :class:`SimulationConfig` for that point.  The executor
+        applies ``.with_seed(seed)`` per replication, so ``build`` need
+        not (and should not) vary the seed itself.
+    grid:
+        Ordered mapping ``axis name -> sequence of values``.  An empty
+        grid describes a plain replication study (one config, many
+        seeds).
+    seeds:
+        Replication seeds; every grid point runs once per seed.
+    reduce:
+        Optional artifact constructor applied to the finished
+        :class:`SweepResult` by :func:`repro.exec.run_experiment`.
+    """
+
+    name: str
+    build: Callable[[Dict[str, Any]], SimulationConfig]
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    seeds: Tuple[int, ...] = (0,)
+    reduce: Optional[Callable[["SweepResult"], Any]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec name cannot be empty")
+        self.seeds = tuple(self.seeds)
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+        self.grid = {axis: tuple(values) for axis, values in self.grid.items()}
+        for axis, values in self.grid.items():
+            if not values:
+                raise ValueError(f"grid axis {axis!r} has no values")
+
+    @property
+    def cell_count(self) -> int:
+        """Number of cells: product of axis sizes times the seed count."""
+        count = len(self.seeds)
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
+    def cells(self) -> List[Cell]:
+        """Materialise every cell, grid axes outermost, seeds innermost.
+
+        The ordering matches the hand-rolled loops this subsystem
+        replaced (``for value in axis: for seed in seeds: run(...)``),
+        so grouped results keep their historical ordering.
+        """
+        axes = list(self.grid)
+        cells: List[Cell] = []
+        index = 0
+        for combo in itertools.product(*self.grid.values()):
+            params = dict(zip(axes, combo))
+            config = self.build(params)
+            for seed in self.seeds:
+                cells.append(
+                    Cell(
+                        index=index,
+                        params=tuple(params.items()),
+                        seed=seed,
+                        config=config.with_seed(seed),
+                    )
+                )
+                index += 1
+        return cells
+
+
+@dataclass
+class SweepResult:
+    """All results of one executed spec, aligned with its cells."""
+
+    spec: ExperimentSpec
+    cells: List[Cell]
+    results: List[SimulationResult]
+    stats: "ExecutionStats"
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[Tuple[Cell, SimulationResult]]:
+        return iter(zip(self.cells, self.results))
+
+    def replications(self) -> List[SimulationResult]:
+        """All results in cell order (the natural view of a gridless spec)."""
+        return list(self.results)
+
+    def by_axis(self, axis: str) -> Dict[Any, List[SimulationResult]]:
+        """Group results by one grid axis, preserving axis-value order.
+
+        Each value maps to its replications in seed order — the shape
+        the aggregation helpers in :mod:`repro.analysis.aggregate`
+        consume.
+        """
+        if axis not in self.spec.grid:
+            raise ValueError(
+                f"unknown axis {axis!r}; spec axes: {list(self.spec.grid)}"
+            )
+        grouped: Dict[Any, List[SimulationResult]] = {}
+        for cell, result in self:
+            grouped.setdefault(cell.param(axis), []).append(result)
+        return grouped

@@ -12,10 +12,11 @@ and with the adaptive controller seeded at that threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import format_table
-from ..sim.engine import SimulationResult, run_simulation
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
+from ..sim.engine import SimulationResult
 from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
 
 
@@ -57,20 +58,44 @@ class AblationAdaptiveResult:
         return f"A5 — adaptive-threshold ablation (scale={self.scale_name})\n{table}"
 
 
+def ablation_adaptive_spec(
+    scale: ExperimentScale = DEFAULT,
+    paper_threshold: int = PAPER_FOCUS_THRESHOLD,
+    seeds: Sequence[int] = (),
+) -> ExperimentSpec:
+    """The static-vs-adaptive comparison as a declarative spec."""
+    seeds = tuple(seeds) or scale.seeds
+    base = scale.config(paper_threshold=paper_threshold)
+
+    def build(params):
+        return replace(
+            base, adaptive_thresholds=(params["mode"] == "adaptive")
+        )
+
+    def reduce(sweep) -> AblationAdaptiveResult:
+        return AblationAdaptiveResult(
+            scale_name=scale.name, by_mode=sweep.by_axis("mode")
+        )
+
+    return ExperimentSpec(
+        name="ablation-adaptive",
+        build=build,
+        grid={"mode": ("static", "adaptive")},
+        seeds=seeds,
+        reduce=reduce,
+    )
+
+
 def run_ablation_adaptive(
     scale: ExperimentScale = DEFAULT,
     paper_threshold: int = PAPER_FOCUS_THRESHOLD,
     seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
 ) -> AblationAdaptiveResult:
     """Run both maintenance modes on the same workload."""
-    seeds = tuple(seeds) or scale.seeds
-    base = scale.config(paper_threshold=paper_threshold)
-    by_mode: Dict[str, List[SimulationResult]] = {"static": [], "adaptive": []}
-    for seed in seeds:
-        by_mode["static"].append(run_simulation(base.with_seed(seed)))
-        adaptive_config = replace(base, adaptive_thresholds=True, seed=seed)
-        by_mode["adaptive"].append(run_simulation(adaptive_config))
-    return AblationAdaptiveResult(scale_name=scale.name, by_mode=by_mode)
+    return run_experiment(
+        ablation_adaptive_spec(scale, paper_threshold, seeds), executor
+    )
 
 
 def check_shape(result: AblationAdaptiveResult) -> List[str]:

@@ -12,11 +12,12 @@ ride closer to the loss boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import format_table
 from ..churn.profiles import ROUNDS_PER_DAY
-from ..sim.engine import SimulationResult, run_simulation
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
+from ..sim.engine import SimulationResult
 from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
 
 #: Grace periods in rounds: none (paper's model), one day, three days.
@@ -60,21 +61,46 @@ class AblationGraceResult:
         return f"A3 — grace-period ablation (scale={self.scale_name})\n{table}"
 
 
-def run_ablation_grace(
+def ablation_grace_spec(
     scale: ExperimentScale = DEFAULT,
     graces: Sequence[int] = DEFAULT_GRACES,
     seeds: Sequence[int] = (),
-) -> AblationGraceResult:
-    """Run the grace sweep at the focus threshold."""
+) -> ExperimentSpec:
+    """The grace-period sweep as a declarative spec.
+
+    The axis carries the *paper-time* grace values; the builder maps
+    them onto the scale's time axis, so reports stay keyed by the
+    values the caller asked for.
+    """
     if not graces:
         raise ValueError("at least one grace period is required")
     seeds = tuple(seeds) or scale.seeds
     base = scale.config(paper_threshold=PAPER_FOCUS_THRESHOLD)
-    by_grace: Dict[int, List[SimulationResult]] = {}
-    for grace in graces:
+
+    def build(params):
+        grace = params["grace"]
         scaled_grace = max(int(grace * scale.time_scale), 0) if grace else 0
-        config = replace(base, grace_rounds=scaled_grace)
-        by_grace[grace] = [
-            run_simulation(config.with_seed(seed)) for seed in seeds
-        ]
-    return AblationGraceResult(scale_name=scale.name, by_grace=by_grace)
+        return replace(base, grace_rounds=scaled_grace)
+
+    def reduce(sweep) -> AblationGraceResult:
+        return AblationGraceResult(
+            scale_name=scale.name, by_grace=sweep.by_axis("grace")
+        )
+
+    return ExperimentSpec(
+        name="ablation-grace",
+        build=build,
+        grid={"grace": tuple(graces)},
+        seeds=seeds,
+        reduce=reduce,
+    )
+
+
+def run_ablation_grace(
+    scale: ExperimentScale = DEFAULT,
+    graces: Sequence[int] = DEFAULT_GRACES,
+    seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
+) -> AblationGraceResult:
+    """Run the grace sweep at the focus threshold."""
+    return run_experiment(ablation_grace_spec(scale, graces, seeds), executor)

@@ -10,11 +10,12 @@ analytically estimated churn rate (and at a safety-margined rate).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import format_table
 from ..baselines.proactive import estimate_churn
-from ..sim.engine import SimulationResult, run_simulation
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
+from ..sim.engine import SimulationResult
 from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
 
 
@@ -55,28 +56,48 @@ class AblationProactiveResult:
         )
 
 
-def run_ablation_proactive(
+def ablation_proactive_spec(
     scale: ExperimentScale = DEFAULT,
     safety_factors: Sequence[float] = (0.0, 1.0, 2.0),
     seeds: Sequence[int] = (),
-) -> AblationProactiveResult:
-    """Run reactive-only vs reactive+proactive maintenance."""
+) -> ExperimentSpec:
+    """The reactive-vs-proactive comparison as a declarative spec."""
     if not safety_factors:
         raise ValueError("at least one safety factor is required")
+    for factor in safety_factors:
+        if factor < 0:
+            raise ValueError("safety factors cannot be negative")
     seeds = tuple(seeds) or scale.seeds
     base = scale.config(paper_threshold=PAPER_FOCUS_THRESHOLD)
     estimate = estimate_churn(base.profiles, base.total_blocks)
     rate = estimate.block_loss_rate_per_archive
-    by_factor: Dict[float, List[SimulationResult]] = {}
-    for factor in safety_factors:
-        if factor < 0:
-            raise ValueError("safety factors cannot be negative")
-        config = replace(base, proactive_rate=rate * factor)
-        by_factor[factor] = [
-            run_simulation(config.with_seed(seed)) for seed in seeds
-        ]
-    return AblationProactiveResult(
-        scale_name=scale.name,
-        estimated_rate=rate,
-        by_factor=by_factor,
+
+    def build(params):
+        return replace(base, proactive_rate=rate * params["safety_factor"])
+
+    def reduce(sweep) -> AblationProactiveResult:
+        return AblationProactiveResult(
+            scale_name=scale.name,
+            estimated_rate=rate,
+            by_factor=sweep.by_axis("safety_factor"),
+        )
+
+    return ExperimentSpec(
+        name="ablation-proactive",
+        build=build,
+        grid={"safety_factor": tuple(safety_factors)},
+        seeds=seeds,
+        reduce=reduce,
+    )
+
+
+def run_ablation_proactive(
+    scale: ExperimentScale = DEFAULT,
+    safety_factors: Sequence[float] = (0.0, 1.0, 2.0),
+    seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
+) -> AblationProactiveResult:
+    """Run reactive-only vs reactive+proactive maintenance."""
+    return run_experiment(
+        ablation_proactive_spec(scale, safety_factors, seeds), executor
     )

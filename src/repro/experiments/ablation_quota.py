@@ -10,10 +10,11 @@ found no partner with free space).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import format_table
-from ..sim.engine import SimulationResult, run_simulation
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
+from ..sim.engine import SimulationResult
 from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
 
 #: Quota as a multiple of n; the paper's setting is 1.5 x n.
@@ -55,27 +56,48 @@ class AblationQuotaResult:
         return f"A2 — quota ablation (scale={self.scale_name})\n{table}"
 
 
+def ablation_quota_spec(
+    scale: ExperimentScale = DEFAULT,
+    quota_factors: Sequence[float] = DEFAULT_QUOTA_FACTORS,
+    seeds: Sequence[int] = (),
+) -> ExperimentSpec:
+    """The quota sweep as a declarative spec."""
+    if not quota_factors:
+        raise ValueError("at least one quota factor is required")
+    for factor in quota_factors:
+        if factor <= 0:
+            raise ValueError("quota factors must be positive")
+    seeds = tuple(seeds) or scale.seeds
+    base = scale.config(paper_threshold=PAPER_FOCUS_THRESHOLD)
+
+    def build(params):
+        return replace(
+            base, quota=int(base.total_blocks * params["quota_factor"])
+        )
+
+    def reduce(sweep) -> AblationQuotaResult:
+        return AblationQuotaResult(
+            scale_name=scale.name,
+            total_blocks=base.total_blocks,
+            by_factor=sweep.by_axis("quota_factor"),
+        )
+
+    return ExperimentSpec(
+        name="ablation-quota",
+        build=build,
+        grid={"quota_factor": tuple(quota_factors)},
+        seeds=seeds,
+        reduce=reduce,
+    )
+
+
 def run_ablation_quota(
     scale: ExperimentScale = DEFAULT,
     quota_factors: Sequence[float] = DEFAULT_QUOTA_FACTORS,
     seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
 ) -> AblationQuotaResult:
     """Run the quota sweep at the focus threshold."""
-    if not quota_factors:
-        raise ValueError("at least one quota factor is required")
-    seeds = tuple(seeds) or scale.seeds
-    base = scale.config(paper_threshold=PAPER_FOCUS_THRESHOLD)
-    by_factor: Dict[float, List[SimulationResult]] = {}
-    for factor in quota_factors:
-        if factor <= 0:
-            raise ValueError("quota factors must be positive")
-        quota = int(base.total_blocks * factor)
-        config = replace(base, quota=quota)
-        by_factor[factor] = [
-            run_simulation(config.with_seed(seed)) for seed in seeds
-        ]
-    return AblationQuotaResult(
-        scale_name=scale.name,
-        total_blocks=base.total_blocks,
-        by_factor=by_factor,
+    return run_experiment(
+        ablation_quota_spec(scale, quota_factors, seeds), executor
     )

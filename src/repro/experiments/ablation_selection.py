@@ -11,10 +11,11 @@ unattainable one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..analysis.report import format_table
-from ..baselines.comparison import StrategyOutcome, compare_strategies
+from ..baselines.comparison import StrategyOutcome, strategy_spec
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
 from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
 
 STRATEGIES = ("age", "random", "availability", "oracle")
@@ -55,16 +56,37 @@ class AblationSelectionResult:
         return f"A1 — selection-strategy ablation (scale={self.scale_name})\n{table}"
 
 
+def ablation_selection_spec(
+    scale: ExperimentScale = DEFAULT,
+    strategies: Sequence[str] = STRATEGIES,
+    seeds: Sequence[int] = (),
+) -> ExperimentSpec:
+    """The A1 comparison as a declarative spec."""
+    seeds = tuple(seeds) or scale.seeds
+    config = scale.config(paper_threshold=PAPER_FOCUS_THRESHOLD)
+    spec = strategy_spec(config, strategies=strategies, seeds=seeds)
+    summarise = spec.reduce
+
+    def reduce(sweep) -> AblationSelectionResult:
+        return AblationSelectionResult(
+            scale_name=scale.name, outcomes=summarise(sweep)
+        )
+
+    spec.name = "ablation-selection"
+    spec.reduce = reduce
+    return spec
+
+
 def run_ablation_selection(
     scale: ExperimentScale = DEFAULT,
     strategies: Sequence[str] = STRATEGIES,
     seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
 ) -> AblationSelectionResult:
     """Run the strategy comparison at the focus threshold."""
-    seeds = tuple(seeds) or scale.seeds
-    config = scale.config(paper_threshold=PAPER_FOCUS_THRESHOLD)
-    outcomes = compare_strategies(config, strategies=strategies, seeds=seeds)
-    return AblationSelectionResult(scale_name=scale.name, outcomes=outcomes)
+    return run_experiment(
+        ablation_selection_spec(scale, strategies, seeds), executor
+    )
 
 
 def check_shape(result: AblationSelectionResult) -> List[str]:

@@ -7,17 +7,19 @@ ones (stable ones)."
 
 The driver sweeps the (scale-mapped) thresholds, replicates over seeds
 and reports repairs per round per 1000 peers for each category — the
-exact y-axis of the figure.
+exact y-axis of the figure.  The sweep itself is a declarative
+:func:`figure1_spec`; any :class:`~repro.exec.SweepExecutor` can run it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..analysis.aggregate import Aggregate, sweep_rates, threshold_sweep
+from ..analysis.aggregate import Aggregate, axis_rates
 from ..analysis.plots import ascii_chart
 from ..analysis.report import sweep_report
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
 from .common import DEFAULT, PAPER_THRESHOLDS, ExperimentScale
 
 
@@ -68,23 +70,43 @@ class Figure1Result:
         return f"{table}\n\n{chart}"
 
 
+def figure1_spec(
+    scale: ExperimentScale = DEFAULT,
+    paper_thresholds: Sequence[int] = PAPER_THRESHOLDS,
+    seeds: Sequence[int] = (),
+) -> ExperimentSpec:
+    """The figure 1 sweep as a declarative spec."""
+    seeds = tuple(seeds) or scale.seeds
+    base = scale.config()
+    thresholds = scale.thresholds(paper_thresholds)
+
+    def reduce(sweep) -> Figure1Result:
+        return Figure1Result(
+            scale_name=scale.name,
+            thresholds=list(thresholds),
+            paper_thresholds=list(paper_thresholds),
+            rates=axis_rates(sweep, "threshold", "repairs"),
+            categories=base.categories.names(),
+        )
+
+    return ExperimentSpec(
+        name="fig1",
+        build=lambda params: base.with_threshold(params["threshold"]),
+        grid={"threshold": thresholds},
+        seeds=seeds,
+        reduce=reduce,
+    )
+
+
 def run_figure1(
     scale: ExperimentScale = DEFAULT,
     paper_thresholds: Sequence[int] = PAPER_THRESHOLDS,
     seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
 ) -> Figure1Result:
     """Execute the sweep and aggregate repair rates."""
-    seeds = tuple(seeds) or scale.seeds
-    base = scale.config()
-    thresholds = scale.thresholds(paper_thresholds)
-    sweep = threshold_sweep(base, thresholds, seeds)
-    rates = sweep_rates(sweep, metric="repairs")
-    return Figure1Result(
-        scale_name=scale.name,
-        thresholds=list(thresholds),
-        paper_thresholds=list(paper_thresholds),
-        rates=rates,
-        categories=base.categories.names(),
+    return run_experiment(
+        figure1_spec(scale, paper_thresholds, seeds), executor
     )
 
 

@@ -9,11 +9,12 @@ to k, and on the youngest peers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..analysis.aggregate import Aggregate, sweep_rates, threshold_sweep
+from ..analysis.aggregate import Aggregate, axis_rates
 from ..analysis.plots import ascii_chart
 from ..analysis.report import sweep_report
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
 from .common import DEFAULT, PAPER_THRESHOLDS, ExperimentScale
 
 
@@ -63,22 +64,47 @@ class Figure2Result:
         return f"{table}\n\n{chart}"
 
 
+def figure2_spec(
+    scale: ExperimentScale = DEFAULT,
+    paper_thresholds: Sequence[int] = PAPER_THRESHOLDS,
+    seeds: Sequence[int] = (),
+) -> ExperimentSpec:
+    """The figure 2 sweep as a declarative spec.
+
+    Cell-for-cell identical to :func:`figure1_spec`'s sweep (only the
+    reducer differs), so with a shared result cache figures 1 and 2
+    cost one set of simulations between them.
+    """
+    seeds = tuple(seeds) or scale.seeds
+    base = scale.config()
+    thresholds = scale.thresholds(paper_thresholds)
+
+    def reduce(sweep) -> Figure2Result:
+        return Figure2Result(
+            scale_name=scale.name,
+            thresholds=list(thresholds),
+            rates=axis_rates(sweep, "threshold", "losses"),
+            categories=base.categories.names(),
+        )
+
+    return ExperimentSpec(
+        name="fig2",
+        build=lambda params: base.with_threshold(params["threshold"]),
+        grid={"threshold": thresholds},
+        seeds=seeds,
+        reduce=reduce,
+    )
+
+
 def run_figure2(
     scale: ExperimentScale = DEFAULT,
     paper_thresholds: Sequence[int] = PAPER_THRESHOLDS,
     seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
 ) -> Figure2Result:
     """Execute the sweep and aggregate loss rates."""
-    seeds = tuple(seeds) or scale.seeds
-    base = scale.config()
-    thresholds = scale.thresholds(paper_thresholds)
-    sweep = threshold_sweep(base, thresholds, seeds)
-    rates = sweep_rates(sweep, metric="losses")
-    return Figure2Result(
-        scale_name=scale.name,
-        thresholds=list(thresholds),
-        rates=rates,
-        categories=base.categories.names(),
+    return run_experiment(
+        figure2_spec(scale, paper_thresholds, seeds), executor
     )
 
 

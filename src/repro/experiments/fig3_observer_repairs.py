@@ -11,13 +11,14 @@ Elder are the reproduced shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.plots import ascii_chart
 from ..analysis.report import format_table
 from ..analysis.series import to_days
 from ..churn.profiles import ROUNDS_PER_DAY
-from ..sim.engine import SimulationResult, run_simulation
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
+from ..sim.engine import SimulationResult
 from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
 
 #: Observer names ordered oldest to youngest (the paper's table order).
@@ -74,22 +75,42 @@ class Figure3Result:
         return f"{table}\n\n{chart}"
 
 
+def figure3_spec(
+    scale: ExperimentScale = DEFAULT,
+    paper_threshold: int = PAPER_FOCUS_THRESHOLD,
+    seeds: Sequence[int] = (),
+) -> ExperimentSpec:
+    """The observer replication study as a declarative (gridless) spec."""
+    seeds = tuple(seeds) or scale.seeds
+    config = scale.config(paper_threshold=paper_threshold, with_observers=True)
+    names = [spec.name for spec in config.observers]
+    ordered = [name for name in OBSERVER_ORDER if name in names]
+
+    def reduce(sweep) -> Figure3Result:
+        return Figure3Result(
+            scale_name=scale.name,
+            threshold=config.repair_threshold,
+            results=sweep.replications(),
+            observer_names=ordered,
+        )
+
+    return ExperimentSpec(
+        name="fig3",
+        build=lambda params: config,
+        seeds=seeds,
+        reduce=reduce,
+    )
+
+
 def run_figure3(
     scale: ExperimentScale = DEFAULT,
     paper_threshold: int = PAPER_FOCUS_THRESHOLD,
     seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
 ) -> Figure3Result:
     """Run the observer experiment at the focus threshold."""
-    seeds = tuple(seeds) or scale.seeds
-    config = scale.config(paper_threshold=paper_threshold, with_observers=True)
-    results = [run_simulation(config.with_seed(seed)) for seed in seeds]
-    names = [spec.name for spec in config.observers]
-    ordered = [name for name in OBSERVER_ORDER if name in names]
-    return Figure3Result(
-        scale_name=scale.name,
-        threshold=config.repair_threshold,
-        results=results,
-        observer_names=ordered,
+    return run_experiment(
+        figure3_spec(scale, paper_threshold, seeds), executor
     )
 
 

@@ -10,13 +10,14 @@ at round 0 by default, exactly like the paper's runs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.plots import ascii_chart
 from ..analysis.report import format_table
 from ..analysis.series import final_value, to_days
 from ..churn.profiles import ROUNDS_PER_DAY
-from ..sim.engine import SimulationResult, run_simulation
+from ..exec import ExperimentSpec, SweepExecutor, run_experiment
+from ..sim.engine import SimulationResult
 from .common import DEFAULT, PAPER_FOCUS_THRESHOLD, ExperimentScale
 
 
@@ -79,20 +80,40 @@ class Figure4Result:
         return f"{table}\n\n{chart}"
 
 
+def figure4_spec(
+    scale: ExperimentScale = DEFAULT,
+    paper_threshold: int = PAPER_FOCUS_THRESHOLD,
+    seeds: Sequence[int] = (),
+) -> ExperimentSpec:
+    """The loss-accumulation replication study as a declarative spec."""
+    seeds = tuple(seeds) or scale.seeds
+    config = scale.config(paper_threshold=paper_threshold)
+
+    def reduce(sweep) -> Figure4Result:
+        return Figure4Result(
+            scale_name=scale.name,
+            threshold=config.repair_threshold,
+            results=sweep.replications(),
+            categories=config.categories.names(),
+        )
+
+    return ExperimentSpec(
+        name="fig4",
+        build=lambda params: config,
+        seeds=seeds,
+        reduce=reduce,
+    )
+
+
 def run_figure4(
     scale: ExperimentScale = DEFAULT,
     paper_threshold: int = PAPER_FOCUS_THRESHOLD,
     seeds: Sequence[int] = (),
+    executor: Optional[SweepExecutor] = None,
 ) -> Figure4Result:
     """Run the loss-accumulation experiment at the focus threshold."""
-    seeds = tuple(seeds) or scale.seeds
-    config = scale.config(paper_threshold=paper_threshold)
-    results = [run_simulation(config.with_seed(seed)) for seed in seeds]
-    return Figure4Result(
-        scale_name=scale.name,
-        threshold=config.repair_threshold,
-        results=results,
-        categories=config.categories.names(),
+    return run_experiment(
+        figure4_spec(scale, paper_threshold, seeds), executor
     )
 
 

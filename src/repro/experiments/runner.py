@@ -5,7 +5,14 @@ Installed as ``repro-experiments``::
     repro-experiments tables
     repro-experiments fig1 --scale quick
     repro-experiments fig3 --scale default --seeds 0 1 2
-    repro-experiments all --scale quick
+    repro-experiments all --scale quick --workers 4
+
+Every simulation cell goes through the sweep executor: ``--workers N``
+fans cells out over a process pool, and the on-disk result cache
+(``--cache-dir``, default ``.repro-cache``; disable with ``--no-cache``)
+makes re-runs only simulate cells whose parameters changed — running
+``all`` twice simulates nothing the second time, and figures 1 and 2
+share one threshold sweep through the cache.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import pathlib
 import sys
 from typing import List, Optional, Sequence
 
+from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor
 from . import (
     ablation_adaptive,
     ablation_grace,
@@ -47,6 +55,15 @@ _SIMULATION_EXPERIMENTS = {
     "ablation-adaptive": (ablation_adaptive.run_ablation_adaptive,
                           ablation_adaptive.check_shape),
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,7 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write <experiment>.csv files into this directory "
         "(figures only)",
     )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="simulation cells to run concurrently (process pool; "
+        "results are bit-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="on-disk result cache directory (re-runs only simulate "
+        "cells whose parameters changed)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
     return parser
+
+
+def build_executor(args: argparse.Namespace) -> SweepExecutor:
+    """The sweep executor implied by the parsed CLI arguments."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SweepExecutor(workers=args.workers, cache=cache)
 
 
 def _run_one(
@@ -101,9 +142,14 @@ def _run_one(
     markdown: bool,
     check: bool,
     csv_dir: Optional[str] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[str]:
     runner, checker = _SIMULATION_EXPERIMENTS[name]
-    result = runner(scale=scale, seeds=tuple(seeds) if seeds else ())
+    result = runner(
+        scale=scale,
+        seeds=tuple(seeds) if seeds else (),
+        executor=executor,
+    )
     print(result.render(markdown=markdown))
     if csv_dir is not None and hasattr(result, "to_csv"):
         directory = pathlib.Path(csv_dir)
@@ -133,6 +179,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     scale = scale_by_name(args.scale)
+    executor = build_executor(args)
     names = (
         sorted(_SIMULATION_EXPERIMENTS)
         if args.experiment == "all"
@@ -149,11 +196,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.markdown,
                 not args.no_check,
                 csv_dir=args.csv_dir,
+                executor=executor,
             )
         )
         print()
     if args.experiment == "all":
         print(tables.render_all(markdown=args.markdown))
+    stats = executor.stats
+    print(
+        f"[executor] {stats.cells} cells: {stats.simulated} simulated, "
+        f"{stats.cache_hits} from cache "
+        f"({executor.workers} worker(s), {stats.wall_clock_seconds:.1f}s)"
+    )
     return 1 if failures else 0
 
 

@@ -11,7 +11,7 @@ test-suite and benchmarks, with the repair threshold mapped through
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..churn.profiles import PAPER_PROFILES, ROUNDS_PER_DAY, Profile, validate_mix
 from ..core.acceptance import DEFAULT_AGE_CAP
@@ -29,6 +29,15 @@ class ObserverSpec:
     def __post_init__(self) -> None:
         if self.fixed_age < 0:
             raise ValueError("observer age cannot be negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-safe)."""
+        return {"name": self.name, "fixed_age": self.fixed_age}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ObserverSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(name=data["name"], fixed_age=data["fixed_age"])
 
 
 #: The paper's five observers: Elder (3 months = the cap L), Senior
@@ -111,6 +120,69 @@ class SimulationConfig:
     def total_blocks(self) -> int:
         """``n = k + m``."""
         return self.data_blocks + self.parity_blocks
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable plain-data form of every knob (JSON-safe).
+
+        This is the canonical content of a configuration: the sweep
+        executor hashes it for the on-disk result cache and ships it to
+        worker processes, so the field set must round-trip exactly
+        through :meth:`from_dict`.
+        """
+        return {
+            "population": self.population,
+            "rounds": self.rounds,
+            "data_blocks": self.data_blocks,
+            "parity_blocks": self.parity_blocks,
+            "repair_threshold": self.repair_threshold,
+            "quota": self.quota,
+            "age_cap": self.age_cap,
+            "profiles": [profile.to_dict() for profile in self.profiles],
+            "categories": self.categories.to_dict(),
+            "selection_strategy": self.selection_strategy,
+            "acceptance_rule": self.acceptance_rule,
+            "observers": [observer.to_dict() for observer in self.observers],
+            "seed": self.seed,
+            "pool_factor": self.pool_factor,
+            "max_examined_factor": self.max_examined_factor,
+            "sample_interval": self.sample_interval,
+            "warmup_rounds": self.warmup_rounds,
+            "grace_rounds": self.grace_rounds,
+            "staggered_join_rounds": self.staggered_join_rounds,
+            "proactive_rate": self.proactive_rate,
+            "adaptive_thresholds": self.adaptive_thresholds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationConfig":
+        """Rebuild (and re-validate) a config from :meth:`to_dict` output."""
+        return cls(
+            population=data["population"],
+            rounds=data["rounds"],
+            data_blocks=data["data_blocks"],
+            parity_blocks=data["parity_blocks"],
+            repair_threshold=data["repair_threshold"],
+            quota=data["quota"],
+            age_cap=data["age_cap"],
+            profiles=tuple(
+                Profile.from_dict(entry) for entry in data["profiles"]
+            ),
+            categories=CategoryScheme.from_dict(data["categories"]),
+            selection_strategy=data["selection_strategy"],
+            acceptance_rule=data["acceptance_rule"],
+            observers=tuple(
+                ObserverSpec.from_dict(entry) for entry in data["observers"]
+            ),
+            seed=data["seed"],
+            pool_factor=data["pool_factor"],
+            max_examined_factor=data["max_examined_factor"],
+            sample_interval=data["sample_interval"],
+            warmup_rounds=data["warmup_rounds"],
+            grace_rounds=data["grace_rounds"],
+            staggered_join_rounds=data["staggered_join_rounds"],
+            proactive_rate=data["proactive_rate"],
+            adaptive_thresholds=data["adaptive_thresholds"],
+        )
 
     def with_threshold(self, repair_threshold: int) -> "SimulationConfig":
         """Copy with a different repair threshold (threshold sweeps)."""

@@ -71,6 +71,34 @@ class SimulationResult:
         """Figure 3's endpoints: total repairs per observer."""
         return dict(self.metrics.observer_repairs)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Stable plain-data form (JSON-safe) of the run's canonical content.
+
+        ``wall_clock_seconds`` is deliberately excluded: it is a transient
+        measurement of the machine, not of the simulation, and its
+        exclusion is what makes serialized results byte-identical across
+        executor backends and cache round trips.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.metrics.to_dict(),
+            "final_round": self.final_round,
+            "peers_created": self.peers_created,
+            "deaths": self.deaths,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (wall clock reads 0)."""
+        return cls(
+            config=SimulationConfig.from_dict(data["config"]),
+            metrics=MetricsCollector.from_dict(data["metrics"]),
+            final_round=data["final_round"],
+            wall_clock_seconds=0.0,
+            peers_created=data["peers_created"],
+            deaths=data["deaths"],
+        )
+
 
 class Simulation:
     """One simulation run of the peer-to-peer backup system."""

@@ -162,6 +162,90 @@ class MetricsCollector:
         self.series.append(point)
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Stable plain-data form of all counters and series (JSON-safe).
+
+        Everything figures 1-4 consume survives the round trip through
+        :meth:`from_dict`; the sweep executor uses it to move results
+        across process boundaries and into the on-disk cache.
+        """
+        return {
+            "categories": self.categories.to_dict(),
+            "warmup_rounds": self.warmup_rounds,
+            "by_category": {
+                name: {
+                    "repairs": counters.repairs,
+                    "losses": counters.losses,
+                    "blocked": counters.blocked,
+                    "placements": counters.placements,
+                    "regenerated_blocks": counters.regenerated_blocks,
+                    "peer_rounds": counters.peer_rounds,
+                }
+                for name, counters in self.by_category.items()
+            },
+            "observer_repairs": dict(self.observer_repairs),
+            "observer_losses": dict(self.observer_losses),
+            "observer_blocked": dict(self.observer_blocked),
+            "series": [
+                {
+                    "round": point.round,
+                    "population": dict(point.population),
+                    "cumulative_repairs": dict(point.cumulative_repairs),
+                    "cumulative_losses": dict(point.cumulative_losses),
+                    "observer_repairs": dict(point.observer_repairs),
+                }
+                for point in self.series
+            ],
+            "total_repairs": self.total_repairs,
+            "total_losses": self.total_losses,
+            "total_placements": self.total_placements,
+            "pool_examined": self.pool_examined,
+            "pool_accepted": self.pool_accepted,
+            "starved_repairs": self.starved_repairs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetricsCollector":
+        """Rebuild a collector from :meth:`to_dict` output."""
+        from ..core.categories import CategoryScheme
+
+        collector = cls(
+            CategoryScheme.from_dict(data["categories"]),
+            data["warmup_rounds"],
+        )
+        for name, values in data["by_category"].items():
+            collector.by_category[name] = CategoryCounters(
+                repairs=values["repairs"],
+                losses=values["losses"],
+                blocked=values["blocked"],
+                placements=values["placements"],
+                regenerated_blocks=values["regenerated_blocks"],
+                peer_rounds=values["peer_rounds"],
+            )
+        collector.observer_repairs.update(data["observer_repairs"])
+        collector.observer_losses.update(data["observer_losses"])
+        collector.observer_blocked.update(data["observer_blocked"])
+        collector.series = [
+            SeriesPoint(
+                round=point["round"],
+                population=dict(point["population"]),
+                cumulative_repairs=dict(point["cumulative_repairs"]),
+                cumulative_losses=dict(point["cumulative_losses"]),
+                observer_repairs=dict(point["observer_repairs"]),
+            )
+            for point in data["series"]
+        ]
+        collector.total_repairs = data["total_repairs"]
+        collector.total_losses = data["total_losses"]
+        collector.total_placements = data["total_placements"]
+        collector.pool_examined = data["pool_examined"]
+        collector.pool_accepted = data["pool_accepted"]
+        collector.starved_repairs = data["starved_repairs"]
+        return collector
+
+    # ------------------------------------------------------------------
     # Derived rates
     # ------------------------------------------------------------------
     def repair_rate_per_1000(self, category: str) -> float:

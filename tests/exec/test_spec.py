@@ -1,0 +1,98 @@
+"""Tests for the declarative experiment specs."""
+
+import pytest
+
+from repro.exec import ExperimentSpec
+from repro.sim.config import SimulationConfig
+
+
+def small_config():
+    return SimulationConfig(
+        population=40,
+        rounds=200,
+        data_blocks=8,
+        parity_blocks=8,
+        repair_threshold=10,
+        quota=24,
+        seed=0,
+    )
+
+
+def threshold_spec(thresholds=(9, 11), seeds=(0, 1)):
+    base = small_config()
+    return ExperimentSpec(
+        name="test-sweep",
+        build=lambda params: base.with_threshold(params["threshold"]),
+        grid={"threshold": thresholds},
+        seeds=seeds,
+    )
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="", build=lambda p: small_config())
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="x", build=lambda p: small_config(), seeds=()
+            )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="x",
+                build=lambda p: small_config(),
+                grid={"threshold": ()},
+            )
+
+
+class TestCells:
+    def test_cell_count(self):
+        assert threshold_spec().cell_count == 4
+        assert threshold_spec(thresholds=(9,), seeds=(0,)).cell_count == 1
+
+    def test_gridless_spec_has_one_cell_per_seed(self):
+        spec = ExperimentSpec(
+            name="replications",
+            build=lambda params: small_config(),
+            seeds=(0, 1, 2),
+        )
+        cells = spec.cells()
+        assert len(cells) == 3
+        assert [cell.seed for cell in cells] == [0, 1, 2]
+        assert all(cell.params == () for cell in cells)
+
+    def test_cells_order_axis_outer_seed_inner(self):
+        cells = threshold_spec().cells()
+        assert [(c.param("threshold"), c.seed) for c in cells] == [
+            (9, 0), (9, 1), (11, 0), (11, 1),
+        ]
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+
+    def test_cell_config_carries_param_and_seed(self):
+        for cell in threshold_spec().cells():
+            assert cell.config.repair_threshold == cell.param("threshold")
+            assert cell.config.seed == cell.seed
+
+    def test_build_is_not_responsible_for_seed(self):
+        # The builder returns one config; the spec applies per-cell seeds.
+        spec = threshold_spec(seeds=(5,))
+        assert all(cell.config.seed == 5 for cell in spec.cells())
+
+    def test_cell_label_mentions_params_and_seed(self):
+        cell = threshold_spec().cells()[0]
+        assert "threshold=9" in cell.label()
+        assert "seed=0" in cell.label()
+
+    def test_multi_axis_product(self):
+        base = small_config()
+        spec = ExperimentSpec(
+            name="grid",
+            build=lambda p: base.with_threshold(p["threshold"]),
+            grid={"threshold": (9, 11), "flavour": ("a", "b", "c")},
+            seeds=(0,),
+        )
+        assert spec.cell_count == 6
+        assert len(spec.cells()) == 6

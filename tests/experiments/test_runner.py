@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.runner import build_parser, main
+from repro.experiments.runner import build_executor, build_parser, main
 
 
 class TestParser:
@@ -21,6 +21,33 @@ class TestParser:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9"])
+
+    def test_executor_flags_default(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.workers == 1
+        assert args.cache_dir == ".repro-cache"
+        assert not args.no_cache
+
+    def test_executor_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig1", "--workers", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+
+    def test_build_executor_honours_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig1", "--workers", "3", "--cache-dir", str(tmp_path)]
+        )
+        executor = build_executor(args)
+        assert executor.workers == 3
+        assert executor.cache is not None
+        assert str(executor.cache.root) == str(tmp_path)
+
+    def test_build_executor_no_cache(self):
+        args = build_parser().parse_args(["fig1", "--no-cache"])
+        assert build_executor(args).cache is None
 
     def test_all_experiments_registered(self):
         parser = build_parser()

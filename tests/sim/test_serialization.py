@@ -1,0 +1,160 @@
+"""Round-trip tests for config/metrics/result dict serialization.
+
+These are the properties the sweep executor's process-pool transport
+and on-disk cache rest on: ``to_dict -> from_dict`` preserves every
+figure-1-4 series and counter, and the canonical JSON form is stable
+across the round trip.
+"""
+
+import json
+
+from repro.churn.profiles import PAPER_PROFILES, Profile
+from repro.core.categories import CategoryScheme
+from repro.exec import canonical_json
+from repro.sim.config import ObserverSpec, SimulationConfig
+from repro.sim.engine import SimulationResult, run_simulation
+from repro.sim.metrics import MetricsCollector
+from repro.sim.observers import scaled_observers
+
+
+def run_small(observers=()):
+    config = SimulationConfig.scaled(
+        population=80,
+        rounds=600,
+        data_blocks=8,
+        parity_blocks=8,
+        seed=3,
+        observers=observers,
+    )
+    return run_simulation(config)
+
+
+def json_round_trip(payload):
+    """Simulate the cache/process boundary: through real JSON text."""
+    return json.loads(json.dumps(payload))
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = SimulationConfig()
+        rebuilt = SimulationConfig.from_dict(
+            json_round_trip(config.to_dict())
+        )
+        assert rebuilt == config
+
+    def test_fully_loaded_config(self):
+        config = SimulationConfig.scaled(
+            population=120,
+            rounds=900,
+            data_blocks=8,
+            parity_blocks=8,
+            seed=11,
+            observers=scaled_observers(0.05),
+            grace_rounds=4,
+            proactive_rate=0.001,
+            adaptive_thresholds=True,
+            warmup_rounds=10,
+        )
+        rebuilt = SimulationConfig.from_dict(
+            json_round_trip(config.to_dict())
+        )
+        assert rebuilt == config
+        assert canonical_json(rebuilt.to_dict()) == canonical_json(
+            config.to_dict()
+        )
+
+    def test_none_seed_survives(self):
+        config = SimulationConfig(seed=None)
+        assert SimulationConfig.from_dict(config.to_dict()).seed is None
+
+    def test_profile_round_trip(self):
+        for profile in PAPER_PROFILES:
+            assert Profile.from_dict(
+                json_round_trip(profile.to_dict())
+            ) == profile
+
+    def test_category_scheme_round_trip(self):
+        scheme = CategoryScheme().scaled(0.25)
+        rebuilt = CategoryScheme.from_dict(json_round_trip(scheme.to_dict()))
+        assert rebuilt.categories == scheme.categories
+
+    def test_observer_spec_round_trip(self):
+        spec = ObserverSpec("Elder", 2160)
+        assert ObserverSpec.from_dict(json_round_trip(spec.to_dict())) == spec
+
+
+class TestMetricsRoundTrip:
+    def test_counters_preserved(self):
+        metrics = run_small().metrics
+        rebuilt = MetricsCollector.from_dict(
+            json_round_trip(metrics.to_dict())
+        )
+        assert rebuilt.total_repairs == metrics.total_repairs
+        assert rebuilt.total_losses == metrics.total_losses
+        assert rebuilt.total_placements == metrics.total_placements
+        assert rebuilt.starved_repairs == metrics.starved_repairs
+        assert rebuilt.pool_examined == metrics.pool_examined
+        assert rebuilt.by_category.keys() == metrics.by_category.keys()
+        for name, counters in metrics.by_category.items():
+            assert rebuilt.by_category[name] == counters
+
+    def test_figure_series_preserved(self):
+        metrics = run_small(observers=scaled_observers(0.05)).metrics
+        rebuilt = MetricsCollector.from_dict(
+            json_round_trip(metrics.to_dict())
+        )
+        # Figure 3: per-observer cumulative repair series.
+        for spec_name in ("Elder", "Baby"):
+            assert rebuilt.observer_series(spec_name) == metrics.observer_series(
+                spec_name
+            )
+        # Figure 4: per-category loss series.
+        for name in metrics.categories.names():
+            assert rebuilt.category_loss_series(name) == (
+                metrics.category_loss_series(name)
+            )
+            assert rebuilt.losses_per_peer_series(name) == (
+                metrics.losses_per_peer_series(name)
+            )
+        # Figures 1/2: the rate denominators and rates.
+        for name in metrics.categories.names():
+            assert rebuilt.repair_rate_per_1000(name) == (
+                metrics.repair_rate_per_1000(name)
+            )
+            assert rebuilt.loss_rate_per_1000(name) == (
+                metrics.loss_rate_per_1000(name)
+            )
+
+    def test_observer_dicts_keep_defaultdict_behaviour(self):
+        rebuilt = MetricsCollector.from_dict(
+            json_round_trip(run_small().metrics.to_dict())
+        )
+        # Recording against an unseen observer must not raise.
+        rebuilt.record_repair(0, 0.0, 1, observer_name="Fresh")
+        assert rebuilt.observer_repairs["Fresh"] == 1
+
+
+class TestResultRoundTrip:
+    def test_canonical_json_stable_across_round_trip(self):
+        result = run_small(observers=scaled_observers(0.05))
+        first = canonical_json(result.to_dict())
+        rebuilt = SimulationResult.from_dict(json.loads(first))
+        assert canonical_json(rebuilt.to_dict()) == first
+
+    def test_rates_preserved(self):
+        result = run_small()
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt.repair_rates() == result.repair_rates()
+        assert rebuilt.loss_rates() == result.loss_rates()
+        assert rebuilt.observer_totals() == result.observer_totals()
+        assert rebuilt.final_round == result.final_round
+        assert rebuilt.peers_created == result.peers_created
+        assert rebuilt.deaths == result.deaths
+
+    def test_wall_clock_excluded_from_canonical_form(self):
+        result = run_small()
+        assert result.wall_clock_seconds > 0
+        assert "wall_clock_seconds" not in result.to_dict()
+        assert SimulationResult.from_dict(
+            result.to_dict()
+        ).wall_clock_seconds == 0.0
