@@ -20,30 +20,48 @@ Quick start::
     print(result.repair_rates())
 """
 
-from .core import (
-    AcceptancePolicy,
-    AgeSelection,
-    Candidate,
-    RepairPolicy,
-    acceptance_probability,
-    fit_pareto,
-    scaled_threshold,
-    strategy_by_name,
-)
+# Dependency-free layers first: the registries and the erasure substrate
+# import (and work) without numpy.
 from .erasure import ArchiveCodec, ReedSolomonCode
-from .net import CostModel, paper_cost_table
-from .sim import (
-    PAPER_OBSERVERS,
-    ObserverSpec,
-    Simulation,
-    SimulationConfig,
-    SimulationResult,
-    run_simulation,
-)
+from .registry import Registry, UnknownComponentError
+
+try:
+    from .core import (
+        AcceptancePolicy,
+        AgeSelection,
+        Candidate,
+        RepairPolicy,
+        acceptance_probability,
+        fit_pareto,
+        scaled_threshold,
+        strategy_by_name,
+    )
+    from .net import CostModel, paper_cost_table
+    from .scenarios import (
+        Scenario,
+        available_scenarios,
+        register_scenario,
+        scenario_by_name,
+    )
+    from .sim import (
+        PAPER_OBSERVERS,
+        ObserverSpec,
+        Simulation,
+        SimulationConfig,
+        SimulationResult,
+        run_simulation,
+    )
+except ImportError as _exc:  # pragma: no cover - exercised with numpy blocked
+    # numpy is missing: the simulator, scenarios and analysis layers are
+    # unavailable, but the erasure codec (with its pure-python matrix
+    # backend) and the registry machinery still work.  Any other import
+    # failure is a real bug and must surface.
+    if _exc.name != "numpy" and not (_exc.name or "").startswith("numpy."):
+        raise
 
 __version__ = "1.0.0"
 
-__all__ = [
+_ALL_CANDIDATES = [
     "AcceptancePolicy",
     "AgeSelection",
     "Candidate",
@@ -54,6 +72,12 @@ __all__ = [
     "strategy_by_name",
     "ArchiveCodec",
     "ReedSolomonCode",
+    "Registry",
+    "UnknownComponentError",
+    "Scenario",
+    "available_scenarios",
+    "register_scenario",
+    "scenario_by_name",
     "CostModel",
     "paper_cost_table",
     "PAPER_OBSERVERS",
@@ -64,3 +88,7 @@ __all__ = [
     "run_simulation",
     "__version__",
 ]
+
+#: Only names that actually bound (the simulator layer is absent in the
+#: numpy-free degraded mode, and star imports must stay valid there).
+__all__ = [name for name in _ALL_CANDIDATES if name in globals()]

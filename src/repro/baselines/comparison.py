@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
-from ..core.selection import available_strategies
+from ..core.selection import SELECTION_STRATEGIES
 from ..exec import ExperimentSpec, SweepExecutor, run_experiment
 from ..sim.config import SimulationConfig
 from ..sim.engine import SimulationResult
@@ -35,10 +35,8 @@ def strategy_spec(
     seeds: Sequence[int] = (0,),
 ) -> ExperimentSpec:
     """The strategy comparison as a declarative spec (one axis: strategy)."""
-    known = set(available_strategies())
-    unknown = [s for s in strategies if s not in known]
-    if unknown:
-        raise ValueError(f"unknown strategies: {unknown}; known: {sorted(known)}")
+    for strategy in strategies:
+        SELECTION_STRATEGIES.check(strategy)
     if not seeds:
         raise ValueError("at least one seed is required")
 

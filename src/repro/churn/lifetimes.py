@@ -22,6 +22,13 @@ from typing import Optional
 
 import numpy as np
 
+from ..registry import Registry
+
+#: Registry of lifetime-distribution families.  Entries are classes (or
+#: factories) whose constructor parameters describe the distribution;
+#: :func:`lifetime_by_name` instantiates them.
+LIFETIME_MODELS: Registry[type] = Registry("lifetime model")
+
 
 class LifetimeDistribution(ABC):
     """Samples total peer lifetimes, in rounds."""
@@ -53,6 +60,7 @@ class LifetimeDistribution(ABC):
         return float(np.trapz(values, xs))
 
 
+@LIFETIME_MODELS.register("uniform")
 class UniformLifetime(LifetimeDistribution):
     """Lifetime uniform in ``[low, high]`` rounds."""
 
@@ -87,6 +95,7 @@ class UniformLifetime(LifetimeDistribution):
         return f"UniformLifetime(low={self.low}, high={self.high})"
 
 
+@LIFETIME_MODELS.register("immortal")
 class ImmortalLifetime(LifetimeDistribution):
     """The durable profile: the peer never leaves."""
 
@@ -106,6 +115,7 @@ class ImmortalLifetime(LifetimeDistribution):
         return "ImmortalLifetime()"
 
 
+@LIFETIME_MODELS.register("pareto")
 class ParetoLifetime(LifetimeDistribution):
     """Pareto (type I) lifetimes: ``P(T > t) = (x_m / t)^alpha`` for ``t >= x_m``.
 
@@ -153,12 +163,17 @@ class ParetoLifetime(LifetimeDistribution):
         return f"ParetoLifetime(shape={self.shape}, scale={self.scale})"
 
 
+def lifetime_by_name(name: str, **params) -> LifetimeDistribution:
+    """Instantiate a lifetime distribution from its registered name."""
+    return LIFETIME_MODELS.create(name, **params)
+
+
 def from_profile(profile) -> LifetimeDistribution:
     """Build the lifetime distribution a profile prescribes."""
     if profile.life_expectancy is None:
-        return ImmortalLifetime()
+        return LIFETIME_MODELS.create("immortal")
     low, high = profile.life_expectancy
-    return UniformLifetime(low, high)
+    return LIFETIME_MODELS.create("uniform", low=low, high=high)
 
 
 def mixture_survival(profiles, age: float) -> float:

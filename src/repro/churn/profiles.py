@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..registry import Registry
+
 #: Rounds (hours) per day / month / year, used throughout the reproduction.
 ROUNDS_PER_DAY = 24
 ROUNDS_PER_MONTH = 30 * ROUNDS_PER_DAY
@@ -166,6 +168,85 @@ def validate_mix(profiles: Sequence[Profile]) -> None:
     total = sum(p.proportion for p in profiles)
     if not math.isclose(total, 1.0, abs_tol=1e-9):
         raise ValueError(f"profile proportions must sum to 1, got {total}")
+
+
+#: Registry of named churn mixes (complete profile tuples).  Scenario
+#: builders resolve ``with_churn("flash_crowd")``-style names here; a
+#: registered mix must pass :func:`validate_mix`.
+CHURN_MIXES: Registry[Tuple[Profile, ...]] = Registry("churn mix")
+
+
+def register_mix(name: str, profiles: Sequence[Profile], *, replace: bool = False):
+    """Validate and register a churn mix under a stable name."""
+    mix = tuple(profiles)
+    validate_mix(mix)
+    return CHURN_MIXES.register(name, mix, replace=replace)
+
+
+def mix_by_name(name: str) -> Tuple[Profile, ...]:
+    """The profile tuple registered under ``name``."""
+    return CHURN_MIXES.get(name)
+
+
+register_mix("paper", PAPER_PROFILES)
+
+#: A flash crowd: a thin durable core swamped by a large cohort of
+#: short-lived, half-present newcomers that all arrive together.
+FLASH_CROWD_PROFILES: Tuple[Profile, ...] = (
+    Profile("Core", 0.10, None, 0.95, mean_online_session=30 * ROUNDS_PER_DAY),
+    Profile("Regular", 0.15, (30 * ROUNDS_PER_DAY, 90 * ROUNDS_PER_DAY), 0.80,
+            mean_online_session=24.0),
+    Profile("Crowd", 0.75, (1 * ROUNDS_PER_DAY, 7 * ROUNDS_PER_DAY), 0.60,
+            mean_online_session=8.0),
+)
+register_mix("flash_crowd", FLASH_CROWD_PROFILES)
+
+#: Day/night duty cycles: most peers alternate ~12h online / ~12h
+#: offline, a minority only shows up for short evening sessions, and a
+#: small always-on server fleet anchors the system.
+DIURNAL_PROFILES: Tuple[Profile, ...] = (
+    Profile("Office", 0.45, (30 * ROUNDS_PER_DAY, 90 * ROUNDS_PER_DAY), 0.50,
+            mean_online_session=12.0),
+    Profile("Evening", 0.35, (15 * ROUNDS_PER_DAY, 60 * ROUNDS_PER_DAY), 0.25,
+            mean_online_session=6.0),
+    Profile("Server", 0.20, None, 0.99, mean_online_session=30 * ROUNDS_PER_DAY),
+)
+register_mix("diurnal", DIURNAL_PROFILES)
+
+#: Correlated outages: long offline stretches (days of darkness between
+#: multi-day sessions) instead of the paper's short disconnections —
+#: the regime where grace periods and repair thresholds interact.
+CORRELATED_OUTAGE_PROFILES: Tuple[Profile, ...] = (
+    Profile("Flaky", 0.60, (30 * ROUNDS_PER_DAY, 120 * ROUNDS_PER_DAY), 0.55,
+            mean_online_session=60.0),
+    Profile("Transient", 0.25, (3 * ROUNDS_PER_DAY, 30 * ROUNDS_PER_DAY), 0.50,
+            mean_online_session=12.0),
+    Profile("Anchor", 0.15, None, 0.95, mean_online_session=30 * ROUNDS_PER_DAY),
+)
+register_mix("correlated_outage", CORRELATED_OUTAGE_PROFILES)
+
+#: Heterogeneous capacity: a donor minority with server-like presence
+#: carries a majority of consumers and churners — the workload that
+#: stresses quota contention.
+HETEROGENEOUS_PROFILES: Tuple[Profile, ...] = (
+    Profile("Donor", 0.30, None, 0.90, mean_online_session=10 * ROUNDS_PER_DAY),
+    Profile("Consumer", 0.50, (7 * ROUNDS_PER_DAY, 60 * ROUNDS_PER_DAY), 0.50,
+            mean_online_session=12.0),
+    Profile("Churner", 0.20, (1 * ROUNDS_PER_DAY, 14 * ROUNDS_PER_DAY), 0.40,
+            mean_online_session=6.0),
+)
+register_mix("heterogeneous", HETEROGENEOUS_PROFILES)
+
+#: Slow decay: an old, stable population that erodes over months — the
+#: low-churn regime where almost all repairs are avoidable overhead.
+SLOW_DECAY_PROFILES: Tuple[Profile, ...] = (
+    Profile("Archive", 0.40, None, 0.90, mean_online_session=10 * ROUNDS_PER_DAY),
+    Profile("Veteran", 0.45, (90 * ROUNDS_PER_DAY, 365 * ROUNDS_PER_DAY), 0.85,
+            mean_online_session=5 * ROUNDS_PER_DAY),
+    Profile("Drifter", 0.15, (30 * ROUNDS_PER_DAY, 120 * ROUNDS_PER_DAY), 0.70,
+            mean_online_session=2 * ROUNDS_PER_DAY),
+)
+register_mix("slow_decay", SLOW_DECAY_PROFILES)
 
 
 def profile_table(profiles: Sequence[Profile] = PAPER_PROFILES) -> Dict[str, Dict]:

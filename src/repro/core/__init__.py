@@ -7,11 +7,13 @@ pool builder and the threshold-repair policy.
 """
 
 from .acceptance import (
+    ACCEPTANCE_RULES,
     DEFAULT_AGE_CAP,
     AcceptancePolicy,
     UniformAcceptancePolicy,
     acceptance_probability,
     acceptance_rule,
+    available_rules,
     minimum_probability,
 )
 from .adaptive import AdaptiveConfig, AdaptiveThreshold
@@ -35,9 +37,10 @@ from .lifetime import (
     kaplan_meier,
     rank_by_expected_remaining,
 )
-from .policy import RepairPolicy, scaled_threshold
+from .policy import POLICY_PRESETS, RepairPolicy, policy_by_name, scaled_threshold
 from .pool import PoolResult, build_pool
 from .selection import (
+    SELECTION_STRATEGIES,
     AgeSelection,
     AvailabilitySelection,
     Candidate,
@@ -49,6 +52,8 @@ from .selection import (
 )
 
 __all__ = [
+    "ACCEPTANCE_RULES",
+    "available_rules",
     "DEFAULT_AGE_CAP",
     "AcceptancePolicy",
     "UniformAcceptancePolicy",
@@ -73,10 +78,13 @@ __all__ = [
     "fit_pareto_scipy",
     "kaplan_meier",
     "rank_by_expected_remaining",
+    "POLICY_PRESETS",
     "RepairPolicy",
+    "policy_by_name",
     "scaled_threshold",
     "PoolResult",
     "build_pool",
+    "SELECTION_STRATEGIES",
     "AgeSelection",
     "AvailabilitySelection",
     "Candidate",

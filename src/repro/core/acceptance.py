@@ -23,9 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..churn.profiles import ROUNDS_PER_DAY
+from ..registry import Registry
 
 #: The paper's stability cap: 90 days, in one-hour rounds.
 DEFAULT_AGE_CAP = 90 * ROUNDS_PER_DAY
+
+#: Registry of acceptance rules.  A rule is registered as a factory
+#: accepting an ``age_cap`` keyword and returning an object with the
+#: :class:`AcceptancePolicy` interface (``probability`` / ``decide`` /
+#: ``mutual_probability``); ``SimulationConfig.acceptance_rule`` names
+#: are resolved here.
+ACCEPTANCE_RULES: Registry[type] = Registry("acceptance rule")
 
 
 def acceptance_probability(
@@ -52,6 +60,7 @@ def minimum_probability(age_cap: int = DEFAULT_AGE_CAP) -> float:
     return 1.0 / age_cap
 
 
+@ACCEPTANCE_RULES.register("age")
 @dataclass(frozen=True)
 class AcceptancePolicy:
     """A reusable acceptation rule with a fixed age cap.
@@ -89,6 +98,7 @@ class AcceptancePolicy:
         return self.probability(age_a, age_b) * self.probability(age_b, age_a)
 
 
+@ACCEPTANCE_RULES.register("uniform")
 @dataclass(frozen=True)
 class UniformAcceptancePolicy:
     """Age-blind acceptance: every proposal is accepted.
@@ -119,9 +129,10 @@ class UniformAcceptancePolicy:
 
 
 def acceptance_rule(name: str, age_cap: int = DEFAULT_AGE_CAP):
-    """Instantiate an acceptance rule by name (``"age"`` or ``"uniform"``)."""
-    if name == "age":
-        return AcceptancePolicy(age_cap=age_cap)
-    if name == "uniform":
-        return UniformAcceptancePolicy(age_cap=age_cap)
-    raise ValueError(f"unknown acceptance rule {name!r}; use 'age' or 'uniform'")
+    """Instantiate an acceptance rule by its registered name."""
+    return ACCEPTANCE_RULES.create(name, age_cap=age_cap)
+
+
+def available_rules():
+    """Names of all registered acceptance rules."""
+    return ACCEPTANCE_RULES.names()

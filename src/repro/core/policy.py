@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..registry import Registry
+
 
 @dataclass(frozen=True)
 class RepairPolicy:
@@ -92,6 +94,23 @@ class RepairPolicy:
     def with_threshold(self, repair_threshold: int) -> "RepairPolicy":
         """Copy of the policy with a different threshold (for sweeps)."""
         return RepairPolicy(self.data_blocks, self.total_blocks, repair_threshold)
+
+
+#: Registry of repair-policy presets: zero-argument factories returning
+#: a ready :class:`RepairPolicy`.  ``"paper"`` is the focus setting of
+#: figures 3/4; the tight/loose variants bound the figure 1/2 sweep;
+#: ``"scaled"`` is the laptop-scale mapping used by the test-suite.
+POLICY_PRESETS: Registry = Registry("repair-policy preset")
+
+POLICY_PRESETS.register("paper", lambda: RepairPolicy(128, 256, 148))
+POLICY_PRESETS.register("paper-tight", lambda: RepairPolicy(128, 256, 132))
+POLICY_PRESETS.register("paper-loose", lambda: RepairPolicy(128, 256, 180))
+POLICY_PRESETS.register("scaled", lambda: RepairPolicy(16, 32, 18))
+
+
+def policy_by_name(name: str) -> RepairPolicy:
+    """Instantiate a repair-policy preset from its registered name."""
+    return POLICY_PRESETS.create(name)
 
 
 def scaled_threshold(

@@ -25,6 +25,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..registry import Registry
+
 
 @dataclass(frozen=True)
 class Candidate:
@@ -48,11 +50,25 @@ class Candidate:
             raise ValueError("availability must be in [0, 1]")
 
 
+#: Registry of partner-selection strategies.  Register a class (or any
+#: zero-argument factory returning a :class:`SelectionStrategy`) to make
+#: a new strategy usable from ``SimulationConfig.selection_strategy``
+#: without touching the simulator.
+SELECTION_STRATEGIES: Registry[type] = Registry("selection strategy")
+
+
 class SelectionStrategy(ABC):
     """Orders candidate partners by preference."""
 
     #: Short machine name used by experiment configs and reports.
     name: str = "abstract"
+
+    #: Data the strategy needs on each :class:`Candidate`.  The engine
+    #: only computes measured availability / true remaining lifetime for
+    #: strategies that declare the need, so registered third-party
+    #: strategies get the same treatment as the built-ins.
+    needs_availability: bool = False
+    needs_oracle: bool = False
 
     @abstractmethod
     def rank(
@@ -72,6 +88,7 @@ class SelectionStrategy(ABC):
         return self.rank(candidates, rng)[:count]
 
 
+@SELECTION_STRATEGIES.register("age")
 class AgeSelection(SelectionStrategy):
     """The paper's strategy: oldest candidates first.
 
@@ -92,6 +109,7 @@ class AgeSelection(SelectionStrategy):
         return [candidates[i].peer_id for i in order]
 
 
+@SELECTION_STRATEGIES.register("random")
 class RandomSelection(SelectionStrategy):
     """Age-blind baseline: a uniformly random permutation."""
 
@@ -105,6 +123,7 @@ class RandomSelection(SelectionStrategy):
         return [ids[i] for i in permutation]
 
 
+@SELECTION_STRATEGIES.register("availability")
 class AvailabilitySelection(SelectionStrategy):
     """Rank by measured availability, falling back to age on ties.
 
@@ -113,6 +132,7 @@ class AvailabilitySelection(SelectionStrategy):
     """
 
     name = "availability"
+    needs_availability = True
 
     def rank(
         self, candidates: Sequence[Candidate], rng: np.random.Generator
@@ -130,6 +150,7 @@ class AvailabilitySelection(SelectionStrategy):
         return [candidates[i].peer_id for i in order]
 
 
+@SELECTION_STRATEGIES.register("oracle")
 class OracleSelection(SelectionStrategy):
     """Upper-bound baseline: rank by true remaining lifetime.
 
@@ -139,6 +160,7 @@ class OracleSelection(SelectionStrategy):
     """
 
     name = "oracle"
+    needs_oracle = True
 
     def rank(
         self, candidates: Sequence[Candidate], rng: np.random.Generator
@@ -155,23 +177,11 @@ class OracleSelection(SelectionStrategy):
         return [candidates[i].peer_id for i in order]
 
 
-_STRATEGIES = {
-    cls.name: cls
-    for cls in (AgeSelection, RandomSelection, AvailabilitySelection, OracleSelection)
-}
-
-
 def strategy_by_name(name: str) -> SelectionStrategy:
-    """Instantiate a selection strategy from its short name."""
-    try:
-        return _STRATEGIES[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown selection strategy {name!r}; "
-            f"available: {sorted(_STRATEGIES)}"
-        ) from None
+    """Instantiate a selection strategy from its registered name."""
+    return SELECTION_STRATEGIES.get(name)()
 
 
 def available_strategies() -> List[str]:
     """Names of all registered strategies."""
-    return sorted(_STRATEGIES)
+    return SELECTION_STRATEGIES.names()

@@ -2,15 +2,23 @@
 
 The paper assumes "erasure codes, such as Reed-Solomon" (section 2.1);
 this subpackage implements them from scratch so that the backup layer can
-move real bytes, not just logical block counts.
+move real bytes, not just logical block counts.  Matrix elimination is
+backend-pluggable: the :data:`CODEC_BACKENDS` registry holds a
+pure-python implementation and a numpy-vectorised one, the default being
+the fastest available.
 """
 
 from .codec import ArchiveCodec, CodedBlock
+from .matrix import CODEC_BACKENDS, DEFAULT_BACKEND, MatrixBackend, get_backend
 from .reed_solomon import ErasureCodingError, ReedSolomonCode
 
 __all__ = [
     "ArchiveCodec",
+    "CODEC_BACKENDS",
     "CodedBlock",
+    "DEFAULT_BACKEND",
     "ErasureCodingError",
+    "MatrixBackend",
     "ReedSolomonCode",
+    "get_backend",
 ]

@@ -57,8 +57,8 @@ def _make_block(index: int, payload: bytes) -> CodedBlock:
 class ArchiveCodec:
     """Split archives into ``n`` coded blocks and reassemble them from any ``k``."""
 
-    def __init__(self, data_blocks: int, parity_blocks: int):
-        self._code = ReedSolomonCode(data_blocks, parity_blocks)
+    def __init__(self, data_blocks: int, parity_blocks: int, backend=None):
+        self._code = ReedSolomonCode(data_blocks, parity_blocks, backend=backend)
 
     @property
     def k(self) -> int:

@@ -1,18 +1,38 @@
-"""Dense matrix algebra over GF(2^8).
+"""Dense matrix algebra over GF(2^8), with pluggable backends.
 
 Reed-Solomon encoding and decoding reduce to matrix-vector products and
 matrix inversion over the field; this module provides exactly those
-operations on plain list-of-list matrices, which is fast enough for the
-block counts used by the paper (k, m <= 128).
+operations on plain list-of-list matrices.
+
+Gaussian elimination (``invert`` / ``rank``) comes in two registered
+backends:
+
+* ``"python"`` — the original pure-python loops, always available;
+* ``"numpy"`` — row operations vectorised through the shared 256x256
+  GF product table (one fancy-indexed lookup plus one XOR per pivot,
+  instead of a python loop over every row element), registered only
+  when numpy imports.
+
+:data:`DEFAULT_BACKEND` is ``"numpy"`` when available, falling back to
+``"python"`` otherwise; callers can force either by name through the
+:data:`CODEC_BACKENDS` registry (e.g.
+``ArchiveCodec(k, m, backend="python")``).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 from . import gf256
+from ..registry import Registry
 
 Matrix = List[List[int]]
+
+try:  # numpy is optional for the erasure substrate
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the registry gate
+    _np = None
 
 
 def zeros(rows: int, cols: int) -> Matrix:
@@ -72,11 +92,8 @@ def submatrix(matrix: Matrix, row_indices: Sequence[int]) -> Matrix:
     return [matrix[i][:] for i in row_indices]
 
 
-def invert(matrix: Matrix) -> Matrix:
-    """Invert a square matrix with Gauss-Jordan elimination.
-
-    Raises ``ValueError`` when the matrix is singular.
-    """
+def _invert_python(matrix: Matrix) -> Matrix:
+    """Pure-python Gauss-Jordan inversion (the ``"python"`` backend)."""
     rows, cols = dimensions(matrix)
     if rows != cols:
         raise ValueError(f"only square matrices can be inverted, got {rows}x{cols}")
@@ -113,8 +130,8 @@ def invert(matrix: Matrix) -> Matrix:
     return result
 
 
-def rank(matrix: Matrix) -> int:
-    """Return the rank of ``matrix`` over GF(256)."""
+def _rank_python(matrix: Matrix) -> int:
+    """Pure-python row reduction (the ``"python"`` backend)."""
     rows, cols = dimensions(matrix)
     work = copy(matrix)
     pivot_row = 0
@@ -139,6 +156,125 @@ def rank(matrix: Matrix) -> int:
                 )
         pivot_row += 1
     return pivot_row
+
+
+if _np is not None:
+    #: numpy views of the shared GF(256) tables: 256x256 products and
+    #: multiplicative inverses (index 0 unused).  Built once here and
+    #: reused by :mod:`repro.erasure.reed_solomon` for its block math.
+    NP_MUL_TABLE = _np.array(gf256.MUL_TABLE, dtype=_np.uint8)
+    NP_INV_TABLE = _np.array(
+        [0] + [gf256.inverse(x) for x in range(1, gf256.FIELD_SIZE)],
+        dtype=_np.uint8,
+    )
+
+
+def _invert_numpy(matrix: Matrix) -> Matrix:
+    """Vectorised Gauss-Jordan inversion (the ``"numpy"`` backend).
+
+    Per pivot column, the whole elimination step is three table
+    lookups/XORs over 2-D arrays, so the python-level work drops from
+    O(size^3) to O(size) loop iterations.
+    """
+    rows, cols = dimensions(matrix)
+    if rows != cols:
+        raise ValueError(f"only square matrices can be inverted, got {rows}x{cols}")
+    size = rows
+    work = _np.array(matrix, dtype=_np.uint8)
+    result = _np.eye(size, dtype=_np.uint8)
+
+    for col in range(size):
+        pivot_candidates = _np.nonzero(work[col:, col])[0]
+        if pivot_candidates.size == 0:
+            raise ValueError("matrix is singular and cannot be inverted")
+        pivot_row = col + int(pivot_candidates[0])
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            result[[col, pivot_row]] = result[[pivot_row, col]]
+
+        pivot_inverse = NP_INV_TABLE[work[col, col]]
+        work[col] = NP_MUL_TABLE[pivot_inverse, work[col]]
+        result[col] = NP_MUL_TABLE[pivot_inverse, result[col]]
+
+        factors = work[:, col].copy()
+        factors[col] = 0
+        eliminate = _np.nonzero(factors)[0]
+        if eliminate.size:
+            coefficients = factors[eliminate][:, None]
+            work[eliminate] ^= NP_MUL_TABLE[coefficients, work[col][None, :]]
+            result[eliminate] ^= NP_MUL_TABLE[coefficients, result[col][None, :]]
+    return [[int(value) for value in row] for row in result]
+
+
+def _rank_numpy(matrix: Matrix) -> int:
+    """Vectorised row reduction (the ``"numpy"`` backend)."""
+    rows, cols = dimensions(matrix)
+    work = _np.array(matrix, dtype=_np.uint8)
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        candidates = _np.nonzero(work[pivot_row:, col])[0]
+        if candidates.size == 0:
+            continue
+        candidate = pivot_row + int(candidates[0])
+        if candidate != pivot_row:
+            work[[pivot_row, candidate]] = work[[candidate, pivot_row]]
+        work[pivot_row] = NP_MUL_TABLE[NP_INV_TABLE[work[pivot_row, col]], work[pivot_row]]
+        factors = work[:, col].copy()
+        factors[pivot_row] = 0
+        eliminate = _np.nonzero(factors)[0]
+        if eliminate.size:
+            work[eliminate] ^= NP_MUL_TABLE[factors[eliminate][:, None],
+                                    work[pivot_row][None, :]]
+        pivot_row += 1
+    return pivot_row
+
+
+@dataclass(frozen=True)
+class MatrixBackend:
+    """One registered implementation of GF(256) Gaussian elimination."""
+
+    name: str
+    invert: Callable[[Matrix], Matrix]
+    rank: Callable[[Matrix], int]
+
+
+#: Registry of erasure-codec matrix backends.  ``"python"`` is always
+#: present; ``"numpy"`` registers when numpy imports and then becomes
+#: the default (see :data:`DEFAULT_BACKEND`).
+CODEC_BACKENDS: Registry[MatrixBackend] = Registry("codec backend")
+
+CODEC_BACKENDS.register(
+    "python", MatrixBackend("python", _invert_python, _rank_python)
+)
+if _np is not None:
+    CODEC_BACKENDS.register(
+        "numpy", MatrixBackend("numpy", _invert_numpy, _rank_numpy)
+    )
+
+#: The backend used when callers pass ``backend=None``.
+DEFAULT_BACKEND: str = "numpy" if _np is not None else "python"
+
+
+def get_backend(name: Optional[str] = None) -> MatrixBackend:
+    """Resolve a backend by name (``None`` means :data:`DEFAULT_BACKEND`)."""
+    return CODEC_BACKENDS.get(DEFAULT_BACKEND if name is None else name)
+
+
+def invert(matrix: Matrix, backend: Optional[str] = None) -> Matrix:
+    """Invert a square matrix with Gauss-Jordan elimination.
+
+    Raises ``ValueError`` when the matrix is singular.  ``backend``
+    selects a registered implementation; the default is the fastest one
+    available (numpy when importable, pure python otherwise).
+    """
+    return get_backend(backend).invert(matrix)
+
+
+def rank(matrix: Matrix, backend: Optional[str] = None) -> int:
+    """Return the rank of ``matrix`` over GF(256)."""
+    return get_backend(backend).rank(matrix)
 
 
 def vandermonde(rows: int, cols: int) -> Matrix:

@@ -9,28 +9,34 @@ This module implements exactly that systematic code:
   matrix, so every ``k x k`` submatrix of the generator is invertible and
   any ``k`` surviving blocks decode;
 * blocks are byte strings; encoding/decoding is applied column-wise
-  (byte position by byte position) and vectorised with numpy for speed.
+  (byte position by byte position), vectorised with numpy when it is
+  available and falling back to the pure-python GF(256) matrix algebra
+  otherwise (same bytes, table-lookup speed instead of vectorised).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from . import gf256, matrix
+
+try:  # numpy is optional for the erasure substrate
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the fallback paths
+    np = None
 
 
 class ErasureCodingError(Exception):
     """Raised when encoding or decoding is impossible."""
 
 
-#: numpy view of the shared 256x256 product table (gf256.MUL_TABLE),
-#: for vectorised block math via fancy-indexed row lookups.
-_MUL_TABLE = np.array(gf256.MUL_TABLE, dtype=np.uint8)
+if np is not None:
+    #: The 256x256 product table in numpy form, shared with the matrix
+    #: backends (one materialisation per process).
+    _MUL_TABLE = matrix.NP_MUL_TABLE
 
 
-def _gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def _gf_matmul(a, b):
     """Multiply matrices of GF(256) elements (uint8) via table lookups."""
     # a: (r, k) coefficients, b: (k, w) data bytes -> (r, w)
     result = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
@@ -44,6 +50,12 @@ def _gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return result
 
 
+def _matmul_python(coefficients: matrix.Matrix, blocks: List[bytes]) -> List[bytes]:
+    """Pure-python block math: coefficient rows x byte rows -> byte rows."""
+    rows = [list(block) for block in blocks]
+    return [bytes(row) for row in matrix.multiply(coefficients, rows)]
+
+
 class ReedSolomonCode:
     """A systematic ``(n, k)`` Reed-Solomon erasure code.
 
@@ -53,9 +65,15 @@ class ReedSolomonCode:
         ``k``, the number of original blocks.
     parity_blocks:
         ``m``, the number of redundancy blocks; ``n = k + m``.
+    backend:
+        Registered matrix-backend name (``"python"`` or ``"numpy"``)
+        used for decode-time matrix inversion; ``None`` picks the
+        fastest available (see :data:`repro.erasure.matrix.CODEC_BACKENDS`).
     """
 
-    def __init__(self, data_blocks: int, parity_blocks: int):
+    def __init__(self, data_blocks: int, parity_blocks: int, backend=None):
+        matrix.get_backend(backend)  # fail fast on unknown names
+        self.backend = backend
         if data_blocks < 1:
             raise ValueError(f"k must be >= 1, got {data_blocks}")
         if parity_blocks < 0:
@@ -69,7 +87,9 @@ class ReedSolomonCode:
         self.m = parity_blocks
         self.n = data_blocks + parity_blocks
         self._generator = self._build_generator()
-        self._generator_np = np.array(self._generator, dtype=np.uint8)
+        self._generator_np = (
+            np.array(self._generator, dtype=np.uint8) if np is not None else None
+        )
 
     def _build_generator(self) -> matrix.Matrix:
         generator = matrix.identity(self.k)
@@ -100,12 +120,16 @@ class ReedSolomonCode:
         width = lengths.pop()
         if width == 0:
             return [b"" for _ in range(self.n)]
+        blocks = [bytes(data_blocks[i]) for i in range(self.k)]
+        if not self.m:
+            return blocks
+        if np is None:
+            blocks.extend(_matmul_python(self._generator[self.k:], blocks))
+            return blocks
         data = np.frombuffer(b"".join(data_blocks), dtype=np.uint8)
         data = data.reshape(self.k, width)
-        parity = _gf_matmul(self._generator_np[self.k:], data) if self.m else None
-        blocks = [bytes(data_blocks[i]) for i in range(self.k)]
-        if parity is not None:
-            blocks.extend(parity[i].tobytes() for i in range(self.m))
+        parity = _gf_matmul(self._generator_np[self.k:], data)
+        blocks.extend(parity[i].tobytes() for i in range(self.m))
         return blocks
 
     def decode(self, available: Dict[int, bytes]) -> List[bytes]:
@@ -137,11 +161,13 @@ class ReedSolomonCode:
             return [b"" for _ in range(self.k)]
 
         coding = matrix.submatrix(self._generator, indices)
-        decoder = np.array(matrix.invert(coding), dtype=np.uint8)
+        decoder = matrix.invert(coding, backend=self.backend)
+        if np is None:
+            return _matmul_python(decoder, [available[i] for i in indices])
         stacked = np.frombuffer(
             b"".join(available[i] for i in indices), dtype=np.uint8
         ).reshape(self.k, width)
-        recovered = _gf_matmul(decoder, stacked)
+        recovered = _gf_matmul(np.array(decoder, dtype=np.uint8), stacked)
         return [recovered[i].tobytes() for i in range(self.k)]
 
     def reconstruct_block(self, available: Dict[int, bytes], index: int) -> bytes:
@@ -160,6 +186,8 @@ class ReedSolomonCode:
         width = len(data[0])
         if width == 0:
             return b""
+        if np is None:
+            return _matmul_python([self._generator[index]], data)[0]
         stacked = np.frombuffer(b"".join(data), dtype=np.uint8).reshape(self.k, width)
         row = self._generator_np[index][None, :]
         return _gf_matmul(row, stacked)[0].tobytes()

@@ -111,6 +111,47 @@ class ExperimentSpec:
             count *= len(values)
         return count
 
+    @classmethod
+    def from_scenarios(
+        cls,
+        scenarios: Sequence[str],
+        seeds: Sequence[int] = (0,),
+        name: str = "scenarios",
+        reduce: Optional[Callable[["SweepResult"], Any]] = None,
+    ) -> "ExperimentSpec":
+        """A sweep whose grid axis is the scenario registry.
+
+        Each value of the ``"scenario"`` axis is a registered preset
+        name; the builder resolves it through
+        :data:`repro.scenarios.SCENARIOS` and builds its config, so
+        shipped and user-registered scenarios sweep through the same
+        cached, parallel executor as every figure::
+
+            spec = ExperimentSpec.from_scenarios(
+                ["flash_crowd", "diurnal"], seeds=(0, 1))
+            sweep = SweepExecutor().run(spec)
+            by_scenario = sweep.by_axis("scenario")
+        """
+        # Imported lazily: repro.scenarios builds specs via this module.
+        from ..scenarios import scenario_by_name
+
+        names = tuple(scenarios)
+        if not names:
+            raise ValueError("at least one scenario name is required")
+        for scenario in names:  # fail fast, with the registry's message
+            scenario_by_name(scenario)
+
+        def build(params: Dict[str, Any]) -> SimulationConfig:
+            return scenario_by_name(params["scenario"]).build()
+
+        return cls(
+            name=name,
+            build=build,
+            grid={"scenario": names},
+            seeds=tuple(seeds),
+            reduce=reduce,
+        )
+
     def cells(self) -> List[Cell]:
         """Materialise every cell, grid axes outermost, seeds innermost.
 

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any figure, table or ablation.
+"""Command-line entry point: figures, tables, ablations and scenarios.
 
 Installed as ``repro-experiments``::
 
@@ -6,6 +6,14 @@ Installed as ``repro-experiments``::
     repro-experiments fig1 --scale quick
     repro-experiments fig3 --scale default --seeds 0 1 2
     repro-experiments all --scale quick --workers 4
+    repro-experiments list
+    repro-experiments run --scenario flash_crowd --seeds 0 1 2
+
+``list`` prints every registered component (scenarios, selection
+strategies, acceptance rules, churn mixes, codec backends, lifetime
+models, policy presets); ``run --scenario NAME`` executes a registered
+scenario preset end to end, with optional ``--population`` /
+``--rounds`` overrides.
 
 Every simulation cell goes through the sweep executor: ``--workers N``
 fans cells out over a process pool, and the on-disk result cache
@@ -77,8 +85,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_SIMULATION_EXPERIMENTS) + ["tables", "all"],
-        help="which artifact to regenerate",
+        choices=sorted(_SIMULATION_EXPERIMENTS) + ["tables", "all", "list", "run"],
+        help="which artifact to regenerate, 'list' for registered "
+        "components, or 'run' for a scenario preset",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario preset for the 'run' command "
+        "(see 'repro-experiments list')",
+    )
+    parser.add_argument(
+        "--population",
+        type=_positive_int,
+        default=None,
+        help="override the scenario's peer population ('run' only)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=_positive_int,
+        default=None,
+        help="override the scenario's simulated rounds ('run' only)",
     )
     parser.add_argument(
         "--scale",
@@ -135,6 +162,108 @@ def build_executor(args: argparse.Namespace) -> SweepExecutor:
     return SweepExecutor(workers=args.workers, cache=cache)
 
 
+def render_component_list() -> str:
+    """Every registered component, one section per registry."""
+    from ..churn.lifetimes import LIFETIME_MODELS
+    from ..churn.profiles import CHURN_MIXES
+    from ..core.acceptance import ACCEPTANCE_RULES
+    from ..core.policy import POLICY_PRESETS
+    from ..core.selection import SELECTION_STRATEGIES
+    from ..erasure.matrix import CODEC_BACKENDS, DEFAULT_BACKEND
+    from ..scenarios import SCENARIOS
+
+    lines: List[str] = []
+
+    lines.append("scenarios:")
+    for name, scenario in SCENARIOS.items():
+        suffix = f" — {scenario.description}" if scenario.description else ""
+        lines.append(f"  {name}{suffix}")
+
+    lines.append("selection strategies:")
+    lines.extend(f"  {name}" for name in SELECTION_STRATEGIES.names())
+
+    lines.append("acceptance rules:")
+    lines.extend(f"  {name}" for name in ACCEPTANCE_RULES.names())
+
+    lines.append("churn mixes:")
+    for name, profiles in CHURN_MIXES.items():
+        members = "+".join(profile.name for profile in profiles)
+        lines.append(f"  {name} ({members})")
+
+    lines.append("codec backends:")
+    for name in CODEC_BACKENDS.names():
+        marker = " (default)" if name == DEFAULT_BACKEND else ""
+        lines.append(f"  {name}{marker}")
+
+    lines.append("lifetime models:")
+    lines.extend(f"  {name}" for name in LIFETIME_MODELS.names())
+
+    lines.append("repair-policy presets:")
+    for name, preset in POLICY_PRESETS.items():
+        policy = preset()
+        lines.append(f"  {name} (k={policy.k}, n={policy.n}, k'={policy.repair_threshold})")
+
+    return "\n".join(lines)
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    """The ``run --scenario NAME`` command: one preset, end to end."""
+    from ..exec import run_experiment
+    from ..scenarios import scenario_by_name
+
+    if args.scenario is None:
+        print(
+            "run requires --scenario NAME; registered scenarios:\n"
+            + "\n".join(f"  {name}" for name in _scenario_names()),
+        )
+        return 2
+    scenario = scenario_by_name(args.scenario)
+    if args.population is not None:
+        scenario = scenario.with_population(args.population)
+    if args.rounds is not None:
+        scenario = scenario.with_rounds(args.rounds)
+    print(scenario.describe())
+
+    executor = build_executor(args)
+    seeds = tuple(args.seeds) if args.seeds else (scenario.build().seed or 0,)
+    sweep = executor.run(scenario.spec(seeds=seeds))
+
+    count = len(sweep.results)
+    repairs = sum(r.metrics.total_repairs for r in sweep.results) / count
+    losses = sum(r.metrics.total_losses for r in sweep.results) / count
+    deaths = sum(r.deaths for r in sweep.results) / count
+    peers = sum(r.peers_created for r in sweep.results) / count
+    print(f"\nmeans over {count} seed(s): "
+          f"repairs={repairs:.1f} losses={losses:.2f} "
+          f"peers_created={peers:.0f} deaths={deaths:.0f}")
+    for name in sorted(sweep.results[0].repair_rates()):
+        rate = sum(r.repair_rates()[name] for r in sweep.results) / count
+        loss = sum(r.loss_rates()[name] for r in sweep.results) / count
+        print(f"  {name}: repairs/round/1000 = {rate:.4f}, "
+              f"losses/round/1000 = {loss:.4f}")
+    observer_totals = sweep.results[0].observer_totals()
+    if observer_totals:
+        print("observer repairs:")
+        # Sorted so the output is identical whether results come from a
+        # fresh simulation or the canonical-JSON cache.
+        for name in sorted(observer_totals):
+            mean = sum(r.observer_totals().get(name, 0) for r in sweep.results) / count
+            print(f"  {name}: {mean:.1f}")
+    stats = executor.stats
+    print(
+        f"[executor] {stats.cells} cells: {stats.simulated} simulated, "
+        f"{stats.cache_hits} from cache "
+        f"({executor.workers} worker(s), {stats.wall_clock_seconds:.1f}s)"
+    )
+    return 0
+
+
+def _scenario_names() -> List[str]:
+    from ..scenarios import SCENARIOS
+
+    return SCENARIOS.names()
+
+
 def _run_one(
     name: str,
     scale,
@@ -174,9 +303,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.experiment != "run" and (
+        args.scenario is not None
+        or args.population is not None
+        or args.rounds is not None
+    ):
+        parser.error(
+            "--scenario/--population/--rounds apply only to the 'run' command"
+        )
+
     if args.experiment == "tables":
         print(tables.render_all(markdown=args.markdown))
         return 0
+    if args.experiment == "list":
+        print(render_component_list())
+        return 0
+    if args.experiment == "run":
+        return _run_scenario(args)
 
     scale = scale_by_name(args.scale)
     executor = build_executor(args)

@@ -1,0 +1,117 @@
+"""Shipped scenario presets: new workloads beyond the paper's evaluation.
+
+Each preset is a ready-to-run :class:`~repro.scenarios.builder.Scenario`
+registered under a stable name, runnable end to end with::
+
+    repro-experiments run --scenario flash_crowd
+
+and composable further (scenarios are immutable, so deriving from a
+preset never mutates the registry)::
+
+    from repro.scenarios import scenario_by_name
+
+    config = scenario_by_name("diurnal").with_selection("oracle").build()
+
+The presets run the laptop-scale (k=16, n=32) code over a few thousand
+one-hour rounds — large enough for the churn dynamics to show, small
+enough to finish in seconds to low minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..registry import Registry
+from ..sim.config import ObserverSpec
+from .builder import Scenario
+
+#: Registry of shipped (and user-registered) scenario presets.
+SCENARIOS: Registry[Scenario] = Registry("scenario")
+
+
+def register_scenario(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Register a scenario preset under its own name."""
+    return SCENARIOS.register(scenario.name, scenario, replace=replace)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a scenario preset (immutability makes sharing safe)."""
+    return SCENARIOS.get(name)
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Names of all registered scenario presets."""
+    return tuple(SCENARIOS.names())
+
+
+#: Small fixed-age observers matched to the presets' few-thousand-round
+#: horizon (the paper's 90-day Elder would outlive most runs).
+PRESET_OBSERVERS: Tuple[ObserverSpec, ...] = (
+    ObserverSpec("Anchor", 1440),
+    ObserverSpec("Settler", 240),
+    ObserverSpec("Arrival", 1),
+)
+
+
+def _base(population: int = 400, rounds: int = 4000) -> Scenario:
+    return Scenario.scaled(population=population, rounds=rounds)
+
+
+register_scenario(
+    _base()
+    .named(
+        "paper",
+        "the paper's workload at laptop scale (figures 1-4 baseline)",
+    )
+    .with_churn("paper")
+)
+
+register_scenario(
+    _base(population=500, rounds=3000)
+    .named(
+        "flash_crowd",
+        "a thin durable core swamped by short-lived newcomers arriving at once",
+    )
+    .with_churn("flash_crowd")
+    .with_staggered_join(0)
+)
+
+register_scenario(
+    _base()
+    .named(
+        "diurnal",
+        "day/night duty cycles: ~12h-on/12h-off majority over an always-on fleet",
+    )
+    .with_churn("diurnal")
+    .observers(PRESET_OBSERVERS)
+)
+
+register_scenario(
+    _base()
+    .named(
+        "correlated_outage",
+        "multi-day dark periods; a grace period keeps repairs from thrashing",
+    )
+    .with_churn("correlated_outage")
+    .with_grace(24)
+)
+
+register_scenario(
+    _base(population=500)
+    .named(
+        "heterogeneous_quota",
+        "donor minority carrying consumers under tight per-peer quotas",
+    )
+    .with_churn("heterogeneous")
+    .with_quota(36)  # 1.125 x n instead of the default 1.5 x n
+)
+
+register_scenario(
+    _base(rounds=6000)
+    .named(
+        "slow_decay",
+        "an old stable population eroding over months (low-churn regime)",
+    )
+    .with_churn("slow_decay")
+    .with_selection("availability")
+)

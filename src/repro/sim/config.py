@@ -14,9 +14,10 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..churn.profiles import PAPER_PROFILES, ROUNDS_PER_DAY, Profile, validate_mix
-from ..core.acceptance import DEFAULT_AGE_CAP
+from ..core.acceptance import ACCEPTANCE_RULES, DEFAULT_AGE_CAP
 from ..core.categories import DEFAULT_SCHEME, CategoryScheme
 from ..core.policy import RepairPolicy, scaled_threshold
+from ..core.selection import SELECTION_STRATEGIES
 
 
 @dataclass(frozen=True)
@@ -83,8 +84,33 @@ class SimulationConfig:
             raise ValueError("population must be positive")
         if self.rounds <= 0:
             raise ValueError("rounds must be positive")
-        if self.quota < 0:
-            raise ValueError("quota cannot be negative")
+        if self.quota <= 0:
+            raise ValueError(
+                f"quota must be positive, got {self.quota}: every peer "
+                "must be able to host at least one block, or no archive "
+                "can ever be placed"
+            )
+        if self.data_blocks < 1:
+            raise ValueError(f"data_blocks (k) must be >= 1, got {self.data_blocks}")
+        if self.parity_blocks < 0:
+            raise ValueError(
+                f"parity_blocks (m) cannot be negative, got {self.parity_blocks}"
+            )
+        total = self.data_blocks + self.parity_blocks
+        if self.repair_threshold > total:
+            raise ValueError(
+                f"repair_threshold={self.repair_threshold} exceeds "
+                f"data_blocks + parity_blocks = {total}: a repair can "
+                "never place more than n blocks, so the archive would "
+                "repair forever — lower repair_threshold or widen the code"
+            )
+        if self.repair_threshold < self.data_blocks:
+            raise ValueError(
+                f"repair_threshold={self.repair_threshold} is below "
+                f"data_blocks = {self.data_blocks}: fewer than k visible "
+                "blocks cannot decode, so repairs would trigger only "
+                "after the archive is already lost — raise repair_threshold"
+            )
         if self.sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
         if not 0 <= self.warmup_rounds < self.rounds:
@@ -99,14 +125,12 @@ class SimulationConfig:
             raise ValueError("staggered_join_rounds cannot be negative")
         if self.proactive_rate < 0:
             raise ValueError("proactive_rate cannot be negative")
-        if self.acceptance_rule not in {"age", "uniform"}:
-            raise ValueError(
-                f"acceptance_rule must be 'age' or 'uniform', "
-                f"got {self.acceptance_rule!r}"
-            )
+        # Component names resolve through the registries, so a typo (or a
+        # strategy that was never registered) fails here with the list of
+        # valid choices instead of deep inside Simulation._setup.
+        SELECTION_STRATEGIES.check(self.selection_strategy)
+        ACCEPTANCE_RULES.check(self.acceptance_rule)
         validate_mix(self.profiles)
-        # Validates k/n/k' consistency as a side effect.
-        self.policy()
 
     def policy(self) -> RepairPolicy:
         """The repair policy implied by k, m and the threshold."""

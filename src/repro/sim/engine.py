@@ -117,8 +117,12 @@ class Simulation:
         self._profile_weights = [p.proportion for p in config.profiles]
         self.peers_created = 0
         self.deaths = 0
-        self._needs_oracle = self.strategy.name == "oracle"
-        self._needs_availability = self.strategy.name == "availability"
+        # Strategies declare their candidate-data needs (registry-based
+        # extension point: third-party strategies get the same service).
+        self._needs_oracle = bool(getattr(self.strategy, "needs_oracle", False))
+        self._needs_availability = bool(
+            getattr(self.strategy, "needs_availability", False)
+        )
         self._setup()
 
     # ------------------------------------------------------------------

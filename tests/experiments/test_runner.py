@@ -55,9 +55,18 @@ class TestParser:
             "fig1", "fig2", "fig3", "fig4",
             "ablation-selection", "ablation-quota",
             "ablation-grace", "ablation-proactive",
-            "tables", "all",
+            "tables", "all", "list", "run",
         ):
             assert parser.parse_args([name]).experiment == name
+
+    def test_scenario_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--scenario", "flash_crowd",
+             "--population", "100", "--rounds", "500"]
+        )
+        assert args.scenario == "flash_crowd"
+        assert args.population == 100
+        assert args.rounds == 500
 
 
 class TestMain:
@@ -77,3 +86,58 @@ class TestMain:
     def test_unknown_scale_raises(self):
         with pytest.raises(ValueError):
             main(["fig1", "--scale", "cosmic"])
+
+
+class TestListCommand:
+    def test_lists_every_registry(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "scenarios:" in output
+        assert "selection strategies:" in output
+        assert "acceptance rules:" in output
+        assert "codec backends:" in output
+        assert "churn mixes:" in output
+        for name in ("flash_crowd", "diurnal", "correlated_outage",
+                     "heterogeneous_quota", "slow_decay"):
+            assert name in output
+
+
+class TestRunCommand:
+    def test_scenario_flags_rejected_outside_run(self):
+        for argv in (
+            ["fig1", "--scenario", "flash_crowd"],
+            ["tables", "--population", "100"],
+            ["all", "--rounds", "500"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_run_requires_scenario(self, capsys):
+        assert main(["run", "--no-cache"]) == 2
+        assert "flash_crowd" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "--scenario", "apocalypse", "--no-cache"])
+
+    def test_run_scenario_end_to_end(self, capsys):
+        code = main([
+            "run", "--scenario", "flash_crowd",
+            "--population", "60", "--rounds", "200", "--no-cache",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario flash_crowd" in output
+        assert "repairs=" in output
+        assert "[executor]" in output
+
+    def test_run_scenario_uses_cache(self, capsys, tmp_path):
+        argv = [
+            "run", "--scenario", "slow_decay",
+            "--population", "60", "--rounds", "200",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        second = capsys.readouterr().out.rsplit("[executor]", 1)[1]
+        assert "1 from cache" in second

@@ -15,6 +15,7 @@ class TestValidation:
         ("population", 0),
         ("rounds", 0),
         ("quota", -1),
+        ("quota", 0),
         ("sample_interval", 0),
         ("pool_factor", 0.5),
         ("max_examined_factor", 0),
@@ -22,6 +23,7 @@ class TestValidation:
         ("staggered_join_rounds", -1),
         ("proactive_rate", -0.1),
         ("acceptance_rule", "telepathy"),
+        ("selection_strategy", "fortune-teller"),
         ("warmup_rounds", 10_000),
     ])
     def test_invalid_fields(self, field, value):
@@ -31,6 +33,70 @@ class TestValidation:
     def test_threshold_outside_kn_rejected(self):
         with pytest.raises(ValueError):
             SimulationConfig(data_blocks=16, parity_blocks=16, repair_threshold=40)
+
+    def test_threshold_above_n_message_is_actionable(self):
+        with pytest.raises(ValueError) as excinfo:
+            SimulationConfig(data_blocks=16, parity_blocks=16, repair_threshold=40)
+        message = str(excinfo.value)
+        assert "repair_threshold=40" in message
+        assert "32" in message  # names the violated bound k + m
+
+    def test_threshold_below_k_message_is_actionable(self):
+        with pytest.raises(ValueError) as excinfo:
+            SimulationConfig(data_blocks=16, parity_blocks=16, repair_threshold=10)
+        assert "repair_threshold=10" in str(excinfo.value)
+
+    def test_zero_quota_message_is_actionable(self):
+        with pytest.raises(ValueError) as excinfo:
+            SimulationConfig(quota=0)
+        assert "quota" in str(excinfo.value)
+
+    def test_unknown_component_error_lists_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            SimulationConfig(selection_strategy="agee")
+        message = str(excinfo.value)
+        assert "age" in message and "random" in message
+
+
+class TestRegistryRoundTrips:
+    """Registered component names survive to_dict/from_dict untouched."""
+
+    def test_every_selection_strategy_round_trips(self):
+        from repro.core.selection import SELECTION_STRATEGIES
+
+        for name in SELECTION_STRATEGIES.names():
+            config = SimulationConfig(selection_strategy=name)
+            rebuilt = SimulationConfig.from_dict(config.to_dict())
+            assert rebuilt == config
+            assert rebuilt.selection_strategy == name
+
+    def test_every_acceptance_rule_round_trips(self):
+        from repro.core.acceptance import ACCEPTANCE_RULES
+
+        for name in ACCEPTANCE_RULES.names():
+            config = SimulationConfig(acceptance_rule=name)
+            rebuilt = SimulationConfig.from_dict(config.to_dict())
+            assert rebuilt == config
+            assert rebuilt.acceptance_rule == name
+
+    def test_registered_churn_mix_round_trips(self):
+        from repro.churn.profiles import CHURN_MIXES
+
+        for name in CHURN_MIXES.names():
+            config = SimulationConfig(profiles=CHURN_MIXES.get(name))
+            rebuilt = SimulationConfig.from_dict(config.to_dict())
+            assert rebuilt.profiles == config.profiles
+
+    def test_serialized_field_set_is_stable(self):
+        """The cache key's content: exactly the PR-1 field set, no more."""
+        assert set(SimulationConfig().to_dict()) == {
+            "population", "rounds", "data_blocks", "parity_blocks",
+            "repair_threshold", "quota", "age_cap", "profiles",
+            "categories", "selection_strategy", "acceptance_rule",
+            "observers", "seed", "pool_factor", "max_examined_factor",
+            "sample_interval", "warmup_rounds", "grace_rounds",
+            "staggered_join_rounds", "proactive_rate", "adaptive_thresholds",
+        }
 
 
 class TestFactories:
