@@ -1,0 +1,44 @@
+"""Engine hot-loop benchmark: the paper workload, end to end.
+
+This is the perf-trajectory anchor for the simulation engine itself
+(event queue, recruitment loop, visibility flips) — the figure and
+ablation benches above it measure whole experiments, which mixes in
+executor and analysis cost.  Two sizes of the ``paper`` scenario preset:
+
+* ``quick`` — seconds; safe for routine runs alongside the other benches;
+* ``default-scale`` — the ISSUE-3 acceptance workload (the ``paper``
+  preset at the ``default`` experiment scale: 800 peers, 14 000 rounds),
+  the configuration whose wall clock ``BENCH_engine.json`` tracks
+  commit over commit.
+
+Run with ``--bench-json BENCH_engine.json`` to append trajectory
+records (see ``conftest.py`` for the format).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import scenario_by_name
+from repro.sim.engine import run_simulation
+
+
+@pytest.mark.scenario("paper")
+def test_engine_paper_quick(run_once):
+    config = scenario_by_name("paper").with_population(250).with_rounds(3000).build()
+    result = run_once(run_simulation, config)
+    assert result.final_round == 3000
+    assert result.metrics.total_placements > 0
+
+
+@pytest.mark.scenario("paper-default-scale")
+def test_engine_paper_default_scale(run_once):
+    config = scenario_by_name("paper").with_population(800).with_rounds(14000).build()
+    result = run_once(run_simulation, config)
+    assert result.final_round == 14000
+    assert result.metrics.total_repairs > 0
+    # Same-seed determinism is the invariant the hot-path work must
+    # never break; a full second run here would double the bench time,
+    # so the engine tests own that assertion — this just pins the
+    # workload's coarse shape.
+    assert result.deaths > 0

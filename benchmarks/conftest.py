@@ -5,20 +5,94 @@ section 2) at the QUICK experiment scale, prints the same rows/series
 the paper reports, and asserts the qualitative shape where one is
 defined.  ``pedantic`` mode with a single round keeps pytest-benchmark
 from re-running multi-second simulations dozens of times.
+
+Perf trajectory: passing ``--bench-json PATH`` makes every bench run
+append one record per benchmark to the given JSON file (the repo tracks
+``BENCH_engine.json``), so engine speedups and regressions are visible
+commit over commit::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py \
+        --bench-json BENCH_engine.json
+
+Record format (one JSON object per entry, newest last)::
+
+    {"bench": <test name>, "scenario": <scenario marker or "">,
+     "mean_s": <mean seconds>, "stdev_s": <stdev, 0.0 for single runs>,
+     "commit": <short git hash or "unknown">}
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import subprocess
+
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="append {bench, scenario, mean_s, stdev_s, commit} records "
+        "for every benchmark to this JSON file (perf trajectory)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "scenario(name): label a benchmark with the scenario preset it "
+        "exercises (recorded in the --bench-json trajectory)",
+    )
+
+
+def _current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _append_record(request, benchmark) -> None:
+    """Write one trajectory record if --bench-json was given."""
+    path = request.config.getoption("--bench-json")
+    if not path or benchmark.stats is None:
+        return
+    marker = request.node.get_closest_marker("scenario")
+    stats = benchmark.stats.stats
+    record = {
+        "bench": request.node.name,
+        "scenario": marker.args[0] if marker and marker.args else "",
+        "mean_s": stats.mean,
+        "stdev_s": stats.stddev,
+        "commit": _current_commit(),
+    }
+    target = pathlib.Path(path)
+    records = []
+    if target.exists():
+        records = json.loads(target.read_text() or "[]")
+    records.append(record)
+    target.write_text(json.dumps(records, indent=2) + "\n")
+
+
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, request):
     """Benchmark a callable exactly once and return its result."""
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(
+        result = benchmark.pedantic(
             fn, args=args, kwargs=kwargs, iterations=1, rounds=1
         )
+        _append_record(request, benchmark)
+        return result
 
     return runner

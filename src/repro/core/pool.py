@@ -9,6 +9,11 @@ The pool builder is deliberately independent of the simulator: it
 consumes any iterable of candidates, applies the *mutual* acceptance
 test, and stops once the pool is large enough or the candidate supply or
 the attempt budget runs out.
+
+This is the reference implementation of the pool semantics.  The
+simulation engine inlines the same loop (sampling, mutual acceptance,
+examined/accepted accounting) into ``Simulation._fill_pool`` with
+batched RNG draws for speed; behavioural changes must land in both.
 """
 
 from __future__ import annotations

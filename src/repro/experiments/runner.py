@@ -8,12 +8,15 @@ Installed as ``repro-experiments``::
     repro-experiments all --scale quick --workers 4
     repro-experiments list
     repro-experiments run --scenario flash_crowd --seeds 0 1 2
+    repro-experiments profile --scenario paper --sort tottime
 
 ``list`` prints every registered component (scenarios, selection
 strategies, acceptance rules, churn mixes, codec backends, lifetime
 models, policy presets); ``run --scenario NAME`` executes a registered
 scenario preset end to end, with optional ``--population`` /
-``--rounds`` overrides.
+``--rounds`` overrides; ``profile --scenario NAME`` runs the same
+simulation once under :mod:`cProfile` and prints the hottest functions
+(the profiling recipe behind the README's Performance section).
 
 Every simulation cell goes through the sweep executor: ``--workers N``
 fans cells out over a process pool, and the on-disk result cache
@@ -85,27 +88,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_SIMULATION_EXPERIMENTS) + ["tables", "all", "list", "run"],
+        choices=sorted(_SIMULATION_EXPERIMENTS)
+        + ["tables", "all", "list", "run", "profile"],
         help="which artifact to regenerate, 'list' for registered "
-        "components, or 'run' for a scenario preset",
+        "components, 'run' for a scenario preset, or 'profile' to "
+        "cProfile one scenario simulation",
     )
     parser.add_argument(
         "--scenario",
         default=None,
-        help="scenario preset for the 'run' command "
+        help="scenario preset for the 'run' and 'profile' commands "
         "(see 'repro-experiments list')",
     )
     parser.add_argument(
         "--population",
         type=_positive_int,
         default=None,
-        help="override the scenario's peer population ('run' only)",
+        help="override the scenario's peer population "
+        "('run' and 'profile' only)",
     )
     parser.add_argument(
         "--rounds",
         type=_positive_int,
         default=None,
-        help="override the scenario's simulated rounds ('run' only)",
+        help="override the scenario's simulated rounds "
+        "('run' and 'profile' only)",
+    )
+    parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default=None,
+        help="profile sort order ('profile' only; default: cumulative)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        help="number of profile rows to print ('profile' only; default: 25)",
     )
     parser.add_argument(
         "--scale",
@@ -208,20 +227,9 @@ def render_component_list() -> str:
 
 def _run_scenario(args: argparse.Namespace) -> int:
     """The ``run --scenario NAME`` command: one preset, end to end."""
-    from ..exec import run_experiment
-    from ..scenarios import scenario_by_name
-
-    if args.scenario is None:
-        print(
-            "run requires --scenario NAME; registered scenarios:\n"
-            + "\n".join(f"  {name}" for name in _scenario_names()),
-        )
+    scenario = _resolve_scenario(args, "run")
+    if scenario is None:
         return 2
-    scenario = scenario_by_name(args.scenario)
-    if args.population is not None:
-        scenario = scenario.with_population(args.population)
-    if args.rounds is not None:
-        scenario = scenario.with_rounds(args.rounds)
     print(scenario.describe())
 
     executor = build_executor(args)
@@ -264,6 +272,62 @@ def _scenario_names() -> List[str]:
     return SCENARIOS.names()
 
 
+def _resolve_scenario(args: argparse.Namespace, command: str):
+    """The scenario named on the CLI with population/rounds overrides.
+
+    Prints the registered choices and returns ``None`` when no
+    ``--scenario`` was given (the caller exits with code 2).
+    """
+    from ..scenarios import scenario_by_name
+
+    if args.scenario is None:
+        print(
+            f"{command} requires --scenario NAME; registered scenarios:\n"
+            + "\n".join(f"  {name}" for name in _scenario_names()),
+        )
+        return None
+    scenario = scenario_by_name(args.scenario)
+    if args.population is not None:
+        scenario = scenario.with_population(args.population)
+    if args.rounds is not None:
+        scenario = scenario.with_rounds(args.rounds)
+    return scenario
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """The ``profile --scenario NAME`` command: cProfile one simulation.
+
+    The run goes straight through :class:`~repro.sim.engine.Simulation`
+    — no executor, no cache — so the profile shows nothing but the
+    engine hot loop.
+    """
+    import cProfile
+    import pstats
+
+    from ..sim.engine import Simulation
+
+    scenario = _resolve_scenario(args, "profile")
+    if scenario is None:
+        return 2
+    print(scenario.describe())
+    config = scenario.build()
+    simulation = Simulation(config)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = simulation.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort or "cumulative")
+    stats.print_stats(args.limit or 25)
+    print(
+        f"[profile] {config.population} peers x {config.rounds} rounds: "
+        f"{result.wall_clock_seconds:.2f}s wall, "
+        f"{result.metrics.total_repairs} repairs, "
+        f"{result.deaths} deaths"
+    )
+    return 0
+
+
 def _run_one(
     name: str,
     scale,
@@ -303,14 +367,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.experiment != "run" and (
+    if args.experiment not in ("run", "profile") and (
         args.scenario is not None
         or args.population is not None
         or args.rounds is not None
     ):
         parser.error(
-            "--scenario/--population/--rounds apply only to the 'run' command"
+            "--scenario/--population/--rounds apply only to the "
+            "'run' and 'profile' commands"
         )
+    if args.experiment != "profile" and (
+        args.sort is not None or args.limit is not None
+    ):
+        parser.error("--sort/--limit apply only to the 'profile' command")
 
     if args.experiment == "tables":
         print(tables.render_all(markdown=args.markdown))
@@ -320,6 +389,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.experiment == "run":
         return _run_scenario(args)
+    if args.experiment == "profile":
+        return _run_profile(args)
 
     scale = scale_by_name(args.scale)
     executor = build_executor(args)

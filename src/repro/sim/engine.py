@@ -23,15 +23,19 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from itertools import chain
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..churn.availability import SessionProcess
 from ..churn.lifetimes import from_profile
 from ..churn.profiles import Profile
-from ..core.acceptance import acceptance_rule
+from ..core.acceptance import (
+    AcceptancePolicy,
+    UniformAcceptancePolicy,
+    acceptance_rule,
+)
 from ..core.adaptive import AdaptiveThreshold
 from ..core.policy import RepairPolicy
-from ..core.pool import build_pool
 from ..core.selection import Candidate, SelectionStrategy, strategy_by_name
 from .config import SimulationConfig
 from .events import Event, EventKind, EventQueue
@@ -123,6 +127,21 @@ class Simulation:
         self._needs_availability = bool(
             getattr(self.strategy, "needs_availability", False)
         )
+        # Hot-path state: with no declared data needs the recruitment
+        # loop works on plain (peer_id, age) pairs instead of Candidate
+        # objects, and the built-in acceptance rules are inlined rather
+        # than dispatched per candidate.  Exact type checks: a subclass
+        # may override decide() and must keep the generic path.
+        self._fast_candidates = not (self._needs_oracle or self._needs_availability)
+        if type(self.acceptance) is AcceptancePolicy:
+            self._acceptance_kind = "age"
+        elif type(self.acceptance) is UniformAcceptancePolicy:
+            self._acceptance_kind = "uniform"
+        else:
+            self._acceptance_kind = "custom"
+        self._repair_threshold = self.policy.repair_threshold
+        self._selection_draws = self.rng.batched("selection")
+        self._acceptance_draws = self.rng.batched("acceptance")
         self._setup()
 
     # ------------------------------------------------------------------
@@ -192,11 +211,22 @@ class Simulation:
         self.queue.schedule(now + duration, Event(EventKind.TOGGLE, peer.peer_id))
 
     def _schedule_check(self, peer: Peer, when: int) -> None:
-        """Queue a repair/placement check, deduplicating pending ones."""
-        if peer.check_scheduled is not None:
-            return
+        """Queue a repair/placement check, deduplicating pending ones.
+
+        A check pending for a *later* round is cancelled and replaced:
+        a block loss wanting a check next round must not be swallowed by
+        a retry sitting further in the future, or the archive would sit
+        unmonitored below threshold until that retry fires.
+        """
+        scheduled = peer.check_scheduled
+        if scheduled is not None:
+            if when >= scheduled:
+                return
+            self.queue.cancel(peer.check_handle)
         peer.check_scheduled = when
-        self.queue.schedule(when, Event(EventKind.REPAIR_CHECK, peer.peer_id))
+        peer.check_handle = self.queue.schedule(
+            when, Event(EventKind.REPAIR_CHECK, peer.peer_id)
+        )
 
     def _schedule_top_up(self, peer: Peer, now: int) -> None:
         interval = max(int(round(1.0 / self.config.proactive_rate)), 1)
@@ -234,9 +264,10 @@ class Simulation:
 
     def _needs_repair(self, owner: Peer, visible: int) -> bool:
         """Threshold test, honouring a per-peer adaptive controller (A5)."""
-        if owner.adaptive is not None:
-            return owner.adaptive.needs_repair(visible)
-        return self.policy.needs_repair(visible)
+        adaptive = owner.adaptive
+        if adaptive is not None:
+            return adaptive.needs_repair(visible)
+        return visible < self._repair_threshold
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -250,28 +281,35 @@ class Simulation:
         self.deaths += 1
         peer.accumulate_uptime(now)
         self.population.remove(peer)
+        peer_id = peer.peer_id
+        peers = self.population.peers
 
         # The departed peer's own blocks disappear from its partners.
-        for holder_id in list(peer.archive.holders):
-            holder = self.population.get(holder_id)
-            holder.hosted.discard(peer.peer_id)
+        for holder_id in peer.archive.holders:
+            peers[holder_id].hosted.discard(peer_id)
         peer.archive.holders.clear()
 
-        # Blocks it hosted for others vanish "immediately" (section 4.1).
-        for owner_id in list(peer.hosted) + list(peer.hosted_free):
-            owner = self.population.get(owner_id)
+        # Blocks it hosted for others vanish "immediately" (section 4.1):
+        # detach every link first, then evaluate loss/threshold once per
+        # surviving owner, so the owner sets are iterated zero-copy and
+        # each owner's check runs against its final post-death counters.
+        affected: List[Peer] = []
+        for owner_id in chain(peer.hosted, peer.hosted_free):
+            owner = peers[owner_id]
             if not owner.alive:
                 continue
             archive = owner.archive
-            invisible_since = archive.holders.pop(peer.peer_id, None)
+            invisible_since = archive.holders.pop(peer_id, None)
             archive.alive -= 1
             if invisible_since is None:
                 # A None timestamp means the holder was visible (online).
                 archive.visible -= 1
-            self._after_block_loss(owner, now)
+            affected.append(owner)
         peer.hosted.clear()
         peer.hosted_free.clear()
-        self._sessions.pop(peer.peer_id, None)
+        self._sessions.pop(peer_id, None)
+        for owner in affected:
+            self._after_block_loss(owner, now)
 
         # Immediate replacement by a fresh peer (section 4.1).
         self.queue.schedule(now, Event(EventKind.JOIN))
@@ -316,25 +354,49 @@ class Simulation:
         self._schedule_toggle(peer, now)
 
     def _set_visibility(self, holder: Peer, now: int, visible: bool) -> None:
-        """Propagate a holder's online flip to every owner it stores for."""
-        for owner_id in list(holder.hosted) + list(holder.hosted_free):
-            owner = self.population.get(owner_id)
-            if not owner.alive:
-                continue
-            archive = owner.archive
-            if holder.peer_id not in archive.holders:
-                continue
-            if visible:
-                archive.holders[holder.peer_id] = None
+        """Propagate a holder's online flip to every owner it stores for.
+
+        This runs once per session toggle — the single most frequent
+        event kind — so the owner sets are iterated zero-copy (nothing
+        in the loop mutates them) and the two flip directions are split
+        to keep the per-owner work branch-free.
+        """
+        holder_id = holder.peer_id
+        peers = self.population.peers
+        if visible:
+            for owner_id in chain(holder.hosted, holder.hosted_free):
+                owner = peers[owner_id]
+                if not owner.alive:
+                    continue
+                archive = owner.archive
+                if holder_id not in archive.holders:
+                    continue
+                archive.holders[holder_id] = None
                 archive.visible += 1
-            else:
-                archive.holders[holder.peer_id] = now
+        else:
+            threshold = self._repair_threshold
+            for owner_id in chain(holder.hosted, holder.hosted_free):
+                owner = peers[owner_id]
+                if not owner.alive:
+                    continue
+                archive = owner.archive
+                if holder_id not in archive.holders:
+                    continue
+                archive.holders[holder_id] = now
                 archive.visible -= 1
-                if archive.placed and self._needs_repair(owner, archive.visible):
+                if not archive.placed:
+                    continue
+                adaptive = owner.adaptive
+                if (
+                    adaptive.needs_repair(archive.visible)
+                    if adaptive is not None
+                    else archive.visible < threshold
+                ):
                     self._schedule_check(owner, now + 1)
 
     def _handle_check(self, now: int, peer: Peer) -> None:
         peer.check_scheduled = None
+        peer.check_handle = None
         if not peer.alive:
             return
         if not peer.online:
@@ -424,29 +486,80 @@ class Simulation:
     # ------------------------------------------------------------------
     # Partner recruitment
     # ------------------------------------------------------------------
-    def _candidate_stream(self, owner: Peer) -> Iterator[Candidate]:
-        """Uniform stream of distinct eligible candidates."""
+    def _fill_pool(
+        self, owner: Peer, now: int, target_size: int, max_examined: int
+    ) -> List[Union[Candidate, Tuple[int, int]]]:
+        """Fused candidate sampling and mutual acceptance (section 3.2).
+
+        This flattens what used to be a candidate generator feeding
+        :func:`repro.core.pool.build_pool` into one loop: candidate ids
+        come from a batched index buffer, the built-in acceptance rules
+        run inline on pre-drawn uniforms, and — when the strategy
+        declares no data needs — no :class:`Candidate` object is ever
+        built: the pool is a list of ``(peer_id, age)`` pairs.  The
+        eligibility filters, the mutual-acceptance structure (owner
+        decides first, the candidate's draw only happens if the owner
+        accepted) and the examined/accepted accounting are unchanged.
+        """
+        population = self.population
+        peers = population.peers
+        online = population.online_candidates
+        sample = online.sample_with
+        draws = self._selection_draws
+        next_uniform = self._acceptance_draws.next_uniform
         seen = set()
-        draws = 0
-        online = self.population.online_candidates
-        max_draws = 8 * len(online) + 64
+        accepted: List[Union[Candidate, Tuple[int, int]]] = []
+        examined = 0
+        sample_budget = 8 * len(online) + 64
+        owner_id = owner.peer_id
+        owner_age = owner.age(now)
+        holders = owner.archive.holders
         check_quota = not owner.is_observer
-        while draws < max_draws:
-            draws += 1
-            candidate_id = online.sample(self.rng.selection)
+        quota = self.config.quota
+        fast = self._fast_candidates
+        rule = self._acceptance_kind
+        if rule == "age":
+            cap = self.acceptance.age_cap
+            s_owner = owner_age if owner_age < cap else cap
+        while (
+            sample_budget > 0
+            and examined < max_examined
+            and len(accepted) < target_size
+        ):
+            sample_budget -= 1
+            candidate_id = sample(draws)
             if candidate_id is None:
-                return
+                break
             if candidate_id in seen:
                 continue
             seen.add(candidate_id)
-            if candidate_id == owner.peer_id:
+            if candidate_id == owner_id or candidate_id in holders:
                 continue
-            if candidate_id in owner.archive.holders:
+            candidate = peers[candidate_id]
+            if check_quota and len(candidate.hosted) >= quota:
                 continue
-            candidate = self.population.get(candidate_id)
-            if check_quota and not candidate.has_free_quota(self.config.quota):
-                continue
-            yield self._describe_candidate(candidate)
+            examined += 1
+            age = now - candidate.join_round  # candidates are never observers
+            if rule == "age":
+                # Inlined AcceptancePolicy: accept iff u < (L - s1 + s2 + 1)/L
+                # (the min(p, 1) clamp is free because u < 1).
+                s_cand = age if age < cap else cap
+                if next_uniform() * cap >= cap - s_owner + s_cand + 1:
+                    continue  # owner rejects
+                if next_uniform() * cap >= cap - s_cand + s_owner + 1:
+                    continue  # candidate rejects
+            elif rule != "uniform":
+                decide = self.acceptance.decide
+                if not decide(owner_age, age, next_uniform()):
+                    continue
+                if not decide(age, owner_age, next_uniform()):
+                    continue
+            if fast:
+                accepted.append((candidate_id, age))
+            else:
+                accepted.append(self._describe_candidate(candidate))
+        self.metrics.record_pool(examined, len(accepted))
+        return accepted
 
     def _describe_candidate(self, candidate: Peer) -> Candidate:
         availability = None
@@ -466,16 +579,11 @@ class Simulation:
         """Build a pool, select the best ``needed`` candidates, store blocks."""
         pool_target = int(math.ceil(self.config.pool_factor * needed))
         max_examined = int(self.config.max_examined_factor * needed) + 16
-        pool = build_pool(
-            owner_age=owner.age(now),
-            candidates=self._candidate_stream(owner),
-            acceptance=self.acceptance,
-            rng=self.rng.acceptance,
-            target_size=pool_target,
-            max_examined=max_examined,
-        )
-        self.metrics.record_pool(pool.examined, pool.size)
-        chosen = self.strategy.select(pool.accepted, needed, self.rng.selection)
+        pool = self._fill_pool(owner, now, pool_target, max_examined)
+        if self._fast_candidates:
+            chosen = self.strategy.select_pairs(pool, needed, self.rng.selection)
+        else:
+            chosen = self.strategy.select(pool, needed, self.rng.selection)
         added = 0
         for candidate_id in chosen:
             holder = self.population.get(candidate_id)

@@ -1,21 +1,37 @@
 """Event queue of the round-based simulator.
 
 PeerSim (the paper's simulator) executes peers sequentially inside each
-round, in an order re-randomised every round.  We reproduce that with a
-priority queue keyed by ``(round, random_tiebreak, sequence)``: all
-events scheduled for the same round run in a random order, and the
-sequence number keeps the heap total-ordered even on tiebreak collisions.
+round, in an order re-randomised every round.  Earlier versions
+reproduced that with a binary heap keyed by ``(round, random_tiebreak,
+sequence)`` — one scalar RNG call and one rich-compare dataclass per
+``schedule``, plus ``O(log n)`` comparisons per push/pop.  The calendar
+queue here keeps the same semantics at a fraction of the cost:
+
+* events land in a per-round *bucket* (``dict`` keyed by integer round);
+* when a round becomes current its bucket is shuffled **once** with a
+  batched permutation (one vectorised RNG call per round instead of one
+  scalar draw per event);
+* events scheduled into the round currently executing are inserted at a
+  uniformly random position among the not-yet-executed events (the heap
+  gave late arrivals a mild bias toward running sooner; uniform is the
+  cleaner semantics and trajectories are re-seeded this PR anyway);
+* cancellation stays lazy: a cancelled handle is skipped when reached.
+
+A small heap of *distinct round numbers* (not events) provides the
+"earliest non-empty bucket" lookup; its size is bounded by the number of
+future rounds that have events, so its cost is negligible.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from .rng import BatchedDraws
 
 
 class EventKind(Enum):
@@ -41,61 +57,131 @@ class Event:
     peer_id: int = -1
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    round: int
-    tiebreak: float
-    sequence: int
-    event: Event = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+class _Handle:
+    """A scheduled event plus its dead flag.
+
+    ``cancelled`` is set both by :meth:`EventQueue.cancel` and when the
+    event is popped (executed), so cancelling an already-consumed handle
+    is a safe no-op instead of corrupting the queue's live accounting.
+    """
+
+    __slots__ = ("round", "event", "cancelled")
+
+    def __init__(self, round_number: int, event: Event):
+        self.round = round_number
+        self.event = event
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"_Handle(round={self.round}, event={self.event}{state})"
 
 
 class EventQueue:
-    """Min-heap of events with random intra-round ordering."""
+    """Calendar queue of events with random intra-round ordering."""
 
     def __init__(self, rng: np.random.Generator):
-        self._heap: list = []
         self._rng = rng
-        self._sequence = itertools.count()
+        self._draws = BatchedDraws(rng)
+        #: future rounds -> unshuffled buckets of handles.
+        self._buckets: Dict[int, List[_Handle]] = {}
+        #: distinct bucket rounds (exactly one heap entry per bucket).
+        self._round_heap: List[int] = []
+        #: live (non-cancelled) handles per round, bucket or current.
+        self._live: Dict[int, int] = {}
+        #: the active round's shuffled remainder, consumed from the end.
+        self._current: List[_Handle] = []
+        self._current_round: Optional[int] = None
         self._size = 0
 
-    def schedule(self, round_number: int, event: Event) -> _QueueEntry:
+    def schedule(self, round_number: int, event: Event) -> _Handle:
         """Add an event; returns a handle usable with :meth:`cancel`."""
         if round_number < 0:
             raise ValueError("cannot schedule in a negative round")
-        entry = _QueueEntry(
-            round=round_number,
-            tiebreak=float(self._rng.random()),
-            sequence=next(self._sequence),
-            event=event,
-        )
-        heapq.heappush(self._heap, entry)
+        handle = _Handle(round_number, event)
+        if round_number == self._current_round:
+            # The round is executing: insert at a uniform position among
+            # the remaining events (the end of the list runs first, so
+            # every slot of the remainder is equally likely).
+            current = self._current
+            if current:
+                current.insert(self._draws.next_integer(len(current) + 1), handle)
+            else:
+                current.append(handle)
+        else:
+            bucket = self._buckets.get(round_number)
+            if bucket is None:
+                self._buckets[round_number] = [handle]
+                heapq.heappush(self._round_heap, round_number)
+            else:
+                bucket.append(handle)
+        self._live[round_number] = self._live.get(round_number, 0) + 1
         self._size += 1
-        return entry
+        return handle
 
-    def cancel(self, entry: _QueueEntry) -> None:
-        """Lazily cancel a scheduled event (skipped when popped)."""
-        if not entry.cancelled:
-            entry.cancelled = True
+    def cancel(self, handle: _Handle) -> None:
+        """Lazily cancel a scheduled event (skipped when reached)."""
+        if not handle.cancelled:
+            handle.cancelled = True
             self._size -= 1
+            self._live[handle.round] -= 1
+
+    def _next_bucket_round(self) -> Optional[int]:
+        """Earliest bucket round with live events, purging dead buckets."""
+        heap = self._round_heap
+        while heap:
+            round_number = heap[0]
+            if self._live.get(round_number, 0) > 0:
+                return round_number
+            heapq.heappop(heap)
+            self._buckets.pop(round_number, None)
+            self._live.pop(round_number, None)
+        return None
+
+    def _activate(self, round_number: int) -> None:
+        """Make ``round_number``'s bucket the current (shuffled) round."""
+        heapq.heappop(self._round_heap)  # == round_number by construction
+        bucket = self._buckets.pop(round_number)
+        previous = self._current_round
+        if self._current:
+            # An earlier round was scheduled while ``previous`` was still
+            # executing: push the remainder back as a future bucket (it
+            # is re-shuffled on reactivation, which keeps the intra-round
+            # order uniform).
+            self._buckets[previous] = self._current
+            heapq.heappush(self._round_heap, previous)
+        elif previous is not None and self._live.get(previous) == 0:
+            del self._live[previous]
+        if len(bucket) > 1:
+            order = self._rng.permutation(len(bucket))
+            bucket = [bucket[i] for i in order]
+        self._current = bucket
+        self._current_round = round_number
 
     def pop(self) -> Optional[Tuple[int, Event]]:
         """Remove and return the next live event as ``(round, event)``."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
-                continue
-            self._size -= 1
-            return entry.round, entry.event
-        return None
+        while True:
+            upcoming = self._next_bucket_round()
+            current = self._current
+            if current and (upcoming is None or self._current_round <= upcoming):
+                handle = current.pop()
+                if handle.cancelled:
+                    continue
+                handle.cancelled = True  # consumed: late cancel() is a no-op
+                self._size -= 1
+                self._live[handle.round] -= 1
+                return handle.round, handle.event
+            if upcoming is None:
+                return None
+            self._activate(upcoming)
 
     def peek_round(self) -> Optional[int]:
         """Round of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].round
+        upcoming = self._next_bucket_round()
+        if self._current and self._live.get(self._current_round, 0) > 0:
+            if upcoming is None or self._current_round <= upcoming:
+                return self._current_round
+        return upcoming
 
     def drain_until(self, last_round: int) -> Iterator[Tuple[int, Event]]:
         """Yield events up to and including ``last_round``, in order."""

@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional
 import numpy as np
 
 from .peer import Peer
+from .rng import BatchedDraws
 
 
 class SampleableSet:
@@ -44,6 +45,19 @@ class SampleableSet:
         if not self._items:
             return None
         return self._items[int(rng.integers(len(self._items)))]
+
+    def sample_with(self, draws: BatchedDraws) -> Optional[int]:
+        """Like :meth:`sample` but fed from a batched draw buffer.
+
+        The engine's recruitment loop samples candidates hundreds of
+        thousands of times per run; the buffered index draw avoids a
+        scalar ``Generator.integers`` call (~1µs of pure call overhead)
+        per sample.
+        """
+        items = self._items
+        if not items:
+            return None
+        return items[draws.next_integer(len(items))]
 
     def __contains__(self, item: int) -> bool:
         return item in self._index

@@ -83,6 +83,7 @@ class Peer:
         "fixed_age",
         "observer_name",
         "check_scheduled",
+        "check_handle",
         "pending_check",
         "last_state_change",
         "online_rounds",
@@ -115,6 +116,8 @@ class Peer:
         self.observer_name = observer_name
         #: round for which a REPAIR_CHECK is already queued (dedup).
         self.check_scheduled: Optional[int] = None
+        #: queue handle of that check, so an earlier check can cancel it.
+        self.check_handle = None
         #: a check was wanted while the peer was offline.
         self.pending_check = False
         #: bookkeeping for the measured-availability baseline.

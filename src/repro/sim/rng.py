@@ -13,6 +13,67 @@ from typing import Dict, Optional
 
 import numpy as np
 
+#: Draws fetched from the underlying generator per buffer refill.  Large
+#: enough to amortise the numpy call, small enough that a run which only
+#: needs a handful of draws does not pay for a huge vector.
+DEFAULT_BLOCK = 4096
+
+
+class BatchedDraws:
+    """Block-buffered scalar draws from one numpy generator.
+
+    The simulation hot loop consumes random numbers one at a time
+    (candidate sampling, acceptance coin flips, intra-round tiebreaks).
+    Scalar calls on ``numpy.random.Generator`` cost ~1µs each — dominated
+    by call overhead, not by random-bit generation.  This wrapper refills
+    a vector of uniforms in blocks and hands them out as plain Python
+    floats, turning a million scalar RNG calls into a few hundred
+    vectorised ones.
+
+    Determinism: the draw sequence is a pure function of the underlying
+    generator's state, so seeded runs stay reproducible.  Mixing batched
+    and direct draws on the same generator is safe (refills interleave
+    deterministically) but changes the consumption pattern relative to
+    purely scalar code — same-seed runs of the *same* code remain
+    byte-identical.
+    """
+
+    __slots__ = ("_rng", "_block", "_buffer", "_position")
+
+    def __init__(self, rng: np.random.Generator, block: int = DEFAULT_BLOCK):
+        if block < 1:
+            raise ValueError(f"block size must be >= 1, got {block}")
+        self._rng = rng
+        self._block = block
+        self._buffer = ()
+        self._position = 0
+
+    def _refill(self) -> None:
+        self._buffer = self._rng.random(self._block).tolist()
+        self._position = 0
+
+    def next_uniform(self) -> float:
+        """One uniform float in ``[0, 1)``."""
+        position = self._position
+        if position >= len(self._buffer):
+            self._refill()
+            position = 0
+        self._position = position + 1
+        return self._buffer[position]
+
+    def next_integer(self, n: int) -> int:
+        """One uniform integer in ``[0, n)``."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        position = self._position
+        if position >= len(self._buffer):
+            self._refill()
+            position = 0
+        self._position = position + 1
+        value = int(self._buffer[position] * n)
+        # float rounding can land exactly on n for huge n; clamp.
+        return value if value < n else n - 1
+
 #: Stable stream names used by the engine; listed here so tests can
 #: assert the full set.
 STREAM_NAMES = (
@@ -37,6 +98,7 @@ class RngStreams:
             name: np.random.default_rng(child)
             for name, child in zip(STREAM_NAMES, children)
         }
+        self._batched: Dict[str, BatchedDraws] = {}
         self._extra_spawned = 0
 
     def stream(self, name: str) -> np.random.Generator:
@@ -54,6 +116,19 @@ class RngStreams:
         if streams and name in streams:
             return streams[name]
         raise AttributeError(name)
+
+    def batched(self, name: str, block: int = DEFAULT_BLOCK) -> BatchedDraws:
+        """A block-buffered draw source over the named stream (cached).
+
+        Repeated calls with the same name return the same buffer, so all
+        consumers of a stream share one refill cursor.
+        """
+        try:
+            return self._batched[name]
+        except KeyError:
+            draws = BatchedDraws(self.stream(name), block)
+            self._batched[name] = draws
+            return draws
 
     def spawn(self) -> np.random.Generator:
         """A fresh independent generator (e.g. one per ad-hoc component)."""

@@ -123,3 +123,41 @@ class TestRegistry:
     def test_empty_candidate_list(self, rng):
         for name in available_strategies():
             assert strategy_by_name(name).rank([], rng) == []
+
+
+class TestSelectPairs:
+    """The (peer_id, age) fast path must agree with the Candidate path."""
+
+    PAIRS = [(1, 5.0), (2, 40.0), (3, 40.0), (4, 0.0), (5, 17.0)]
+
+    def as_candidates(self):
+        return [Candidate(peer_id=i, age=a) for i, a in self.PAIRS]
+
+    @pytest.mark.parametrize("name", ["age", "random", "availability", "oracle"])
+    def test_matches_candidate_selection(self, name):
+        import numpy as np
+
+        strategy = strategy_by_name(name)
+        chosen_pairs = strategy.select_pairs(
+            self.PAIRS, 3, np.random.default_rng(7)
+        )
+        chosen_candidates = strategy.select(
+            self.as_candidates(), 3, np.random.default_rng(7)
+        )
+        assert chosen_pairs == chosen_candidates
+
+    def test_age_prefers_oldest(self, rng):
+        chosen = strategy_by_name("age").select_pairs(self.PAIRS, 2, rng)
+        assert set(chosen) == {2, 3}
+
+    def test_count_zero_and_negative(self, rng):
+        strategy = strategy_by_name("age")
+        assert strategy.select_pairs(self.PAIRS, 0, rng) == []
+        with pytest.raises(ValueError):
+            strategy.select_pairs(self.PAIRS, -1, rng)
+        with pytest.raises(ValueError):
+            strategy_by_name("random").select_pairs(self.PAIRS, -1, rng)
+
+    def test_empty_pairs(self, rng):
+        for name in ("age", "random", "availability", "oracle"):
+            assert strategy_by_name(name).select_pairs([], 3, rng) == []

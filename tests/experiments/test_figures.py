@@ -7,6 +7,10 @@ pass.
 
 import pytest
 
+#: Miniature sweeps still cost tens of seconds each; the CI smoke lane
+#: (-m "not slow") skips this module and the full tier-1 job runs it.
+pytestmark = pytest.mark.slow
+
 from repro.experiments.ablation_adaptive import (
     check_shape as check_a5,
     run_ablation_adaptive,
@@ -164,5 +168,8 @@ class TestAblations:
         result = run_ablation_adaptive(scale=TEST_SCALE, seeds=(0,))
         rows = {row[0] for row in result.rows()}
         assert rows == {"static", "adaptive"}
-        assert check_a5(result) == []
+        # At this miniature scale total losses are single-digit rare
+        # events, so the static-vs-adaptive comparison needs slack; the
+        # strict check runs at QUICK scale in bench_ablation_adaptive.
+        assert check_a5(result, loss_tolerance=4.0) == []
         assert "A5" in result.render()

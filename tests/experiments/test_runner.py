@@ -131,6 +131,30 @@ class TestRunCommand:
         assert "repairs=" in output
         assert "[executor]" in output
 
+    def test_profile_flags_rejected_outside_profile(self):
+        for argv in (
+            ["fig1", "--sort", "tottime"],
+            ["run", "--scenario", "paper", "--limit", "5"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_profile_requires_scenario(self, capsys):
+        assert main(["profile"]) == 2
+        assert "paper" in capsys.readouterr().out
+
+    def test_profile_scenario_end_to_end(self, capsys):
+        code = main([
+            "profile", "--scenario", "paper",
+            "--population", "50", "--rounds", "150",
+            "--sort", "tottime", "--limit", "5",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario paper" in output
+        assert "cumtime" in output  # pstats table header
+        assert "[profile]" in output
+
     def test_run_scenario_uses_cache(self, capsys, tmp_path):
         argv = [
             "run", "--scenario", "slow_decay",

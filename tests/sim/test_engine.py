@@ -210,6 +210,45 @@ class TestKnobs:
         assert warm.metrics.total_repairs == full.metrics.total_repairs
 
 
+class TestCheckRescheduling:
+    """An earlier check must replace a pending later one (ISSUE 3).
+
+    Before the fix, ``_schedule_check`` deduplicated purely on "a check
+    is pending", so a block loss wanting a check at round 5 was silently
+    swallowed by e.g. a placement retry already queued for round 12.
+    """
+
+    def test_earlier_check_cancels_and_replaces_later_one(self):
+        simulation = Simulation(tiny())
+        peer = simulation._spawn_peer(0)
+        # Forget the join-time check so we control the pending state.
+        peer.check_scheduled = None
+        peer.check_handle = None
+
+        simulation._schedule_check(peer, 12)
+        later_handle = peer.check_handle
+        assert peer.check_scheduled == 12
+
+        # A later request is deduplicated away ...
+        simulation._schedule_check(peer, 20)
+        assert peer.check_scheduled == 12
+        assert peer.check_handle is later_handle
+
+        # ... but an earlier one cancels and replaces the pending check.
+        simulation._schedule_check(peer, 5)
+        assert peer.check_scheduled == 5
+        assert later_handle.cancelled
+        assert peer.check_handle is not later_handle
+        assert not peer.check_handle.cancelled
+
+    def test_check_state_cleared_when_check_runs(self):
+        simulation = Simulation(tiny(rounds=200))
+        simulation.run()
+        for peer in simulation.population.alive_normal_peers():
+            if peer.check_scheduled is None:
+                assert peer.check_handle is None
+
+
 class TestResultApi:
     def test_rates_cover_all_categories(self, tiny_config):
         result = run_simulation(tiny_config)

@@ -126,6 +126,7 @@ class TestBlockedRegime:
         assert per_archive <= global_blocked + 1e-9
 
 
+@pytest.mark.slow
 class TestThresholdExtremes:
     @pytest.mark.parametrize("threshold", [9, 16])
     def test_extreme_thresholds_run_clean(self, threshold):

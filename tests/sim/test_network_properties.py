@@ -1,0 +1,76 @@
+"""Property tests for :class:`SampleableSet` against a reference model.
+
+The swap-pop/index-map construction must behave exactly like a plain
+``set`` under any interleaving of adds and discards, while sampling only
+ever returns current members.  Hypothesis drives random operation
+sequences; the reference model is the built-in ``set``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.network import SampleableSet
+from repro.sim.rng import BatchedDraws
+
+#: One operation: (op, value).  ``sample`` ignores its value.
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "discard", "sample"]),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=operations, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_matches_reference_set_model(ops, seed):
+    rng = np.random.default_rng(seed)
+    draws = BatchedDraws(np.random.default_rng(seed + 1), block=16)
+    sampleable = SampleableSet()
+    model = set()
+    for op, value in ops:
+        if op == "add":
+            sampleable.add(value)
+            model.add(value)
+        elif op == "discard":
+            sampleable.discard(value)
+            model.discard(value)
+        else:
+            picked = sampleable.sample(rng)
+            picked_batched = sampleable.sample_with(draws)
+            if model:
+                assert picked in model
+                assert picked_batched in model
+            else:
+                assert picked is None
+                assert picked_batched is None
+        # Invariants after every step.
+        assert len(sampleable) == len(model)
+        for member in model:
+            assert member in sampleable
+        assert set(sampleable) == model
+
+
+@settings(max_examples=50, deadline=None)
+@given(members=st.sets(st.integers(min_value=0, max_value=30), min_size=1))
+def test_every_member_is_reachable_by_sampling(members):
+    """Sampling must not systematically exclude any member."""
+    sampleable = SampleableSet()
+    for member in members:
+        sampleable.add(member)
+    rng = np.random.default_rng(0)
+    seen = {sampleable.sample(rng) for _ in range(40 * len(members))}
+    assert seen == members
+
+
+def test_add_discard_idempotence():
+    sampleable = SampleableSet()
+    sampleable.add(1)
+    sampleable.add(1)
+    assert len(sampleable) == 1
+    sampleable.discard(1)
+    sampleable.discard(1)
+    assert len(sampleable) == 0
+    assert sampleable.sample(np.random.default_rng(0)) is None

@@ -1,10 +1,12 @@
-"""Tests for the RNG streams and the event queue."""
+"""Tests for the RNG streams, batched draw buffers and the event queue."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.events import Event, EventKind, EventQueue
-from repro.sim.rng import STREAM_NAMES, RngStreams
+from repro.sim.rng import BatchedDraws, STREAM_NAMES, RngStreams
 
 
 class TestRngStreams:
@@ -83,6 +85,18 @@ class TestEventQueue:
         queue.cancel(entry)
         assert len(queue) == 0
 
+    def test_cancel_after_pop_is_a_noop(self, queue):
+        """Cancelling an executed handle must not corrupt accounting."""
+        executed = queue.schedule(1, Event(EventKind.JOIN))
+        live = queue.schedule(1, Event(EventKind.DEATH, 3))
+        first = queue.pop()
+        handle = executed if first[1].kind == EventKind.JOIN else live
+        queue.cancel(handle)  # already popped: no-op
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert queue.pop() is None
+        assert len(queue) == 0
+
     def test_pop_empty(self, queue):
         assert queue.pop() is None
         assert not queue
@@ -125,3 +139,114 @@ class TestEventQueue:
         entries = [queue.schedule(1, Event(EventKind.JOIN)) for _ in range(5)]
         queue.cancel(entries[0])
         assert len(queue) == 4
+
+    def test_schedule_into_active_round_lands_in_it(self, queue):
+        """An event scheduled for the round being drained still fires."""
+        queue.schedule(3, Event(EventKind.JOIN))
+        queue.schedule(5, Event(EventKind.SAMPLE))
+        round_number, _ = queue.pop()
+        assert round_number == 3
+        queue.schedule(3, Event(EventKind.DEATH, 7))
+        round_number, event = queue.pop()
+        assert round_number == 3
+        assert event.kind == EventKind.DEATH
+
+    def test_earlier_round_scheduled_mid_drain_runs_first(self, queue):
+        """Scheduling behind the active round preempts its remainder."""
+        for peer in range(4):
+            queue.schedule(9, Event(EventKind.TOGGLE, peer))
+        queue.pop()  # activates round 9
+        queue.schedule(2, Event(EventKind.JOIN))
+        round_number, event = queue.pop()
+        assert round_number == 2
+        assert event.kind == EventKind.JOIN
+        remaining = [queue.pop()[0] for _ in range(3)]
+        assert remaining == [9, 9, 9]
+        assert queue.pop() is None
+
+
+class TestBatchedDraws:
+    def test_uniforms_in_range_and_deterministic(self):
+        a = BatchedDraws(np.random.default_rng(3), block=7)
+        b = BatchedDraws(np.random.default_rng(3), block=7)
+        draws = [a.next_uniform() for _ in range(50)]
+        assert draws == [b.next_uniform() for _ in range(50)]
+        assert all(0.0 <= value < 1.0 for value in draws)
+
+    def test_block_size_does_not_change_the_sequence(self):
+        small = BatchedDraws(np.random.default_rng(3), block=2)
+        large = BatchedDraws(np.random.default_rng(3), block=512)
+        assert [small.next_uniform() for _ in range(40)] == [
+            large.next_uniform() for _ in range(40)
+        ]
+
+    def test_integers_in_range(self):
+        draws = BatchedDraws(np.random.default_rng(4), block=16)
+        values = [draws.next_integer(13) for _ in range(500)]
+        assert all(0 <= value < 13 for value in values)
+        assert set(values) == set(range(13))  # every bin reachable
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            BatchedDraws(np.random.default_rng(0), block=0)
+        with pytest.raises(ValueError):
+            BatchedDraws(np.random.default_rng(0)).next_integer(0)
+
+
+class TestCalendarQueueProperties:
+    """Hypothesis-driven invariants of the calendar/bucket queue."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        rounds=st.lists(st.integers(min_value=0, max_value=20), max_size=60),
+        cancel_every=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_pop_order_and_cancellation(self, rounds, cancel_every, seed):
+        queue = EventQueue(np.random.default_rng(seed))
+        handles = [
+            queue.schedule(round_number, Event(EventKind.TOGGLE, index))
+            for index, round_number in enumerate(rounds)
+        ]
+        cancelled = {
+            handle.event.peer_id
+            for index, handle in enumerate(handles)
+            if index % cancel_every == 0
+        }
+        for index, handle in enumerate(handles):
+            if index % cancel_every == 0:
+                queue.cancel(handle)
+        assert len(queue) == len(rounds) - len(cancelled)
+
+        drained = []
+        while True:
+            item = queue.pop()
+            if item is None:
+                break
+            drained.append(item)
+        # Every live event fires exactly once, none of the cancelled do.
+        assert sorted(e.peer_id for _, e in drained) == sorted(
+            i for i in range(len(rounds)) if i not in cancelled
+        )
+        # Rounds come out non-decreasing and each event in its own round.
+        popped_rounds = [r for r, _ in drained]
+        assert popped_rounds == sorted(popped_rounds)
+        for round_number, event in drained:
+            assert rounds[event.peer_id] == round_number
+        assert len(queue) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rounds=st.lists(
+            st.integers(min_value=0, max_value=8), min_size=1, max_size=40
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_intra_round_shuffle_is_deterministic_by_seed(self, rounds, seed):
+        def drain(queue_seed):
+            queue = EventQueue(np.random.default_rng(queue_seed))
+            for index, round_number in enumerate(rounds):
+                queue.schedule(round_number, Event(EventKind.TOGGLE, index))
+            return list(queue.drain_until(10))
+
+        assert drain(seed) == drain(seed)

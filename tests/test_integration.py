@@ -154,6 +154,7 @@ class TestByteLevelUnderChurn:
         assert restored.files == files
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize(
     "script",
     ["quickstart.py", "churn_explorer.py"],
@@ -170,6 +171,7 @@ def test_examples_run_clean(script):
     assert completed.stdout.strip()
 
 
+@pytest.mark.slow
 def test_observer_example_runs_clean():
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES / "observer_study.py"), "--scale", "quick"],
