@@ -1,13 +1,20 @@
-"""Benchmark the sweep executor: serial vs process-pool backends.
+"""Benchmark the sweep executor: serial, process-pool and distributed.
 
 Not a paper artifact — this measures the execution subsystem itself:
-the parallel speedup the process-pool backend buys on a multi-core
-host, and that it buys it without changing a single byte of the
-results.  The workload is a small threshold sweep (4 cells) of the
-event-driven simulator, the same cell shape every figure runs.
+the parallel speedup the process-pool and distributed backends buy on
+a multi-core host, and that they buy it without changing a single byte
+of the results.  The workload is a small threshold sweep (4 cells) of
+the event-driven simulator, the same cell shape every figure runs.
 """
 
-from repro.exec import ExperimentSpec, SweepExecutor, canonical_json
+import multiprocessing
+
+from repro.exec import (
+    ExperimentSpec,
+    ResultCache,
+    SweepExecutor,
+    canonical_json,
+)
 from repro.sim.config import SimulationConfig
 
 #: Enough cells to keep two workers busy, small enough for CI.
@@ -41,10 +48,52 @@ def test_sweep_executor_two_workers(run_once):
     assert sweep.stats.simulated == 4
 
 
-def test_sweep_executor_backends_agree():
+def _drain_bench_cells(cache_dir: str) -> None:
+    """Helper-process entry point for the distributed benchmark."""
+    SweepExecutor(
+        cache=ResultCache(cache_dir),
+        backend="distributed",
+        worker_id="bench-helper",
+        poll_interval=0.05,
+    ).run(_bench_spec())
+
+
+def test_sweep_executor_distributed_two_workers(run_once, tmp_path):
+    """Distributed backend: this process plus one worker process
+    sharing a cache directory — the multi-host topology in miniature."""
+    cache_dir = str(tmp_path / "cache")
+    helper = multiprocessing.Process(
+        target=_drain_bench_cells, args=(cache_dir,)
+    )
+
+    def sharded_sweep():
+        helper.start()
+        try:
+            return SweepExecutor(
+                cache=ResultCache(cache_dir),
+                backend="distributed",
+                worker_id="bench-main",
+                poll_interval=0.05,
+            ).run(_bench_spec())
+        finally:
+            helper.join(timeout=300)
+
+    sweep = run_once(sharded_sweep)
+    assert len(sweep) == 4
+    assert sweep.stats.simulated + sweep.stats.cache_hits == 4
+
+
+def test_sweep_executor_backends_agree(tmp_path):
     """The speedup is free: serialized results are byte-identical."""
     serial = SweepExecutor(workers=1).run(_bench_spec())
     pooled = SweepExecutor(workers=2).run(_bench_spec())
+    distributed = SweepExecutor(
+        cache=ResultCache(tmp_path / "cache"),
+        backend="distributed",
+        poll_interval=0.05,
+    ).run(_bench_spec())
     serial_bytes = [canonical_json(r.to_dict()) for r in serial.results]
     pooled_bytes = [canonical_json(r.to_dict()) for r in pooled.results]
+    shard_bytes = [canonical_json(r.to_dict()) for r in distributed.results]
     assert serial_bytes == pooled_bytes
+    assert serial_bytes == shard_bytes

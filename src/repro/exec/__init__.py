@@ -4,12 +4,13 @@ This subsystem factors the sweep machinery out of the individual
 experiment modules (in the spirit of factorised query processing): an
 experiment is an :class:`ExperimentSpec` — parameter grid x seeds, a
 pure ``cell -> SimulationConfig`` builder and a ``results -> artifact``
-reducer — and one :class:`SweepExecutor` runs any spec serially or
-across a process pool, with an optional content-addressed on-disk
+reducer — and one :class:`SweepExecutor` runs any spec through a named
+execution backend (``serial``, ``process`` or ``distributed``; see
+:data:`EXECUTION_BACKENDS`), with an optional content-addressed on-disk
 :class:`ResultCache`.
 
 Guarantee: for a fixed spec, the serialized results are byte-identical
-regardless of backend, worker count or cache temperature.
+regardless of backend, worker count, host count or cache temperature.
 """
 
 from .cache import (
@@ -19,21 +20,41 @@ from .cache import (
     config_digest,
 )
 from .executor import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
     ExecutionStats,
     SweepExecutor,
     run_experiment,
+)
+
+# Importing the module registers the "distributed" backend.
+from .distributed import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_POLL_INTERVAL,
+    DistributedBackend,
+    LeaseDirectory,
+    LeaseInfo,
+    default_worker_id,
 )
 from .spec import Cell, ExperimentSpec, SweepResult
 
 __all__ = [
     "Cell",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_POLL_INTERVAL",
+    "DistributedBackend",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
     "ExecutionStats",
     "ExperimentSpec",
+    "LeaseDirectory",
+    "LeaseInfo",
     "ResultCache",
     "SweepExecutor",
     "SweepResult",
     "canonical_json",
     "config_digest",
+    "default_worker_id",
     "run_experiment",
 ]

@@ -52,7 +52,13 @@ def config_digest(config: SimulationConfig) -> str:
 
 
 class ResultCache:
-    """A directory of ``<digest>.json`` result payloads, sharded by prefix."""
+    """A directory of ``<digest>.json`` result payloads, sharded by prefix.
+
+    Shared deployments (the ``distributed`` execution backend) point
+    every worker at one cache directory — typically an NFS mount — and
+    use it both as the result store and, via :attr:`lease_root`, as the
+    work queue's lock directory (see :mod:`repro.exec.distributed`).
+    """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
         self.root = Path(root)
@@ -60,6 +66,26 @@ class ResultCache:
     def path_for(self, digest: str) -> Path:
         """Where a digest's payload lives (two-character shard directories)."""
         return self.root / digest[:2] / f"{digest}.json"
+
+    @property
+    def lease_root(self) -> Path:
+        """Where the distributed backend keeps its cell lease files.
+
+        Living inside the cache directory guarantees leases and results
+        share one filesystem, so the atomic-rename semantics that the
+        cache relies on cover the leases too.
+        """
+        return self.root / "leases"
+
+    def entry_count(self) -> int:
+        """Number of stored result payloads."""
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total bytes of stored result payloads (excludes leases)."""
+        return sum(
+            path.stat().st_size for path in self.root.glob("??/*.json")
+        )
 
     def load(self, digest: str) -> Optional[Dict[str, object]]:
         """The cached payload for ``digest``, or ``None`` on miss/corruption."""

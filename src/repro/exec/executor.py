@@ -1,16 +1,28 @@
-"""The sweep executor: pluggable serial and process-pool backends.
+"""The sweep executor: registered serial/process/distributed backends.
 
 One :class:`SweepExecutor` turns an
 :class:`~repro.exec.spec.ExperimentSpec` into a
-:class:`~repro.exec.spec.SweepResult`.  Every cell — cached, serial or
-pooled — travels through the same serialized representation
-(``SimulationResult.to_dict()``), which guarantees bit-identical results
-regardless of backend, worker count or cache temperature:
+:class:`~repro.exec.spec.SweepResult`.  How the pending (cache-missed)
+cells actually execute is an :class:`ExecutionBackend` resolved by name
+through the :data:`EXECUTION_BACKENDS` registry — the same convention
+every other swappable component follows (see :mod:`repro.registry`):
+
+* ``serial`` runs cells in-process, one after the other;
+* ``process`` fans cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` on this host;
+* ``distributed`` (:mod:`repro.exec.distributed`) shards cells across
+  worker processes on any number of hosts sharing a cache directory.
+
+Every cell — cached, serial, pooled or remote — travels through the
+same serialized representation (``SimulationResult.to_dict()``), which
+guarantees bit-identical results regardless of backend, worker count or
+cache temperature:
 
 * the serial backend round-trips each result through the dict form;
 * the process-pool backend ships config dicts to workers and result
   dicts back (no pickling of live simulator objects);
-* the cache stores exactly those dicts as canonical JSON.
+* the cache stores exactly those dicts as canonical JSON, and the
+  distributed backend publishes results through nothing but the cache.
 
 Cells are independent simulations, so execution order never affects the
 outcome; results are always reassembled in spec cell order.
@@ -23,6 +35,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from ..registry import Registry
 from ..sim.config import SimulationConfig
 from ..sim.engine import SimulationResult, run_simulation
 from .cache import ResultCache, config_digest
@@ -31,6 +44,15 @@ from .spec import Cell, ExperimentSpec, SweepResult
 #: Progress callback signature: (cells done, cells total, cell, source)
 #: where source is ``"cache"`` or ``"run"``.
 ProgressCallback = Callable[[int, int, Cell, str], None]
+
+#: Cell-completion callback handed to backends:
+#: ``finish(index, payload, source="run", store=True)``.
+FinishCallback = Callable[..., None]
+
+#: How a ``SweepExecutor`` executes its pending cells, by stable name.
+#: ``serial`` and ``process`` live in this module; importing
+#: :mod:`repro.exec` also registers ``distributed``.
+EXECUTION_BACKENDS: Registry = Registry("execution backend")
 
 
 @dataclass
@@ -64,22 +86,105 @@ def _execute_cell(config_payload: Dict[str, Any]) -> Dict[str, Any]:
     return run_simulation(config).to_dict()
 
 
+class ExecutionBackend:
+    """Strategy executing the pending cells of one :meth:`SweepExecutor.run`.
+
+    Backends receive the owning executor (for ``workers``, ``cache`` and
+    the distributed knobs), the full cell list, the indices still to
+    execute, the per-index config digests, and a ``finish`` callback::
+
+        finish(index, payload, source="run", store=True)
+
+    ``source`` is ``"run"`` for a cell this process simulated and
+    ``"cache"`` for one loaded from the shared cache; ``store=False``
+    skips the executor's own cache write for backends that already
+    published the payload themselves.
+    """
+
+    name = "abstract"
+
+    def execute(
+        self,
+        executor: "SweepExecutor",
+        cells: List[Cell],
+        pending: List[int],
+        digests: Dict[int, str],
+        finish: FinishCallback,
+    ) -> None:
+        raise NotImplementedError
+
+
+@EXECUTION_BACKENDS.register("serial")
+class SerialBackend(ExecutionBackend):
+    """All pending cells in-process, one after the other."""
+
+    name = "serial"
+
+    def execute(self, executor, cells, pending, digests, finish):
+        for i in pending:
+            finish(i, _execute_cell(cells[i].config.to_dict()))
+
+
+@EXECUTION_BACKENDS.register("process")
+class ProcessBackend(ExecutionBackend):
+    """Cells fanned out over a process pool on this host."""
+
+    name = "process"
+
+    def execute(self, executor, cells, pending, digests, finish):
+        if executor.workers == 1 or len(pending) <= 1:
+            # Degenerate case: a pool of one (or one cell) is just the
+            # serial loop without the process-spawn overhead.
+            SerialBackend().execute(executor, cells, pending, digests, finish)
+            return
+        max_workers = min(executor.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_execute_cell, cells[i].config.to_dict()): i
+                for i in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    finish(futures[future], future.result())
+
+
 class SweepExecutor:
-    """Runs sweep cells serially or across a process pool, with caching.
+    """Runs sweep cells through a named execution backend, with caching.
 
     Parameters
     ----------
     workers:
-        Maximum concurrent simulations.  ``1`` (default) executes
-        in-process; larger values fan cells out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor`.
+        Maximum concurrent simulations for the ``process`` backend.
+        ``1`` (default) executes in-process.
     cache:
         Optional :class:`~repro.exec.cache.ResultCache`.  When present,
         cells whose config digest is already stored load from disk
         instead of simulating, and fresh results are stored back.
+        Mandatory for the ``distributed`` backend, whose workers have no
+        other channel.
     progress:
         Optional callback invoked after every finished cell with
         ``(done, total, cell, source)``.
+    backend:
+        Execution backend name (see :data:`EXECUTION_BACKENDS`).
+        ``None`` (default) picks ``process`` when ``workers > 1`` and
+        ``serial`` otherwise, preserving the historical behaviour.
+    worker_id:
+        Stable identity of this worker in the ``distributed`` backend's
+        lease files (default: ``<hostname>-<pid>``).
+    lease_ttl:
+        Seconds without a heartbeat before a ``distributed`` lease is
+        considered abandoned and its cell reclaimable.
+    poll_interval:
+        Seconds the ``distributed`` backend sleeps between passes when
+        every remaining cell is leased to other workers.
+    heartbeat_interval:
+        Seconds between ``distributed`` lease heartbeats (default:
+        ``lease_ttl / 4``).
 
     Independently of the on-disk cache, the executor memoises every
     cell it runs for its own lifetime, so sweeps sharing cells within
@@ -92,16 +197,41 @@ class SweepExecutor:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        backend: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        lease_ttl: Optional[float] = None,
+        poll_interval: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend is not None:
+            EXECUTION_BACKENDS.check(backend)
+        if backend == "distributed" and cache is None:
+            raise ValueError(
+                "the distributed backend publishes results through the "
+                "shared result cache; construct the executor with a "
+                "ResultCache on a directory all workers can reach"
+            )
         self.workers = workers
         self.cache = cache
         self.progress = progress
+        self.backend = backend
+        self.worker_id = worker_id
+        self.lease_ttl = lease_ttl
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = heartbeat_interval
         #: Cumulative stats across every run() of this executor.
         self.stats = ExecutionStats()
         # In-process memo (digest -> payload) for this executor's lifetime.
         self._memo: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved backend: explicit, else implied by ``workers``."""
+        if self.backend is not None:
+            return self.backend
+        return "process" if self.workers > 1 else "serial"
 
     # ------------------------------------------------------------------
     def run(self, spec: ExperimentSpec) -> SweepResult:
@@ -130,33 +260,26 @@ class SweepExecutor:
                 continue
             pending.append(i)
 
-        def finish(i: int, payload: Dict[str, Any]) -> None:
+        def finish(
+            i: int,
+            payload: Dict[str, Any],
+            source: str = "run",
+            store: bool = True,
+        ) -> None:
             nonlocal done
             payloads[i] = payload
             self._memo[digests[i]] = payload
-            if self.cache is not None:
+            if store and self.cache is not None:
                 self.cache.store(digests[i], payload)
-            run_stats.simulated += 1
+            if source == "run":
+                run_stats.simulated += 1
+            else:
+                run_stats.cache_hits += 1
             done += 1
-            self._notify(done, total, cells[i], "run")
+            self._notify(done, total, cells[i], source)
 
-        if self.workers == 1 or len(pending) <= 1:
-            for i in pending:
-                finish(i, _execute_cell(cells[i].config.to_dict()))
-        else:
-            max_workers = min(self.workers, len(pending))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = {
-                    pool.submit(_execute_cell, cells[i].config.to_dict()): i
-                    for i in pending
-                }
-                remaining = set(futures)
-                while remaining:
-                    finished, remaining = wait(
-                        remaining, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        finish(futures[future], future.result())
+        backend = EXECUTION_BACKENDS.get(self.backend_name)()
+        backend.execute(self, cells, pending, digests, finish)
 
         results = [
             SimulationResult.from_dict(payload) for payload in payloads

@@ -9,21 +9,22 @@ Installed as ``repro-experiments``::
     repro-experiments list
     repro-experiments run --scenario flash_crowd --seeds 0 1 2
     repro-experiments profile --scenario paper --sort tottime
+    repro-experiments all --backend distributed --cache-dir /mnt/sweep-cache
+    repro-experiments worker --scale full --cache-dir /mnt/sweep-cache
 
-``list`` prints every registered component (scenarios, selection
-strategies, acceptance rules, churn mixes, codec backends, lifetime
-models, policy presets); ``run --scenario NAME`` executes a registered
-scenario preset end to end, with optional ``--population`` /
-``--rounds`` overrides; ``profile --scenario NAME`` runs the same
-simulation once under :mod:`cProfile` and prints the hottest functions
-(the profiling recipe behind the README's Performance section).
+Every command is an argparse subcommand with its own ``--help`` and a
+copy-pasteable example; ``repro-experiments --help`` lists them all.
 
-Every simulation cell goes through the sweep executor: ``--workers N``
-fans cells out over a process pool, and the on-disk result cache
-(``--cache-dir``, default ``.repro-cache``; disable with ``--no-cache``)
-makes re-runs only simulate cells whose parameters changed — running
-``all`` twice simulates nothing the second time, and figures 1 and 2
-share one threshold sweep through the cache.
+Every simulation cell goes through the sweep executor
+(:mod:`repro.exec`).  ``--workers N`` fans cells out over a process
+pool on this host; ``--backend distributed`` shards them across any
+number of worker processes — this one plus every ``repro-experiments
+worker`` pointed at the same ``--cache-dir`` (a shared mount for
+multi-host runs).  The on-disk result cache (``--cache-dir``, default
+``.repro-cache``; disable with ``--no-cache``) makes re-runs only
+simulate cells whose parameters changed — running ``all`` twice
+simulates nothing the second time, figures 1 and 2 share one threshold
+sweep, and a killed run resumes from every cell it finished.
 """
 
 from __future__ import annotations
@@ -33,7 +34,14 @@ import pathlib
 import sys
 from typing import List, Optional, Sequence
 
-from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor
+from ..exec import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_LEASE_TTL,
+    EXECUTION_BACKENDS,
+    ResultCache,
+    SweepExecutor,
+    default_worker_id,
+)
 from . import (
     ablation_adaptive,
     ablation_grace,
@@ -67,6 +75,32 @@ _SIMULATION_EXPERIMENTS = {
                           ablation_adaptive.check_shape),
 }
 
+#: Spec builders for the ``worker`` command: name -> (scale, seeds) -> spec.
+#: Workers enumerate cells from the spec alone — no artifact rendering.
+_SPEC_BUILDERS = {
+    "fig1": fig1_repairs_by_threshold.figure1_spec,
+    "fig2": fig2_losses_by_threshold.figure2_spec,
+    "fig3": fig3_observer_repairs.figure3_spec,
+    "fig4": fig4_cumulative_losses.figure4_spec,
+    "ablation-selection": ablation_selection.ablation_selection_spec,
+    "ablation-quota": ablation_quota.ablation_quota_spec,
+    "ablation-grace": ablation_grace.ablation_grace_spec,
+    "ablation-proactive": ablation_proactive.ablation_proactive_spec,
+    "ablation-adaptive": ablation_adaptive.ablation_adaptive_spec,
+}
+
+_EXPERIMENT_HELP = {
+    "fig1": "figure 1 — repair rate vs repair threshold, per age category",
+    "fig2": "figure 2 — loss rate vs repair threshold, per age category",
+    "fig3": "figure 3 — repairs seen by the five fixed-age observers",
+    "fig4": "figure 4 — cumulative losses over time",
+    "ablation-selection": "A1 — partner-selection strategy comparison",
+    "ablation-quota": "A2 — hosting-quota sweep",
+    "ablation-grace": "A3 — grace-period sweep",
+    "ablation-proactive": "A4 — reactive vs proactive repair",
+    "ablation-adaptive": "A5 — static vs adaptive thresholds",
+}
+
 
 def _positive_int(text: str) -> int:
     value = int(text)
@@ -77,59 +111,69 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description=(
-            "Regenerate the figures and tables of 'Optimizing peer-to-peer "
-            "backup using lifetime estimations' (Bernard & Le Fessant, 2009)."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_SIMULATION_EXPERIMENTS)
-        + ["tables", "all", "list", "run", "profile"],
-        help="which artifact to regenerate, 'list' for registered "
-        "components, 'run' for a scenario preset, or 'profile' to "
-        "cProfile one scenario simulation",
-    )
-    parser.add_argument(
-        "--scenario",
-        default=None,
-        help="scenario preset for the 'run' and 'profile' commands "
-        "(see 'repro-experiments list')",
-    )
-    parser.add_argument(
-        "--population",
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
+        )
+    return value
+
+
+def _executor_flags(parser: argparse.ArgumentParser) -> None:
+    """The sweep-executor knobs shared by every simulating command."""
+    group = parser.add_argument_group("execution")
+    group.add_argument(
+        "--workers",
         type=_positive_int,
-        default=None,
-        help="override the scenario's peer population "
-        "('run' and 'profile' only)",
+        default=1,
+        help="simulation cells to run concurrently in a local process "
+        "pool (results are bit-identical to a serial run; default: 1)",
     )
-    parser.add_argument(
-        "--rounds",
-        type=_positive_int,
+    group.add_argument(
+        "--backend",
+        choices=EXECUTION_BACKENDS.names(),
         default=None,
-        help="override the scenario's simulated rounds "
-        "('run' and 'profile' only)",
+        help="execution backend (default: 'process' when --workers > 1, "
+        "else 'serial'; 'distributed' shards cells across every worker "
+        "sharing --cache-dir, including 'repro-experiments worker' "
+        "processes on other hosts)",
     )
-    parser.add_argument(
-        "--sort",
-        choices=("cumulative", "tottime", "calls"),
+    group.add_argument(
+        "--worker-id",
         default=None,
-        help="profile sort order ('profile' only; default: cumulative)",
+        help="this worker's identity in distributed lease files "
+        "(default: <hostname>-<pid>)",
     )
-    parser.add_argument(
-        "--limit",
-        type=_positive_int,
+    group.add_argument(
+        "--lease-ttl",
+        type=_positive_float,
         default=None,
-        help="number of profile rows to print ('profile' only; default: 25)",
+        metavar="SECONDS",
+        help="seconds without a heartbeat before a distributed worker's "
+        f"cell lease is reclaimed (default: {DEFAULT_LEASE_TTL:g})",
     )
+    group.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="on-disk result cache directory; point every distributed "
+        "worker at one shared mount (default: %(default)s)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (incompatible with "
+        "--backend distributed)",
+    )
+
+
+def _sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the figure/ablation/'all' sweep commands."""
     parser.add_argument(
         "--scale",
         default="default",
-        help="experiment scale preset: quick, default or full",
+        help="experiment scale preset: quick (seconds), default "
+        "(minutes) or full (the paper's exact parameterisation)",
     )
     parser.add_argument(
         "--seeds",
@@ -151,34 +195,215 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--csv-dir",
         default=None,
-        help="also write <experiment>.csv files into this directory "
-        "(figures only)",
+        help="also write <experiment>.csv series files into this "
+        "directory (figures only)",
+    )
+
+
+def _scenario_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting and resizing a registered scenario preset."""
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="registered scenario preset (see 'repro-experiments list')",
     )
     parser.add_argument(
+        "--population",
+        type=_positive_int,
+        default=None,
+        help="override the scenario's peer population",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=_positive_int,
+        default=None,
+        help="override the scenario's simulated rounds",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures and tables of 'Optimizing peer-to-peer "
+            "backup using lifetime estimations' (Bernard & Le Fessant, "
+            "2009), run scenario presets, profile the engine, and shard "
+            "sweeps across local or distributed workers."
+        ),
+        epilog=(
+            "run 'repro-experiments <command> --help' for each command's "
+            "flags and a copy-pasteable example"
+        ),
+    )
+    commands = parser.add_subparsers(
+        dest="experiment",
+        metavar="command",
+        required=True,
+    )
+
+    def command(name, help_text, example, **kwargs):
+        sub = commands.add_parser(
+            name,
+            help=help_text,
+            description=help_text,
+            epilog=f"example:\n  {example}",
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+            **kwargs,
+        )
+        return sub
+
+    for name in sorted(_SIMULATION_EXPERIMENTS):
+        sub = command(
+            name,
+            f"regenerate {_EXPERIMENT_HELP[name]}",
+            f"repro-experiments {name} --scale quick --seeds 0 1 2",
+        )
+        _sweep_flags(sub)
+        _executor_flags(sub)
+
+    sub = command(
+        "all",
+        "regenerate every figure, ablation and table in one cached sweep",
+        "repro-experiments all --scale full --workers 8",
+    )
+    _sweep_flags(sub)
+    _executor_flags(sub)
+
+    sub = command(
+        "tables",
+        "print tables T1-T4 and the cost analysis (no simulation)",
+        "repro-experiments tables --markdown",
+    )
+    sub.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit Markdown tables instead of plain text",
+    )
+
+    command(
+        "list",
+        "list every registered component: scenarios, selection "
+        "strategies, acceptance rules, churn mixes, codec backends, "
+        "lifetime models, policy presets",
+        "repro-experiments list",
+    )
+
+    sub = command(
+        "run",
+        "run one registered scenario preset end to end and report its "
+        "repair/loss rates",
+        "repro-experiments run --scenario flash_crowd --seeds 0 1 2",
+    )
+    _scenario_flags(sub)
+    sub.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="replication seeds (default: the scenario's own seed)",
+    )
+    _executor_flags(sub)
+
+    sub = command(
+        "profile",
+        "cProfile one scenario simulation and print the hottest "
+        "functions (no executor, no cache: pure engine hot loop)",
+        "repro-experiments profile --scenario paper --sort tottime --limit 20",
+    )
+    _scenario_flags(sub)
+    sub.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default=None,
+        help="profile sort order (default: cumulative)",
+    )
+    sub.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        help="number of profile rows to print (default: 25)",
+    )
+
+    sub = command(
+        "worker",
+        "drain sweep cells from a shared cache directory: claim unowned "
+        "cells via lease files, simulate them, publish the results; "
+        "run any number of these (across hosts) next to "
+        "'all --backend distributed'",
+        "repro-experiments worker --scale full --cache-dir /mnt/sweep-cache "
+        "--worker-id $(hostname)",
+    )
+    sub.add_argument(
+        "--scale",
+        default="default",
+        help="experiment scale preset the coordinating sweep uses: "
+        "quick, default or full",
+    )
+    sub.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="replication seeds (must match the coordinating sweep; "
+        "default: the scale preset's seeds)",
+    )
+    sub.add_argument(
+        "--experiments",
+        nargs="+",
+        choices=sorted(_SIMULATION_EXPERIMENTS),
+        default=None,
+        metavar="NAME",
+        help="experiments whose cells to drain (default: all of them)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="shared result-cache directory — the same path (mount) "
+        "every participating worker uses (default: %(default)s)",
+    )
+    sub.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
-        help="simulation cells to run concurrently (process pool; "
-        "results are bit-identical to a serial run)",
+        help="cells this worker claims and simulates concurrently on "
+        "a local process pool (default: 1)",
     )
-    parser.add_argument(
-        "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
-        help="on-disk result cache directory (re-runs only simulate "
-        "cells whose parameters changed)",
+    sub.add_argument(
+        "--worker-id",
+        default=None,
+        help="this worker's identity in lease files "
+        "(default: <hostname>-<pid>)",
     )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the on-disk result cache",
+    sub.add_argument(
+        "--lease-ttl",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds without a heartbeat before another worker's cell "
+        f"lease is reclaimed (default: {DEFAULT_LEASE_TTL:g})",
     )
+
     return parser
 
 
 def build_executor(args: argparse.Namespace) -> SweepExecutor:
     """The sweep executor implied by the parsed CLI arguments."""
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return SweepExecutor(workers=args.workers, cache=cache)
+    no_cache = getattr(args, "no_cache", False)
+    if getattr(args, "backend", None) == "distributed" and no_cache:
+        raise SystemExit(
+            "repro-experiments: error: --backend distributed publishes "
+            "results through the shared cache; drop --no-cache and point "
+            "--cache-dir at a directory every worker shares"
+        )
+    cache = None if no_cache else ResultCache(args.cache_dir)
+    return SweepExecutor(
+        workers=getattr(args, "workers", 1),
+        cache=cache,
+        backend=getattr(args, "backend", None),
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+    )
 
 
 def render_component_list() -> str:
@@ -213,6 +438,9 @@ def render_component_list() -> str:
     for name in CODEC_BACKENDS.names():
         marker = " (default)" if name == DEFAULT_BACKEND else ""
         lines.append(f"  {name}{marker}")
+
+    lines.append("execution backends:")
+    lines.extend(f"  {name}" for name in EXECUTION_BACKENDS.names())
 
     lines.append("lifetime models:")
     lines.extend(f"  {name}" for name in LIFETIME_MODELS.names())
@@ -257,12 +485,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
         for name in sorted(observer_totals):
             mean = sum(r.observer_totals().get(name, 0) for r in sweep.results) / count
             print(f"  {name}: {mean:.1f}")
-    stats = executor.stats
-    print(
-        f"[executor] {stats.cells} cells: {stats.simulated} simulated, "
-        f"{stats.cache_hits} from cache "
-        f"({executor.workers} worker(s), {stats.wall_clock_seconds:.1f}s)"
-    )
+    _print_executor_summary(executor)
     return 0
 
 
@@ -328,6 +551,50 @@ def _run_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_worker(args: argparse.Namespace) -> int:
+    """The ``worker`` command: drain distributed cells, publish, exit.
+
+    The worker rebuilds the same specs the coordinating sweep runs
+    (same scale, same seeds), then executes them through the
+    ``distributed`` backend: cells already published are skipped, free
+    cells are leased and simulated, and cells being computed elsewhere
+    are left alone unless their lease expires.  The worker exits once
+    every cell of its spec list has a published result, so it is safe
+    to start workers before, alongside or after the coordinator.
+    """
+    scale = scale_by_name(args.scale)
+    names = args.experiments or sorted(_SIMULATION_EXPERIMENTS)
+    seeds = tuple(args.seeds) if args.seeds else ()
+    worker_id = args.worker_id or default_worker_id()
+    executor = SweepExecutor(
+        workers=args.workers,
+        cache=ResultCache(args.cache_dir),
+        backend="distributed",
+        worker_id=worker_id,
+        lease_ttl=args.lease_ttl,
+    )
+    for name in names:
+        spec = _SPEC_BUILDERS[name](scale=scale, seeds=seeds)
+        print(f"[worker {worker_id}] {name}: {spec.cell_count} cells")
+        sweep = executor.run(spec)
+        print(
+            f"[worker {worker_id}] {name} drained: "
+            f"{sweep.stats.simulated} simulated, "
+            f"{sweep.stats.cache_hits} already published"
+        )
+    _print_executor_summary(executor)
+    return 0
+
+
+def _print_executor_summary(executor: SweepExecutor) -> None:
+    stats = executor.stats
+    print(
+        f"[executor] {stats.cells} cells: {stats.simulated} simulated, "
+        f"{stats.cache_hits} from cache "
+        f"({executor.workers} worker(s), {stats.wall_clock_seconds:.1f}s)"
+    )
+
+
 def _run_one(
     name: str,
     scale,
@@ -362,36 +629,8 @@ def _run_one(
     return problems
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-
-    if args.experiment not in ("run", "profile") and (
-        args.scenario is not None
-        or args.population is not None
-        or args.rounds is not None
-    ):
-        parser.error(
-            "--scenario/--population/--rounds apply only to the "
-            "'run' and 'profile' commands"
-        )
-    if args.experiment != "profile" and (
-        args.sort is not None or args.limit is not None
-    ):
-        parser.error("--sort/--limit apply only to the 'profile' command")
-
-    if args.experiment == "tables":
-        print(tables.render_all(markdown=args.markdown))
-        return 0
-    if args.experiment == "list":
-        print(render_component_list())
-        return 0
-    if args.experiment == "run":
-        return _run_scenario(args)
-    if args.experiment == "profile":
-        return _run_profile(args)
-
+def _run_sweeps(args: argparse.Namespace) -> int:
+    """The figure/ablation/'all' commands: cached sweeps plus reports."""
     scale = scale_by_name(args.scale)
     executor = build_executor(args)
     names = (
@@ -416,13 +655,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
     if args.experiment == "all":
         print(tables.render_all(markdown=args.markdown))
-    stats = executor.stats
-    print(
-        f"[executor] {stats.cells} cells: {stats.simulated} simulated, "
-        f"{stats.cache_hits} from cache "
-        f"({executor.workers} worker(s), {stats.wall_clock_seconds:.1f}s)"
-    )
+    _print_executor_summary(executor)
     return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "tables":
+        print(tables.render_all(markdown=args.markdown))
+        return 0
+    if args.experiment == "list":
+        print(render_component_list())
+        return 0
+    if args.experiment == "run":
+        return _run_scenario(args)
+    if args.experiment == "profile":
+        return _run_profile(args)
+    if args.experiment == "worker":
+        return _run_worker(args)
+    return _run_sweeps(args)
 
 
 if __name__ == "__main__":

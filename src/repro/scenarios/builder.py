@@ -199,8 +199,11 @@ class Scenario:
         """This scenario as a gridless :class:`~repro.exec.spec.ExperimentSpec`.
 
         The executor applies ``.with_seed(seed)`` per replication, so
-        the scenario runs through the same cached, parallel machinery
-        as every figure sweep.
+        the scenario runs through the same cached machinery as every
+        figure sweep — including any execution backend (``serial``,
+        ``process``, or ``distributed`` across hosts sharing a cache
+        directory; ``repro-experiments run --scenario NAME --backend
+        distributed`` is this method plus a ``SweepExecutor``).
         """
         from ..exec.spec import ExperimentSpec
 

@@ -8,6 +8,8 @@ cache round trip.
 import pytest
 
 from repro.exec import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
     ExperimentSpec,
     ResultCache,
     SweepExecutor,
@@ -64,6 +66,49 @@ class TestBackendDeterminism:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             SweepExecutor(workers=0)
+
+
+class TestBackendRegistry:
+    def test_shipped_backends_registered(self):
+        for name in ("serial", "process", "distributed"):
+            assert name in EXECUTION_BACKENDS
+            assert issubclass(EXECUTION_BACKENDS.get(name), ExecutionBackend)
+
+    def test_backend_resolution_follows_worker_count(self):
+        assert SweepExecutor().backend_name == "serial"
+        assert SweepExecutor(workers=4).backend_name == "process"
+
+    def test_explicit_backend_overrides_worker_count(self):
+        assert SweepExecutor(workers=4, backend="serial").backend_name == "serial"
+
+    def test_unknown_backend_rejected_with_choices(self):
+        with pytest.raises(ValueError) as error:
+            SweepExecutor(backend="carrier-pigeon")
+        assert "serial" in str(error.value)
+
+    def test_explicit_serial_backend_runs(self):
+        sweep = SweepExecutor(backend="serial").run(small_spec())
+        assert sweep.stats.simulated == 4
+
+    def test_user_registered_backend_is_resolved(self):
+        calls = []
+
+        @EXECUTION_BACKENDS.register("recording-serial")
+        class RecordingSerial(ExecutionBackend):
+            name = "recording-serial"
+
+            def execute(self, executor, cells, pending, digests, finish):
+                calls.append(len(pending))
+                EXECUTION_BACKENDS.get("serial")().execute(
+                    executor, cells, pending, digests, finish
+                )
+
+        try:
+            sweep = SweepExecutor(backend="recording-serial").run(small_spec())
+        finally:
+            EXECUTION_BACKENDS.unregister("recording-serial")
+        assert calls == [4]
+        assert sweep.stats.simulated == 4
 
 
 class TestCache:

@@ -165,3 +165,122 @@ class TestRunCommand:
         assert main(argv) == 0
         second = capsys.readouterr().out.rsplit("[executor]", 1)[1]
         assert "1 from cache" in second
+
+
+class TestDistributedCLI:
+    def test_backend_flags_parse(self):
+        args = build_parser().parse_args(
+            ["all", "--backend", "distributed",
+             "--worker-id", "host1", "--lease-ttl", "5"]
+        )
+        assert args.backend == "distributed"
+        assert args.worker_id == "host1"
+        assert args.lease_ttl == 5.0
+
+    def test_backend_defaults_to_auto(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.backend is None
+        assert args.worker_id is None
+        assert args.lease_ttl is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["all", "--backend", "carrier-pigeon"])
+
+    def test_build_executor_passes_backend(self, tmp_path):
+        args = build_parser().parse_args(
+            ["all", "--backend", "distributed", "--cache-dir", str(tmp_path)]
+        )
+        executor = build_executor(args)
+        assert executor.backend_name == "distributed"
+
+    def test_distributed_without_cache_rejected(self, tmp_path):
+        # A clean CLI error, not a SweepExecutor traceback.
+        args = build_parser().parse_args(
+            ["all", "--backend", "distributed", "--no-cache"]
+        )
+        with pytest.raises(SystemExit) as error:
+            build_executor(args)
+        assert "--no-cache" in str(error.value)
+
+    def test_run_scenario_distributed_end_to_end(self, capsys, tmp_path):
+        code = main([
+            "run", "--scenario", "slow_decay",
+            "--population", "60", "--rounds", "200",
+            "--cache-dir", str(tmp_path), "--backend", "distributed",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "1 simulated" in output
+        # The distributed run published through the shared cache; a
+        # serial re-run over the same cache resolves without simulating.
+        code = main([
+            "run", "--scenario", "slow_decay",
+            "--population", "60", "--rounds", "200",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "1 from cache" in capsys.readouterr().out
+
+
+class TestWorkerCommand:
+    def test_worker_flags_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["worker", "--scale", "quick", "--cache-dir", str(tmp_path),
+             "--worker-id", "w7", "--experiments", "fig3", "fig4",
+             "--seeds", "0", "1", "--lease-ttl", "10", "--workers", "4"]
+        )
+        assert args.experiment == "worker"
+        assert args.scale == "quick"
+        assert args.worker_id == "w7"
+        assert args.experiments == ["fig3", "fig4"]
+        assert args.seeds == [0, 1]
+        assert args.lease_ttl == 10.0
+        assert args.workers == 4
+
+    def test_worker_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "--experiments", "fig9"])
+
+    def test_worker_has_no_no_cache_flag(self):
+        # A worker without a shared cache cannot publish anything.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "--no-cache"])
+
+    @pytest.mark.slow
+    def test_worker_drains_and_second_worker_finds_nothing(
+        self, capsys, tmp_path
+    ):
+        argv = [
+            "worker", "--scale", "quick", "--experiments", "fig4",
+            "--cache-dir", str(tmp_path), "--worker-id", "w1",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "fig4: 2 cells" in first
+        assert "2 simulated" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated" in second
+        # The published cells now serve the coordinating sweep too.
+        assert main([
+            "fig4", "--scale", "quick", "--cache-dir", str(tmp_path),
+        ]) == 0
+        coordinated = capsys.readouterr().out.rsplit("[executor]", 1)[1]
+        assert "0 simulated" in coordinated
+
+
+class TestSubcommandHelp:
+    def test_every_command_has_an_example_epilog(self, capsys):
+        for name in (
+            "fig1", "fig2", "fig3", "fig4", "ablation-selection",
+            "ablation-quota", "ablation-grace", "ablation-proactive",
+            "ablation-adaptive", "tables", "all", "list", "run",
+            "profile", "worker",
+        ):
+            with pytest.raises(SystemExit) as exit_info:
+                build_parser().parse_args([name, "--help"])
+            assert exit_info.value.code == 0
+            output = capsys.readouterr().out
+            assert "example:" in output
+            assert f"repro-experiments {name}" in output
