@@ -9,7 +9,11 @@ executor and analysis cost.  Two sizes of the ``paper`` scenario preset:
 * ``default-scale`` — the ISSUE-3 acceptance workload (the ``paper``
   preset at the ``default`` experiment scale: 800 peers, 14 000 rounds),
   the configuration whose wall clock ``BENCH_engine.json`` tracks
-  commit over commit.
+  commit over commit;
+* ``protocol-quick`` — the same ``quick`` workload at the ``protocol``
+  fidelity (PR 5): every repair is a real store/fetch exchange gated by
+  the bandwidth model, so this tracks the message-level overhead
+  relative to the abstract fast path.
 
 Run with ``--bench-json BENCH_engine.json`` to append trajectory
 records (see ``conftest.py`` for the format).
@@ -29,6 +33,21 @@ def test_engine_paper_quick(run_once):
     result = run_once(run_simulation, config)
     assert result.final_round == 3000
     assert result.metrics.total_placements > 0
+
+
+@pytest.mark.scenario("paper-protocol-quick")
+def test_engine_paper_protocol_quick(run_once):
+    config = (
+        scenario_by_name("paper")
+        .with_population(250)
+        .with_rounds(3000)
+        .with_fidelity("protocol")
+        .build()
+    )
+    result = run_once(run_simulation, config)
+    assert result.final_round == 3000
+    assert result.metrics.protocol["transfers_completed"] > 0
+    assert result.metrics.total_repairs > 0
 
 
 @pytest.mark.scenario("paper-default-scale")

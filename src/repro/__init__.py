@@ -44,11 +44,14 @@ try:
         scenario_by_name,
     )
     from .sim import (
+        FIDELITY_BACKENDS,
         PAPER_OBSERVERS,
         ObserverSpec,
+        ProtocolSimulation,
         Simulation,
         SimulationConfig,
         SimulationResult,
+        available_fidelities,
         run_simulation,
     )
 except ImportError as _exc:  # pragma: no cover - exercised with numpy blocked
@@ -80,11 +83,14 @@ _ALL_CANDIDATES = [
     "scenario_by_name",
     "CostModel",
     "paper_cost_table",
+    "FIDELITY_BACKENDS",
     "PAPER_OBSERVERS",
     "ObserverSpec",
+    "ProtocolSimulation",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "available_fidelities",
     "run_simulation",
     "__version__",
 ]

@@ -48,6 +48,7 @@ from . import (
     ablation_proactive,
     ablation_quota,
     ablation_selection,
+    fidelity_compare,
     fig1_repairs_by_threshold,
     fig2_losses_by_threshold,
     fig3_observer_repairs,
@@ -73,6 +74,8 @@ _SIMULATION_EXPERIMENTS = {
     "ablation-proactive": (ablation_proactive.run_ablation_proactive, None),
     "ablation-adaptive": (ablation_adaptive.run_ablation_adaptive,
                           ablation_adaptive.check_shape),
+    "fig-fidelity": (fidelity_compare.run_fidelity_compare,
+                     fidelity_compare.check_shape),
 }
 
 #: Spec builders for the ``worker`` command: name -> (scale, seeds) -> spec.
@@ -87,6 +90,7 @@ _SPEC_BUILDERS = {
     "ablation-grace": ablation_grace.ablation_grace_spec,
     "ablation-proactive": ablation_proactive.ablation_proactive_spec,
     "ablation-adaptive": ablation_adaptive.ablation_adaptive_spec,
+    "fig-fidelity": fidelity_compare.fidelity_compare_spec,
 }
 
 _EXPERIMENT_HELP = {
@@ -99,6 +103,8 @@ _EXPERIMENT_HELP = {
     "ablation-grace": "A3 — grace-period sweep",
     "ablation-proactive": "A4 — reactive vs proactive repair",
     "ablation-adaptive": "A5 — static vs adaptive thresholds",
+    "fig-fidelity": "abstract vs protocol fidelity: loss/repair curves "
+                    "from one spec on the paper workload",
 }
 
 
@@ -218,6 +224,14 @@ def _scenario_flags(parser: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=None,
         help="override the scenario's simulated rounds",
+    )
+    parser.add_argument(
+        "--fidelity",
+        default=None,
+        help="override the scenario's simulation backend: 'abstract' "
+        "(counters, the figures' fast path) or 'protocol' (real "
+        "store/fetch exchanges gated by the bandwidth model); see "
+        "'repro-experiments list'",
     )
 
 
@@ -414,7 +428,11 @@ def render_component_list() -> str:
     from ..core.policy import POLICY_PRESETS
     from ..core.selection import SELECTION_STRATEGIES
     from ..erasure.matrix import CODEC_BACKENDS, DEFAULT_BACKEND
+    from ..net.bandwidth import KILOBYTE, LINK_PROFILES
     from ..scenarios import SCENARIOS
+    from ..sim.fidelity import FIDELITY_BACKENDS, available_fidelities
+
+    available_fidelities()  # force built-in backend registration
 
     lines: List[str] = []
 
@@ -441,6 +459,18 @@ def render_component_list() -> str:
 
     lines.append("execution backends:")
     lines.extend(f"  {name}" for name in EXECUTION_BACKENDS.names())
+
+    lines.append("fidelity backends:")
+    for name in FIDELITY_BACKENDS.names():
+        marker = " (default)" if name == "abstract" else ""
+        lines.append(f"  {name}{marker}")
+
+    lines.append("link profiles:")
+    for name, link in LINK_PROFILES.items():
+        lines.append(
+            f"  {name} ({link.download_bps // KILOBYTE} kB/s down, "
+            f"{link.upload_bps // KILOBYTE} kB/s up)"
+        )
 
     lines.append("lifetime models:")
     lines.extend(f"  {name}" for name in LIFETIME_MODELS.names())
@@ -514,6 +544,8 @@ def _resolve_scenario(args: argparse.Namespace, command: str):
         scenario = scenario.with_population(args.population)
     if args.rounds is not None:
         scenario = scenario.with_rounds(args.rounds)
+    if getattr(args, "fidelity", None) is not None:
+        scenario = scenario.with_fidelity(args.fidelity)
     return scenario
 
 

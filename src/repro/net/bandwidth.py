@@ -16,7 +16,10 @@ keeping the per-archive repair rate below roughly one per month.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..registry import Registry
 
 #: One kilobyte/megabyte in bytes, as the paper uses kB/MB units.
 KILOBYTE = 1024
@@ -50,6 +53,15 @@ MODERN_DSL = LinkProfile(
 FTTH = LinkProfile(
     download_bps=12_500 * KILOBYTE, upload_bps=12_500 * KILOBYTE, name="ftth"
 )
+
+#: Registry of access-link profiles.  ``SimulationConfig.link_profile``
+#: names resolve here, so a custom link registers like any component::
+#:
+#:     LINK_PROFILES.register("satellite", LinkProfile(..., name="satellite"))
+LINK_PROFILES: Registry[LinkProfile] = Registry("link profile")
+LINK_PROFILES.register(PAPER_DSL.name, PAPER_DSL)
+LINK_PROFILES.register(MODERN_DSL.name, MODERN_DSL)
+LINK_PROFILES.register(FTTH.name, FTTH)
 
 
 @dataclass(frozen=True)
@@ -144,6 +156,115 @@ class CostModel:
     def restore_cost_seconds(self) -> float:
         """Download of ``k`` blocks to restore an archive."""
         return self.archive_size / self.link.download_bps
+
+
+@dataclass
+class ScheduledTransfer:
+    """One transfer occupying a peer's access link for ``seconds``.
+
+    ``start_second`` already accounts for queueing behind the peer's
+    earlier transfers; ``finish_second`` is when the link frees up.
+    """
+
+    peer_id: int
+    seconds: float
+    start_second: float
+    cancelled: bool = field(default=False, compare=False)
+
+    @property
+    def finish_second(self) -> float:
+        """Simulation second the transfer completes."""
+        return self.start_second + self.seconds
+
+    def queue_delay(self, requested_second: float) -> float:
+        """Seconds spent waiting for the link before the transfer began."""
+        return self.start_second - requested_second
+
+
+class LinkScheduler:
+    """Serialises each peer's transfers on its access link.
+
+    The cost model above prices one transfer in isolation; under churn a
+    peer's repairs can overlap, and the paper's feasibility argument
+    (at most ~20 repairs/day of link time) only holds if concurrent
+    transfers *queue* rather than magically sharing the link.  The
+    scheduler keeps one ``busy_until`` watermark per peer: a new
+    transfer starts at ``max(now, busy_until)`` and pushes the watermark
+    to its finish, which yields both the completion time (for the event
+    clock) and the queueing delay (a protocol-fidelity metric).
+
+    When a peer departs mid-transfer, :meth:`cancel_peer` drops its
+    queued transfers and releases the link immediately — capacity never
+    leaks to a dead peer (see ``tests/net/test_bandwidth.py``).
+    """
+
+    def __init__(self, round_seconds: float = 3600.0):
+        if round_seconds <= 0:
+            raise ValueError("round_seconds must be positive")
+        self.round_seconds = float(round_seconds)
+        self._busy_until: Dict[int, float] = {}
+        self._active: Dict[int, List[ScheduledTransfer]] = {}
+
+    def schedule(
+        self, peer_id: int, seconds: float, now_round: int
+    ) -> ScheduledTransfer:
+        """Enqueue a transfer of ``seconds`` on ``peer_id``'s link."""
+        if seconds < 0:
+            raise ValueError("transfer duration cannot be negative")
+        now_second = now_round * self.round_seconds
+        start = max(now_second, self._busy_until.get(peer_id, 0.0))
+        transfer = ScheduledTransfer(
+            peer_id=peer_id, seconds=seconds, start_second=start
+        )
+        self._busy_until[peer_id] = transfer.finish_second
+        self._active.setdefault(peer_id, []).append(transfer)
+        return transfer
+
+    def round_for(self, finish_second: float, now_round: int) -> int:
+        """The round a transfer finishing at ``finish_second`` completes.
+
+        Rounds are the engine's clock granularity; a transfer shorter
+        than a round still lands in the next round, matching the
+        abstract engine's repairs-execute-next-round semantics.
+        """
+        completed = int(math.ceil(finish_second / self.round_seconds))
+        return max(completed, now_round + 1)
+
+    def finish_round(self, transfer: ScheduledTransfer, now_round: int) -> int:
+        """:meth:`round_for` of one transfer's own finish time."""
+        return self.round_for(transfer.finish_second, now_round)
+
+    def complete(self, transfer: ScheduledTransfer) -> None:
+        """Mark a transfer done (drops it from the active index)."""
+        active = self._active.get(transfer.peer_id)
+        if active is None:
+            return
+        try:
+            active.remove(transfer)
+        except ValueError:
+            return
+        if not active:
+            del self._active[transfer.peer_id]
+
+    def cancel_peer(self, peer_id: int) -> List[ScheduledTransfer]:
+        """The peer left: cancel its transfers, release its link.
+
+        Returns the cancelled transfers (flagged ``cancelled``) so the
+        caller can account for the wasted link time.
+        """
+        cancelled = self._active.pop(peer_id, [])
+        for transfer in cancelled:
+            transfer.cancelled = True
+        self._busy_until.pop(peer_id, None)
+        return cancelled
+
+    def busy_until(self, peer_id: int) -> float:
+        """Simulation second the peer's link frees up (0.0 when idle)."""
+        return self._busy_until.get(peer_id, 0.0)
+
+    def in_flight(self) -> int:
+        """Number of transfers currently scheduled and not completed."""
+        return sum(len(active) for active in self._active.values())
 
 
 def paper_cost_table() -> dict:

@@ -25,6 +25,26 @@ class TransportError(Exception):
     """Raised when a message cannot be delivered."""
 
 
+class UnknownEndpointError(TransportError):
+    """The peer id was never registered on this transport."""
+
+
+class DepartedEndpointError(TransportError):
+    """The peer id was registered once but has left the system.
+
+    Distinguished from :class:`UnknownEndpointError` because the two
+    mean different things under churn: an unknown id is a programming
+    error (nobody handed out that address), while a departed id is the
+    routine fate of every partner — callers such as the protocol
+    simulation backend treat it exactly like a timeout in the real
+    system.
+    """
+
+
+class OfflineEndpointError(TransportError):
+    """The endpoint exists but is currently unreachable (offline)."""
+
+
 @dataclass
 class TrafficStats:
     """Byte and message counters for one endpoint."""
@@ -57,6 +77,7 @@ class InMemoryTransport:
 
     def __init__(self):
         self._endpoints: Dict[int, Endpoint] = {}
+        self._departed: set = set()
         self._log: List[Message] = []
         self.record_log = False
 
@@ -64,18 +85,33 @@ class InMemoryTransport:
         """Attach an endpoint; replaces any previous registration."""
         endpoint = Endpoint(peer_id=peer_id, handler=handler)
         self._endpoints[peer_id] = endpoint
+        self._departed.discard(peer_id)
         return endpoint
 
     def unregister(self, peer_id: int) -> None:
-        """Remove an endpoint (the peer left the system)."""
-        self._endpoints.pop(peer_id, None)
+        """Remove an endpoint (the peer left the system definitively).
+
+        Later deliveries to the id raise :class:`DepartedEndpointError`
+        rather than the unknown-endpoint error, so callers can tell a
+        churned-out partner from a bad address.
+        """
+        if self._endpoints.pop(peer_id, None) is not None:
+            self._departed.add(peer_id)
+
+    def _lookup(self, peer_id: int, role: str) -> Endpoint:
+        """Resolve an endpoint, raising the precise typed error."""
+        endpoint = self._endpoints.get(peer_id)
+        if endpoint is not None:
+            return endpoint
+        if peer_id in self._departed:
+            raise DepartedEndpointError(
+                f"{role} {peer_id} has left the system"
+            )
+        raise UnknownEndpointError(f"unknown {role} {peer_id}")
 
     def set_online(self, peer_id: int, online: bool) -> None:
         """Toggle an endpoint's reachability."""
-        endpoint = self._endpoints.get(peer_id)
-        if endpoint is None:
-            raise TransportError(f"unknown endpoint {peer_id}")
-        endpoint.online = online
+        self._lookup(peer_id, "endpoint").online = online
 
     def is_online(self, peer_id: int) -> bool:
         """Whether a peer is currently reachable."""
@@ -85,20 +121,21 @@ class InMemoryTransport:
     def send(self, message: Message) -> Optional[Message]:
         """Deliver a message and return the recipient's synchronous reply.
 
-        Raises :class:`TransportError` when either end is unknown or the
-        recipient is offline — exactly the failure a monitoring probe or
-        block fetch observes under churn.
+        Raises a typed :class:`TransportError` subclass when either end
+        cannot deliver — exactly the failure a monitoring probe or block
+        fetch observes under churn: :class:`DepartedEndpointError` for a
+        peer that left the system, :class:`UnknownEndpointError` for an
+        address that never existed, :class:`OfflineEndpointError` for a
+        peer that is merely disconnected.
         """
-        sender = self._endpoints.get(message.sender)
-        if sender is None:
-            raise TransportError(f"unknown sender {message.sender}")
+        sender = self._lookup(message.sender, "sender")
         if not sender.online:
-            raise TransportError(f"sender {message.sender} is offline")
-        recipient = self._endpoints.get(message.recipient)
-        if recipient is None:
-            raise TransportError(f"unknown recipient {message.recipient}")
+            raise OfflineEndpointError(f"sender {message.sender} is offline")
+        recipient = self._lookup(message.recipient, "recipient")
         if not recipient.online:
-            raise TransportError(f"recipient {message.recipient} is offline")
+            raise OfflineEndpointError(
+                f"recipient {message.recipient} is offline"
+            )
 
         size = _payload_size(message)
         sender.stats.messages_sent += 1
@@ -128,10 +165,7 @@ class InMemoryTransport:
 
     def stats_for(self, peer_id: int) -> TrafficStats:
         """Traffic counters of one endpoint."""
-        endpoint = self._endpoints.get(peer_id)
-        if endpoint is None:
-            raise TransportError(f"unknown endpoint {peer_id}")
-        return endpoint.stats
+        return self._lookup(peer_id, "endpoint").stats
 
     @property
     def log(self) -> List[Message]:

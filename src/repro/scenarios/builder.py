@@ -31,6 +31,7 @@ from ..churn.profiles import CHURN_MIXES, Profile, validate_mix
 from ..core.acceptance import ACCEPTANCE_RULES
 from ..core.policy import scaled_threshold
 from ..core.selection import SELECTION_STRATEGIES
+from ..net.bandwidth import LINK_PROFILES
 from ..sim.config import ObserverSpec, SimulationConfig
 
 #: Either a registered mix name or an explicit profile tuple.
@@ -174,6 +175,32 @@ class Scenario:
         """Toggle per-peer adaptive repair thresholds (ablation A5)."""
         return self._derive(adaptive_thresholds=enabled)
 
+    def with_fidelity(self, fidelity: str) -> "Scenario":
+        """Swap the simulation backend (registered fidelity name).
+
+        ``"abstract"`` is the fast counter-flipping engine behind the
+        figures; ``"protocol"`` executes repairs as real store/fetch
+        exchanges gated by the bandwidth model.  Any scenario runs at
+        any fidelity — the churn trajectory is shared.
+        """
+        from ..sim.fidelity import check_fidelity
+
+        check_fidelity(fidelity)
+        return self._derive(fidelity=fidelity)
+
+    def with_link(self, link_profile: str) -> "Scenario":
+        """Set the access-link profile gating protocol-mode transfers."""
+        LINK_PROFILES.check(link_profile)
+        return self._derive(link_profile=link_profile)
+
+    def with_archive_bytes(self, archive_bytes: int) -> "Scenario":
+        """Set the per-archive size the protocol cost model prices."""
+        return self._derive(archive_bytes=archive_bytes)
+
+    def with_fairness(self, fairness_factor: Optional[float]) -> "Scenario":
+        """Enable (or disable, with ``None``) protocol-mode fairness caps."""
+        return self._derive(fairness_factor=fairness_factor)
+
     def observers(self, specs: Sequence[ObserverSpec]) -> "Scenario":
         """Attach fixed-age observer peers (paper section 4.2.2)."""
         return self._derive(observers=tuple(specs))
@@ -230,6 +257,16 @@ class Scenario:
         ]
         if self.description:
             lines.insert(1, f"  {self.description}")
+        if config.fidelity != "abstract":
+            fairness = (
+                f" fairness={config.fairness_factor:g}"
+                if config.fairness_factor is not None
+                else ""
+            )
+            lines.append(
+                f"  fidelity={config.fidelity} link={config.link_profile} "
+                f"archive={config.archive_bytes // (1024 * 1024)}MB{fairness}"
+            )
         if config.observers:
             names = ", ".join(spec.name for spec in config.observers)
             lines.append(f"  observers: {names}")

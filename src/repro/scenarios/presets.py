@@ -115,3 +115,34 @@ register_scenario(
     .with_churn("slow_decay")
     .with_selection("availability")
 )
+
+# ----------------------------------------------------------------------
+# Protocol-fidelity presets (PR 5): the same engine surface, but repairs
+# execute as real store/fetch exchanges with bandwidth-gated completion.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    _base(population=300, rounds=3000)
+    .named(
+        "constrained_uplink",
+        "protocol fidelity on the paper's DSL uplink with 512 MB archives: "
+        "repairs queue for the link and completion lags detection",
+    )
+    .with_churn("paper")
+    .with_fidelity("protocol")
+    .with_link("paper-dsl")
+    .with_archive_bytes(512 * 1024 * 1024)
+)
+
+register_scenario(
+    _base(population=300, rounds=3000)
+    .named(
+        "unfair_freeriders",
+        "protocol fidelity with the fairness caps enforced (pairwise "
+        "ledger + global policy): peers that host little get their "
+        "repairs refused",
+    )
+    .with_churn("flash_crowd")
+    .with_fidelity("protocol")
+    .with_fairness(1.0)
+)

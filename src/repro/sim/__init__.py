@@ -1,8 +1,11 @@
 """Round-based peer-to-peer simulator (the PeerSim substitute)."""
 
 from .config import PAPER_OBSERVERS, ObserverSpec, SimulationConfig
+from .driver import SimulationDriver
 from .engine import Simulation, SimulationResult, run_simulation
 from .events import Event, EventKind, EventQueue
+from .fidelity import FIDELITY_BACKENDS, available_fidelities, simulation_for
+from .protocol import ProtocolSimulation
 from .metrics import CategoryCounters, MetricsCollector, SeriesPoint
 from .network import Population, SampleableSet
 from .observers import build_observer_peer, observer_table, scaled_observers
@@ -14,7 +17,12 @@ __all__ = [
     "ObserverSpec",
     "SimulationConfig",
     "Simulation",
+    "SimulationDriver",
     "SimulationResult",
+    "ProtocolSimulation",
+    "FIDELITY_BACKENDS",
+    "available_fidelities",
+    "simulation_for",
     "run_simulation",
     "Event",
     "EventKind",

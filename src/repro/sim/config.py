@@ -18,6 +18,12 @@ from ..core.acceptance import ACCEPTANCE_RULES, DEFAULT_AGE_CAP
 from ..core.categories import DEFAULT_SCHEME, CategoryScheme
 from ..core.policy import RepairPolicy, scaled_threshold
 from ..core.selection import SELECTION_STRATEGIES
+from ..net.bandwidth import LINK_PROFILES, MEGABYTE
+
+#: The fidelity whose serialized form is the historical one.  Configs at
+#: this fidelity omit every fidelity-related key from ``to_dict`` so
+#: their cache digests stay byte-identical across releases.
+DEFAULT_FIDELITY = "abstract"
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,22 @@ class SimulationConfig:
     staggered_join_rounds: int = 0   # 0 = everyone joins at round 0
     proactive_rate: float = 0.0      # A4: extra blocks per round per archive
     adaptive_thresholds: bool = False  # A5: per-peer threshold adaptation (paper future work)
+    # --- fidelity backend (PR 5) -----------------------------------------
+    #: Which simulation backend executes the run: "abstract" (peers as
+    #: counters, repairs instantaneous) or "protocol" (repairs as real
+    #: message exchanges with bandwidth-gated completion).  Resolved
+    #: through ``repro.sim.fidelity.FIDELITY_BACKENDS``.
+    fidelity: str = DEFAULT_FIDELITY
+    #: Access-link profile gating protocol-mode transfer times
+    #: (``repro.net.bandwidth.LINK_PROFILES`` name).
+    link_profile: str = "paper-dsl"
+    #: Wall-clock seconds per simulation round (the paper: one hour).
+    round_seconds: int = 3600
+    #: Bytes per archive for the protocol-mode cost model (paper: 128 MB).
+    archive_bytes: int = 128 * MEGABYTE
+    #: Pairwise-exchange fairness cap enforced by protocol-mode block
+    #: stores (``None`` disables enforcement; see repro.backup.fairness).
+    fairness_factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.population <= 0:
@@ -125,11 +147,23 @@ class SimulationConfig:
             raise ValueError("staggered_join_rounds cannot be negative")
         if self.proactive_rate < 0:
             raise ValueError("proactive_rate cannot be negative")
+        if self.round_seconds <= 0:
+            raise ValueError("round_seconds must be positive")
+        if self.archive_bytes <= 0:
+            raise ValueError("archive_bytes must be positive")
+        if self.fairness_factor is not None and self.fairness_factor <= 0:
+            raise ValueError("fairness_factor must be positive (or None)")
         # Component names resolve through the registries, so a typo (or a
         # strategy that was never registered) fails here with the list of
         # valid choices instead of deep inside Simulation._setup.
         SELECTION_STRATEGIES.check(self.selection_strategy)
         ACCEPTANCE_RULES.check(self.acceptance_rule)
+        LINK_PROFILES.check(self.link_profile)
+        # Imported lazily: the fidelity registry's built-in backends live
+        # in modules that themselves import this one.
+        from .fidelity import check_fidelity
+
+        check_fidelity(self.fidelity)
         validate_mix(self.profiles)
 
     def policy(self) -> RepairPolicy:
@@ -152,8 +186,14 @@ class SimulationConfig:
         executor hashes it for the on-disk result cache and ships it to
         worker processes, so the field set must round-trip exactly
         through :meth:`from_dict`.
+
+        Fidelity keys are emitted **only** for non-abstract configs:
+        abstract-mode dicts (and therefore their cache digests) are
+        byte-identical to releases that predate the fidelity axis, while
+        protocol-mode configs hash every knob that changes their
+        semantics.
         """
-        return {
+        data: Dict[str, object] = {
             "population": self.population,
             "rounds": self.rounds,
             "data_blocks": self.data_blocks,
@@ -176,6 +216,13 @@ class SimulationConfig:
             "proactive_rate": self.proactive_rate,
             "adaptive_thresholds": self.adaptive_thresholds,
         }
+        if self.fidelity != DEFAULT_FIDELITY:
+            data["fidelity"] = self.fidelity
+            data["link_profile"] = self.link_profile
+            data["round_seconds"] = self.round_seconds
+            data["archive_bytes"] = self.archive_bytes
+            data["fairness_factor"] = self.fairness_factor
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SimulationConfig":
@@ -206,6 +253,11 @@ class SimulationConfig:
             staggered_join_rounds=data["staggered_join_rounds"],
             proactive_rate=data["proactive_rate"],
             adaptive_thresholds=data["adaptive_thresholds"],
+            fidelity=data.get("fidelity", DEFAULT_FIDELITY),
+            link_profile=data.get("link_profile", "paper-dsl"),
+            round_seconds=data.get("round_seconds", 3600),
+            archive_bytes=data.get("archive_bytes", 128 * MEGABYTE),
+            fairness_factor=data.get("fairness_factor"),
         )
 
     def with_threshold(self, repair_threshold: int) -> "SimulationConfig":

@@ -1,4 +1,4 @@
-"""The round-based simulation engine (PeerSim substitute).
+"""The abstract simulation backend (PeerSim substitute) and run results.
 
 One :class:`Simulation` object runs one configuration end to end:
 
@@ -10,40 +10,26 @@ One :class:`Simulation` object runs one configuration end to end:
 * metrics — per-category counters and the cumulative series behind
   figures 1-4.
 
-The engine is event-driven internally (a peer only executes when
-something it must react to happens) but semantically round-based: every
-event carries the round it fires in, ties are broken uniformly at
-random, and repairs triggered in round ``t`` execute in round ``t + 1``,
-matching the paper's "each round, every peer monitors its partners"
-loop without the O(population x rounds) scan.
+The round-driving skeleton (event queue, churn, RNG streams, partner
+pools, metrics) lives in :class:`repro.sim.driver.SimulationDriver`;
+this module supplies the **abstract** fidelity on top of it: peers are
+counters and repairs, placements and proactive top-ups execute as
+instantaneous state flips.  It is the fast path behind every figure.
+The message-level alternative is :mod:`repro.sim.protocol`; both are
+registered in :data:`repro.sim.fidelity.FIDELITY_BACKENDS` and
+:func:`run_simulation` dispatches on ``config.fidelity``.
 """
 
 from __future__ import annotations
 
-import math
-import time
 from dataclasses import dataclass
-from itertools import chain
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict
 
-from ..churn.availability import SessionProcess
-from ..churn.lifetimes import from_profile
-from ..churn.profiles import Profile
-from ..core.acceptance import (
-    AcceptancePolicy,
-    UniformAcceptancePolicy,
-    acceptance_rule,
-)
-from ..core.adaptive import AdaptiveThreshold
-from ..core.policy import RepairPolicy
-from ..core.selection import Candidate, SelectionStrategy, strategy_by_name
 from .config import SimulationConfig
-from .events import Event, EventKind, EventQueue
+from .driver import SimulationDriver
+from .fidelity import FIDELITY_BACKENDS
 from .metrics import MetricsCollector
-from .network import Population
-from .observers import build_observer_peer
 from .peer import Peer
-from .rng import RngStreams
 
 
 @dataclass
@@ -104,328 +90,15 @@ class SimulationResult:
         )
 
 
-class Simulation:
-    """One simulation run of the peer-to-peer backup system."""
+@FIDELITY_BACKENDS.register("abstract")
+class Simulation(SimulationDriver):
+    """The abstract fidelity: repairs as instantaneous state flips."""
 
-    def __init__(self, config: SimulationConfig):
-        self.config = config
-        self.policy: RepairPolicy = config.policy()
-        self.acceptance = acceptance_rule(config.acceptance_rule, config.age_cap)
-        self.strategy: SelectionStrategy = strategy_by_name(config.selection_strategy)
-        self.rng = RngStreams(config.seed)
-        self.queue = EventQueue(self.rng.ordering)
-        self.population = Population()
-        self.metrics = MetricsCollector(config.categories, config.warmup_rounds)
-        self.round = 0
-        self._sessions: Dict[int, SessionProcess] = {}
-        self._profile_weights = [p.proportion for p in config.profiles]
-        self.peers_created = 0
-        self.deaths = 0
-        # Strategies declare their candidate-data needs (registry-based
-        # extension point: third-party strategies get the same service).
-        self._needs_oracle = bool(getattr(self.strategy, "needs_oracle", False))
-        self._needs_availability = bool(
-            getattr(self.strategy, "needs_availability", False)
-        )
-        # Hot-path state: with no declared data needs the recruitment
-        # loop works on plain (peer_id, age) pairs instead of Candidate
-        # objects, and the built-in acceptance rules are inlined rather
-        # than dispatched per candidate.  Exact type checks: a subclass
-        # may override decide() and must keep the generic path.
-        self._fast_candidates = not (self._needs_oracle or self._needs_availability)
-        if type(self.acceptance) is AcceptancePolicy:
-            self._acceptance_kind = "age"
-        elif type(self.acceptance) is UniformAcceptancePolicy:
-            self._acceptance_kind = "uniform"
-        else:
-            self._acceptance_kind = "custom"
-        self._repair_threshold = self.policy.repair_threshold
-        self._selection_draws = self.rng.batched("selection")
-        self._acceptance_draws = self.rng.batched("acceptance")
-        self._setup()
+    fidelity = "abstract"
 
     # ------------------------------------------------------------------
-    # Setup
+    # Execution trio
     # ------------------------------------------------------------------
-    def _setup(self) -> None:
-        config = self.config
-        for _ in range(config.population):
-            if config.staggered_join_rounds:
-                join_round = int(
-                    self.rng.placement.integers(config.staggered_join_rounds)
-                )
-            else:
-                join_round = 0
-            self.queue.schedule(join_round, Event(EventKind.JOIN))
-        for spec in config.observers:
-            observer = build_observer_peer(self.population.new_id(), spec, 0)
-            if config.adaptive_thresholds:
-                observer.adaptive = AdaptiveThreshold(self.policy)
-            self.population.insert(observer)
-            self._schedule_check(observer, 0)
-        self.queue.schedule(0, Event(EventKind.SAMPLE))
-
-    def _draw_profile(self) -> Profile:
-        index = int(
-            self.rng.profiles.choice(len(self.config.profiles), p=self._profile_weights)
-        )
-        return self.config.profiles[index]
-
-    def _spawn_peer(self, join_round: int) -> Peer:
-        profile = self._draw_profile()
-        lifetime = from_profile(profile).sample(self.rng.lifetimes)
-        death_round: Optional[int] = None
-        if not math.isinf(lifetime):
-            death_round = join_round + max(int(lifetime), 1)
-        peer = Peer(
-            peer_id=self.population.new_id(),
-            profile=profile,
-            join_round=join_round,
-            death_round=death_round,
-        )
-        self.population.insert(peer)
-        self.peers_created += 1
-        self._sessions[peer.peer_id] = SessionProcess(
-            availability=profile.availability,
-            mean_online=profile.mean_online_session,
-            rng=self.rng.sessions,
-        )
-        if self.config.adaptive_thresholds:
-            peer.adaptive = AdaptiveThreshold(self.policy)
-        if death_round is not None:
-            self.queue.schedule(death_round, Event(EventKind.DEATH, peer.peer_id))
-        self._schedule_toggle(peer, join_round)
-        self._schedule_check(peer, join_round)
-        if self.config.proactive_rate > 0:
-            self._schedule_top_up(peer, join_round)
-        return peer
-
-    # ------------------------------------------------------------------
-    # Scheduling helpers
-    # ------------------------------------------------------------------
-    def _schedule_toggle(self, peer: Peer, now: int) -> None:
-        session = self._sessions[peer.peer_id]
-        if session.always_online:
-            return
-        duration = session.next_session_length()
-        self.queue.schedule(now + duration, Event(EventKind.TOGGLE, peer.peer_id))
-
-    def _schedule_check(self, peer: Peer, when: int) -> None:
-        """Queue a repair/placement check, deduplicating pending ones.
-
-        A check pending for a *later* round is cancelled and replaced:
-        a block loss wanting a check next round must not be swallowed by
-        a retry sitting further in the future, or the archive would sit
-        unmonitored below threshold until that retry fires.
-        """
-        scheduled = peer.check_scheduled
-        if scheduled is not None:
-            if when >= scheduled:
-                return
-            self.queue.cancel(peer.check_handle)
-        peer.check_scheduled = when
-        peer.check_handle = self.queue.schedule(
-            when, Event(EventKind.REPAIR_CHECK, peer.peer_id)
-        )
-
-    def _schedule_top_up(self, peer: Peer, now: int) -> None:
-        interval = max(int(round(1.0 / self.config.proactive_rate)), 1)
-        self.queue.schedule(now + interval, Event(EventKind.TOP_UP, peer.peer_id))
-
-    # ------------------------------------------------------------------
-    # Holder/owner mutation helpers (the only places links change)
-    # ------------------------------------------------------------------
-    def _add_holder(self, owner: Peer, holder: Peer) -> None:
-        archive = owner.archive
-        archive.holders[holder.peer_id] = None
-        archive.visible += 1
-        archive.alive += 1
-        if owner.is_observer:
-            holder.hosted_free.add(owner.peer_id)
-        else:
-            holder.hosted.add(owner.peer_id)
-
-    def _drop_holder(self, owner: Peer, holder: Peer) -> None:
-        """Owner abandons a holder (repair replacement or post-loss reset)."""
-        archive = owner.archive
-        invisible_since = archive.holders.pop(holder.peer_id)
-        if holder.alive:
-            archive.alive -= 1
-            if invisible_since is None:
-                archive.visible -= 1
-        if owner.is_observer:
-            holder.hosted_free.discard(owner.peer_id)
-        else:
-            holder.hosted.discard(owner.peer_id)
-
-    def _release_all_holders(self, owner: Peer) -> None:
-        for holder_id in list(owner.archive.holders):
-            self._drop_holder(owner, self.population.get(holder_id))
-
-    def _needs_repair(self, owner: Peer, visible: int) -> bool:
-        """Threshold test, honouring a per-peer adaptive controller (A5)."""
-        adaptive = owner.adaptive
-        if adaptive is not None:
-            return adaptive.needs_repair(visible)
-        return visible < self._repair_threshold
-
-    # ------------------------------------------------------------------
-    # Event handlers
-    # ------------------------------------------------------------------
-    def _handle_join(self, now: int) -> None:
-        self._spawn_peer(now)
-
-    def _handle_death(self, now: int, peer: Peer) -> None:
-        if not peer.alive or peer.is_observer:
-            return
-        self.deaths += 1
-        peer.accumulate_uptime(now)
-        self.population.remove(peer)
-        peer_id = peer.peer_id
-        peers = self.population.peers
-
-        # The departed peer's own blocks disappear from its partners.
-        for holder_id in peer.archive.holders:
-            peers[holder_id].hosted.discard(peer_id)
-        peer.archive.holders.clear()
-
-        # Blocks it hosted for others vanish "immediately" (section 4.1):
-        # detach every link first, then evaluate loss/threshold once per
-        # surviving owner, so the owner sets are iterated zero-copy and
-        # each owner's check runs against its final post-death counters.
-        affected: List[Peer] = []
-        for owner_id in chain(peer.hosted, peer.hosted_free):
-            owner = peers[owner_id]
-            if not owner.alive:
-                continue
-            archive = owner.archive
-            invisible_since = archive.holders.pop(peer_id, None)
-            archive.alive -= 1
-            if invisible_since is None:
-                # A None timestamp means the holder was visible (online).
-                archive.visible -= 1
-            affected.append(owner)
-        peer.hosted.clear()
-        peer.hosted_free.clear()
-        self._sessions.pop(peer_id, None)
-        for owner in affected:
-            self._after_block_loss(owner, now)
-
-        # Immediate replacement by a fresh peer (section 4.1).
-        self.queue.schedule(now, Event(EventKind.JOIN))
-
-    def _after_block_loss(self, owner: Peer, now: int) -> None:
-        """React to a permanent block disappearance on ``owner``'s archive."""
-        archive = owner.archive
-        if archive.placed and self.policy.is_lost(archive.alive):
-            self._record_loss(owner, now)
-            return
-        if archive.placed and self._needs_repair(owner, archive.visible):
-            self._schedule_check(owner, now + 1)
-
-    def _record_loss(self, owner: Peer, now: int) -> None:
-        archive = owner.archive
-        archive.lost_count += 1
-        self.metrics.record_loss(now, owner.age(now), owner.observer_name)
-        self._release_all_holders(owner)
-        archive.reset()
-        # The user still has local data to back up again: a fresh
-        # placement follows (next round at the earliest).
-        self._schedule_check(owner, now + 1)
-
-    def _handle_toggle(self, now: int, peer: Peer) -> None:
-        if not peer.alive:
-            return
-        peer.accumulate_uptime(now)
-        session = self._sessions[peer.peer_id]
-        session.toggle()
-        peer.online = session.online
-        if peer.online:
-            self.population.mark_online(peer)
-            self._set_visibility(peer, now, visible=True)
-            if peer.pending_check:
-                peer.pending_check = False
-                self._schedule_check(peer, now)
-            if peer.archive.placed and self._needs_repair(peer, peer.archive.visible):
-                self._schedule_check(peer, now)
-        else:
-            self.population.mark_offline(peer)
-            self._set_visibility(peer, now, visible=False)
-        self._schedule_toggle(peer, now)
-
-    def _set_visibility(self, holder: Peer, now: int, visible: bool) -> None:
-        """Propagate a holder's online flip to every owner it stores for.
-
-        This runs once per session toggle — the single most frequent
-        event kind — so the owner sets are iterated zero-copy (nothing
-        in the loop mutates them) and the two flip directions are split
-        to keep the per-owner work branch-free.
-        """
-        holder_id = holder.peer_id
-        peers = self.population.peers
-        if visible:
-            for owner_id in chain(holder.hosted, holder.hosted_free):
-                owner = peers[owner_id]
-                if not owner.alive:
-                    continue
-                archive = owner.archive
-                if holder_id not in archive.holders:
-                    continue
-                archive.holders[holder_id] = None
-                archive.visible += 1
-        else:
-            threshold = self._repair_threshold
-            for owner_id in chain(holder.hosted, holder.hosted_free):
-                owner = peers[owner_id]
-                if not owner.alive:
-                    continue
-                archive = owner.archive
-                if holder_id not in archive.holders:
-                    continue
-                archive.holders[holder_id] = now
-                archive.visible -= 1
-                if not archive.placed:
-                    continue
-                adaptive = owner.adaptive
-                if (
-                    adaptive.needs_repair(archive.visible)
-                    if adaptive is not None
-                    else archive.visible < threshold
-                ):
-                    self._schedule_check(owner, now + 1)
-
-    def _handle_check(self, now: int, peer: Peer) -> None:
-        peer.check_scheduled = None
-        peer.check_handle = None
-        if not peer.alive:
-            return
-        if not peer.online:
-            peer.pending_check = True
-            return
-        archive = peer.archive
-        if not archive.placed:
-            self._run_placement(peer, now)
-            return
-        if self.policy.is_lost(archive.alive):
-            self._record_loss(peer, now)
-            return
-        if not self._needs_repair(peer, archive.visible):
-            if not archive.fully_placed:
-                # The initial upload of n blocks has not completed yet
-                # (section 3.2: it is one operation that may span rounds
-                # when the network is young or partners are scarce).
-                # Once it completes, maintenance is threshold-only.
-                self._run_placement(peer, now)
-            return
-        if not self.policy.can_decode(archive.visible):
-            archive.blocked_count += 1
-            if peer.adaptive is not None:
-                peer.adaptive.on_blocked(now)
-            self.metrics.record_blocked(now, peer.age(now), peer.observer_name)
-            self._schedule_check(peer, now + 1)
-            return
-        self._run_repair(peer, now)
-
     def _run_placement(self, owner: Peer, now: int) -> None:
         """Upload blocks until all n are placed (the initial d = n repair).
 
@@ -483,107 +156,9 @@ class Simulation:
                 self._recruit(peer, now, 1)
         self._schedule_top_up(peer, now)
 
-    # ------------------------------------------------------------------
-    # Partner recruitment
-    # ------------------------------------------------------------------
-    def _fill_pool(
-        self, owner: Peer, now: int, target_size: int, max_examined: int
-    ) -> List[Union[Candidate, Tuple[int, int]]]:
-        """Fused candidate sampling and mutual acceptance (section 3.2).
-
-        This flattens what used to be a candidate generator feeding
-        :func:`repro.core.pool.build_pool` into one loop: candidate ids
-        come from a batched index buffer, the built-in acceptance rules
-        run inline on pre-drawn uniforms, and — when the strategy
-        declares no data needs — no :class:`Candidate` object is ever
-        built: the pool is a list of ``(peer_id, age)`` pairs.  The
-        eligibility filters, the mutual-acceptance structure (owner
-        decides first, the candidate's draw only happens if the owner
-        accepted) and the examined/accepted accounting are unchanged.
-        """
-        population = self.population
-        peers = population.peers
-        online = population.online_candidates
-        sample = online.sample_with
-        draws = self._selection_draws
-        next_uniform = self._acceptance_draws.next_uniform
-        seen = set()
-        accepted: List[Union[Candidate, Tuple[int, int]]] = []
-        examined = 0
-        sample_budget = 8 * len(online) + 64
-        owner_id = owner.peer_id
-        owner_age = owner.age(now)
-        holders = owner.archive.holders
-        check_quota = not owner.is_observer
-        quota = self.config.quota
-        fast = self._fast_candidates
-        rule = self._acceptance_kind
-        if rule == "age":
-            cap = self.acceptance.age_cap
-            s_owner = owner_age if owner_age < cap else cap
-        while (
-            sample_budget > 0
-            and examined < max_examined
-            and len(accepted) < target_size
-        ):
-            sample_budget -= 1
-            candidate_id = sample(draws)
-            if candidate_id is None:
-                break
-            if candidate_id in seen:
-                continue
-            seen.add(candidate_id)
-            if candidate_id == owner_id or candidate_id in holders:
-                continue
-            candidate = peers[candidate_id]
-            if check_quota and len(candidate.hosted) >= quota:
-                continue
-            examined += 1
-            age = now - candidate.join_round  # candidates are never observers
-            if rule == "age":
-                # Inlined AcceptancePolicy: accept iff u < (L - s1 + s2 + 1)/L
-                # (the min(p, 1) clamp is free because u < 1).
-                s_cand = age if age < cap else cap
-                if next_uniform() * cap >= cap - s_owner + s_cand + 1:
-                    continue  # owner rejects
-                if next_uniform() * cap >= cap - s_cand + s_owner + 1:
-                    continue  # candidate rejects
-            elif rule != "uniform":
-                decide = self.acceptance.decide
-                if not decide(owner_age, age, next_uniform()):
-                    continue
-                if not decide(age, owner_age, next_uniform()):
-                    continue
-            if fast:
-                accepted.append((candidate_id, age))
-            else:
-                accepted.append(self._describe_candidate(candidate))
-        self.metrics.record_pool(examined, len(accepted))
-        return accepted
-
-    def _describe_candidate(self, candidate: Peer) -> Candidate:
-        availability = None
-        remaining = None
-        if self._needs_availability:
-            availability = candidate.measured_availability(self.round)
-        if self._needs_oracle:
-            remaining = candidate.remaining_lifetime(self.round)
-        return Candidate(
-            peer_id=candidate.peer_id,
-            age=candidate.age(self.round),
-            availability=availability,
-            true_remaining_lifetime=remaining,
-        )
-
     def _recruit(self, owner: Peer, now: int, needed: int) -> int:
-        """Build a pool, select the best ``needed`` candidates, store blocks."""
-        pool_target = int(math.ceil(self.config.pool_factor * needed))
-        max_examined = int(self.config.max_examined_factor * needed) + 16
-        pool = self._fill_pool(owner, now, pool_target, max_examined)
-        if self._fast_candidates:
-            chosen = self.strategy.select_pairs(pool, needed, self.rng.selection)
-        else:
-            chosen = self.strategy.select(pool, needed, self.rng.selection)
+        """Select the best ``needed`` candidates and store blocks instantly."""
+        chosen = self._select_candidates(owner, now, needed)
         added = 0
         for candidate_id in chosen:
             holder = self.population.get(candidate_id)
@@ -594,109 +169,9 @@ class Simulation:
             added += 1
         return added
 
-    def _handle_sample(self, now: int) -> None:
-        ages = [peer.age(now) for peer in self.population.alive_normal_peers()]
-        self.metrics.sample(now, ages, self.config.sample_interval)
-        upcoming = now + self.config.sample_interval
-        if upcoming <= self.config.rounds:
-            self.queue.schedule(upcoming, Event(EventKind.SAMPLE))
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Execute the configured number of rounds and return the result."""
-        started = time.perf_counter()
-        dispatch = {
-            EventKind.JOIN: lambda now, event: self._handle_join(now),
-            EventKind.DEATH: lambda now, event: self._handle_death(
-                now, self.population.get(event.peer_id)
-            ),
-            EventKind.TOGGLE: lambda now, event: self._handle_toggle(
-                now, self.population.get(event.peer_id)
-            ),
-            EventKind.REPAIR_CHECK: lambda now, event: self._handle_check(
-                now, self.population.get(event.peer_id)
-            ),
-            EventKind.SAMPLE: lambda now, event: self._handle_sample(now),
-            EventKind.TOP_UP: lambda now, event: self._handle_top_up(
-                now, self.population.get(event.peer_id)
-            ),
-        }
-        for now, event in self.queue.drain_until(self.config.rounds):
-            self.round = now
-            handler = dispatch[event.kind]
-            handler(now, event)
-        elapsed = time.perf_counter() - started
-        return SimulationResult(
-            config=self.config,
-            metrics=self.metrics,
-            final_round=self.config.rounds,
-            wall_clock_seconds=elapsed,
-            peers_created=self.peers_created,
-            deaths=self.deaths,
-        )
-
-    # ------------------------------------------------------------------
-    # Consistency audit (used by integration and property tests)
-    # ------------------------------------------------------------------
-    def audit(self) -> List[str]:
-        """Recompute all incremental state from scratch; return violations."""
-        problems: List[str] = []
-        for peer in self.population.peers.values():
-            if not peer.alive:
-                continue
-            archive = peer.archive
-            visible = alive = 0
-            for holder_id, invisible_since in archive.holders.items():
-                holder = self.population.peers.get(holder_id)
-                if holder is None or not holder.alive:
-                    problems.append(
-                        f"peer {peer.peer_id}: holder {holder_id} is dead or unknown"
-                    )
-                    continue
-                alive += 1
-                if holder.online:
-                    if invisible_since is not None:
-                        problems.append(
-                            f"peer {peer.peer_id}: holder {holder_id} online "
-                            "but marked invisible"
-                        )
-                    visible += 1
-                mirror = holder.hosted_free if peer.is_observer else holder.hosted
-                if peer.peer_id not in mirror:
-                    problems.append(
-                        f"peer {peer.peer_id}: holder {holder_id} misses back-link"
-                    )
-            if visible != archive.visible:
-                problems.append(
-                    f"peer {peer.peer_id}: visible counter {archive.visible} != "
-                    f"recount {visible}"
-                )
-            if alive != archive.alive:
-                problems.append(
-                    f"peer {peer.peer_id}: alive counter {archive.alive} != "
-                    f"recount {alive}"
-                )
-            if len(peer.hosted) > self.config.quota:
-                problems.append(
-                    f"peer {peer.peer_id}: quota exceeded "
-                    f"({len(peer.hosted)} > {self.config.quota})"
-                )
-            for owner_id in peer.hosted | peer.hosted_free:
-                owner = self.population.peers.get(owner_id)
-                if owner is None or not owner.alive:
-                    problems.append(
-                        f"peer {peer.peer_id}: hosts for dead owner {owner_id}"
-                    )
-                elif peer.peer_id not in owner.archive.holders:
-                    problems.append(
-                        f"peer {peer.peer_id}: hosts for {owner_id} without "
-                        "forward link"
-                    )
-        return problems
-
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
-    """Convenience one-shot: build and run a simulation."""
-    return Simulation(config).run()
+    """Build and run the backend ``config.fidelity`` selects, one shot."""
+    from .fidelity import simulation_for
+
+    return simulation_for(config).run()

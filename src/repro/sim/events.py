@@ -44,6 +44,7 @@ class EventKind(Enum):
     REPAIR_CHECK = auto()    # re-evaluate an archive against the threshold
     SAMPLE = auto()          # periodic metrics sampling
     TOP_UP = auto()          # proactive-replication baseline (A4) top-up tick
+    TRANSFER_DONE = auto()   # a protocol-fidelity transfer finished
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,14 @@ class MetricsCollector:
         self.pool_examined = 0
         self.pool_accepted = 0
         self.starved_repairs = 0
+        #: Protocol-fidelity counters (transfers, queue delays, fairness
+        #: refusals, ...).  Empty for abstract runs — and *only then
+        #: absent from* :meth:`to_dict` — so abstract-mode payloads stay
+        #: byte-identical to earlier releases.
+        self.protocol: Dict[str, float] = {}
+        #: Protocol-fidelity time series, sampled on the same cadence as
+        #: :attr:`series` (in-flight transfers, cumulative queue delay).
+        self.protocol_series: List[Dict[str, float]] = []
 
     def _category_name(self, age: float) -> str:
         return self.categories.classify(age).name
@@ -127,6 +135,21 @@ class MetricsCollector:
         """A repair that found no recruitable partner at all."""
         self.starved_repairs += 1
 
+    def bump(self, counter: str, amount: float = 1) -> None:
+        """Accumulate one protocol-fidelity counter.
+
+        Counters appear lazily: only keys actually bumped are
+        serialized, so two protocol runs with different feature sets
+        (say, with and without fairness) stay individually canonical.
+        """
+        self.protocol[counter] = self.protocol.get(counter, 0) + amount
+
+    def sample_protocol(self, round_number: int, **values: float) -> None:
+        """Record one point of the protocol-fidelity time series."""
+        point: Dict[str, float] = {"round": round_number}
+        point.update(values)
+        self.protocol_series.append(point)
+
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
@@ -171,7 +194,7 @@ class MetricsCollector:
         :meth:`from_dict`; the sweep executor uses it to move results
         across process boundaries and into the on-disk cache.
         """
-        return {
+        data: Dict[str, object] = {
             "categories": self.categories.to_dict(),
             "warmup_rounds": self.warmup_rounds,
             "by_category": {
@@ -205,6 +228,16 @@ class MetricsCollector:
             "pool_accepted": self.pool_accepted,
             "starved_repairs": self.starved_repairs,
         }
+        # Protocol-fidelity extras only when present: abstract-mode
+        # payloads (and therefore their cached bytes) must not change
+        # shape when the protocol backend is merely available.
+        if self.protocol:
+            data["protocol"] = dict(self.protocol)
+        if self.protocol_series:
+            data["protocol_series"] = [
+                dict(point) for point in self.protocol_series
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "MetricsCollector":
@@ -243,6 +276,10 @@ class MetricsCollector:
         collector.pool_examined = data["pool_examined"]
         collector.pool_accepted = data["pool_accepted"]
         collector.starved_repairs = data["starved_repairs"]
+        collector.protocol = dict(data.get("protocol", {}))
+        collector.protocol_series = [
+            dict(point) for point in data.get("protocol_series", [])
+        ]
         return collector
 
     # ------------------------------------------------------------------

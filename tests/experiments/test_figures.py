@@ -23,6 +23,10 @@ from repro.experiments.ablation_selection import (
     run_ablation_selection,
 )
 from repro.experiments.common import ExperimentScale
+from repro.experiments.fidelity_compare import (
+    check_shape as check_fidelity,
+    run_fidelity_compare,
+)
 from repro.experiments.fig1_repairs_by_threshold import (
     check_shape as check_fig1,
     run_figure1,
@@ -123,6 +127,33 @@ class TestFigure4:
         result = run_figure4(scale=TEST_SCALE)
         for series in result.series().values():
             assert all(v >= 0 for _, v in series)
+
+
+class TestFidelityCompare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fidelity_compare(scale=TEST_SCALE, seeds=(0,))
+
+    def test_both_fidelities_present(self, result):
+        assert set(result.by_fidelity) == {"abstract", "protocol"}
+
+    def test_shape_checks_pass(self, result):
+        assert check_fidelity(result) == []
+
+    def test_protocol_extras_reported(self, result):
+        extras = result.protocol_extras()
+        assert extras["transfers_completed"] > 0
+        assert extras["messages_sent"] > 0
+
+    def test_render_compares_side_by_side(self, result):
+        text = result.render()
+        assert "abstract" in text and "protocol" in text
+        assert "protocol metric" in text
+        assert "legend:" in text
+
+    def test_csv_has_one_column_per_fidelity(self, result):
+        header = result.to_csv().splitlines()[0]
+        assert header == "round,abstract,protocol"
 
 
 class TestAblations:

@@ -52,7 +52,7 @@ class TestParser:
     def test_all_experiments_registered(self):
         parser = build_parser()
         for name in (
-            "fig1", "fig2", "fig3", "fig4",
+            "fig1", "fig2", "fig3", "fig4", "fig-fidelity",
             "ablation-selection", "ablation-quota",
             "ablation-grace", "ablation-proactive",
             "tables", "all", "list", "run",
@@ -97,9 +97,24 @@ class TestListCommand:
         assert "acceptance rules:" in output
         assert "codec backends:" in output
         assert "churn mixes:" in output
+        assert "execution backends:" in output
+        assert "fidelity backends:" in output
+        assert "link profiles:" in output
+        assert "lifetime models:" in output
+        assert "repair-policy presets:" in output
         for name in ("flash_crowd", "diurnal", "correlated_outage",
-                     "heterogeneous_quota", "slow_decay"):
+                     "heterogeneous_quota", "slow_decay",
+                     "constrained_uplink", "unfair_freeriders"):
             assert name in output
+
+    def test_lists_execution_and_fidelity_backend_names(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("serial", "process", "distributed"):
+            assert f"  {name}" in output
+        assert "  abstract (default)" in output
+        assert "  protocol" in output
+        assert "  paper-dsl" in output
 
 
 class TestRunCommand:
@@ -154,6 +169,32 @@ class TestRunCommand:
         assert "scenario paper" in output
         assert "cumtime" in output  # pstats table header
         assert "[profile]" in output
+
+    def test_fidelity_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "--scenario", "paper", "--fidelity", "protocol"]
+        )
+        assert args.fidelity == "protocol"
+
+    def test_unknown_fidelity_raises_with_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            main(["run", "--scenario", "paper", "--fidelity", "quantum",
+                  "--population", "50", "--rounds", "100", "--no-cache"])
+        assert "protocol" in str(excinfo.value)
+
+    def test_run_scenario_protocol_fidelity_end_to_end(self, capsys):
+        code = main([
+            "run", "--scenario", "paper", "--fidelity", "protocol",
+            "--population", "60", "--rounds", "200", "--no-cache",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fidelity=protocol" in output
+        assert "repairs=" in output
+
+    def test_fidelity_flag_rejected_outside_scenario_commands(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--fidelity", "protocol"])
 
     def test_run_scenario_uses_cache(self, capsys, tmp_path):
         argv = [
@@ -273,7 +314,8 @@ class TestWorkerCommand:
 class TestSubcommandHelp:
     def test_every_command_has_an_example_epilog(self, capsys):
         for name in (
-            "fig1", "fig2", "fig3", "fig4", "ablation-selection",
+            "fig1", "fig2", "fig3", "fig4", "fig-fidelity",
+            "ablation-selection",
             "ablation-quota", "ablation-grace", "ablation-proactive",
             "ablation-adaptive", "tables", "all", "list", "run",
             "profile", "worker",

@@ -1,15 +1,18 @@
-"""Tests for the section 2.2.4 cost model — pinned to the paper's numbers."""
+"""Tests for the section 2.2.4 cost model — pinned to the paper's numbers —
+and the link scheduler the protocol fidelity backend gates transfers with."""
 
 import pytest
 
 from repro.net.bandwidth import (
     FTTH,
     KILOBYTE,
+    LINK_PROFILES,
     MEGABYTE,
     MODERN_DSL,
     PAPER_DSL,
     CostModel,
     LinkProfile,
+    LinkScheduler,
     paper_cost_table,
 )
 
@@ -96,6 +99,83 @@ class TestCostModel:
             model.feasible_repair_rate(1, 10, budget_fraction=0)
         with pytest.raises(ValueError):
             model.backup_cost_seconds(10)
+
+
+class TestLinkProfileRegistry:
+    def test_builtin_profiles_registered(self):
+        assert LINK_PROFILES.get("paper-dsl") is PAPER_DSL
+        assert LINK_PROFILES.get("modern-dsl") is MODERN_DSL
+        assert LINK_PROFILES.get("ftth") is FTTH
+
+    def test_unknown_profile_lists_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            LINK_PROFILES.get("carrier-pigeon")
+        assert "paper-dsl" in str(excinfo.value)
+
+
+class TestLinkScheduler:
+    def test_idle_link_starts_immediately(self):
+        scheduler = LinkScheduler(round_seconds=3600)
+        transfer = scheduler.schedule(1, seconds=100.0, now_round=2)
+        assert transfer.start_second == 2 * 3600
+        assert transfer.finish_second == 2 * 3600 + 100
+        assert transfer.queue_delay(2 * 3600) == 0.0
+
+    def test_busy_link_queues(self):
+        scheduler = LinkScheduler(round_seconds=3600)
+        first = scheduler.schedule(1, seconds=5000.0, now_round=0)
+        second = scheduler.schedule(1, seconds=1000.0, now_round=0)
+        assert second.start_second == first.finish_second
+        assert second.queue_delay(0.0) == 5000.0
+
+    def test_links_are_independent(self):
+        scheduler = LinkScheduler(round_seconds=3600)
+        scheduler.schedule(1, seconds=50_000.0, now_round=0)
+        other = scheduler.schedule(2, seconds=10.0, now_round=0)
+        assert other.queue_delay(0.0) == 0.0
+
+    def test_finish_round_is_at_least_next_round(self):
+        scheduler = LinkScheduler(round_seconds=3600)
+        quick = scheduler.schedule(1, seconds=1.0, now_round=4)
+        assert scheduler.finish_round(quick, 4) == 5
+        slow = scheduler.schedule(2, seconds=2 * 3600 + 1.0, now_round=4)
+        assert scheduler.finish_round(slow, 4) == 7
+
+    def test_complete_trims_active_index(self):
+        scheduler = LinkScheduler()
+        transfer = scheduler.schedule(1, seconds=10.0, now_round=0)
+        assert scheduler.in_flight() == 1
+        scheduler.complete(transfer)
+        assert scheduler.in_flight() == 0
+        scheduler.complete(transfer)  # idempotent
+
+    def test_cancel_on_death_releases_capacity(self):
+        """The churn satellite: a transfer in flight when its peer dies
+        must cancel cleanly and release the link for the next user."""
+        scheduler = LinkScheduler(round_seconds=3600)
+        first = scheduler.schedule(1, seconds=50_000.0, now_round=0)
+        second = scheduler.schedule(1, seconds=1000.0, now_round=0)
+        assert second.queue_delay(0.0) > 0
+
+        cancelled = scheduler.cancel_peer(1)
+        assert cancelled == [first, second]
+        assert all(transfer.cancelled for transfer in cancelled)
+        assert scheduler.in_flight() == 0
+        assert scheduler.busy_until(1) == 0.0
+
+        # A fresh peer reusing the id (or the next transfer on the same
+        # link) sees an idle link — no capacity leaked to the dead peer.
+        fresh = scheduler.schedule(1, seconds=10.0, now_round=3)
+        assert fresh.queue_delay(3 * 3600) == 0.0
+
+    def test_cancel_unknown_peer_is_a_noop(self):
+        assert LinkScheduler().cancel_peer(42) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkScheduler(round_seconds=0)
+        with pytest.raises(ValueError):
+            LinkScheduler().schedule(1, seconds=-1.0, now_round=0)
 
 
 class TestPaperCostTable:

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.net.message import FetchReply, FetchRequest, Message, StoreRequest
-from repro.net.transport import InMemoryTransport, TransportError
+from repro.net.transport import (
+    DepartedEndpointError,
+    InMemoryTransport,
+    OfflineEndpointError,
+    TransportError,
+    UnknownEndpointError,
+)
 
 
 def echo_handler(peer_id):
@@ -119,6 +125,64 @@ class TestAccounting:
         transport.record_log = True
         transport.send(FetchRequest(sender=1, recipient=2))
         assert len(transport.log) == 2  # request + reply
+
+
+class TestTypedFailures:
+    """Every delivery failure raises the precise TransportError subclass,
+    and a departed peer is distinguishable from a bad address."""
+
+    def test_departed_recipient_raises_departed_error(self, transport):
+        transport.unregister(2)
+        with pytest.raises(DepartedEndpointError):
+            transport.send(FetchRequest(sender=1, recipient=2))
+
+    def test_departed_sender_raises_departed_error(self, transport):
+        transport.unregister(1)
+        with pytest.raises(DepartedEndpointError):
+            transport.send(FetchRequest(sender=1, recipient=2))
+
+    def test_never_registered_raises_unknown_error(self, transport):
+        with pytest.raises(UnknownEndpointError):
+            transport.send(FetchRequest(sender=1, recipient=9))
+
+    def test_offline_raises_offline_error(self, transport):
+        transport.set_online(2, False)
+        with pytest.raises(OfflineEndpointError):
+            transport.send(FetchRequest(sender=1, recipient=2))
+
+    def test_all_subclasses_are_transport_errors(self):
+        for subclass in (
+            DepartedEndpointError, UnknownEndpointError, OfflineEndpointError
+        ):
+            assert issubclass(subclass, TransportError)
+
+    def test_set_online_distinguishes_departed(self, transport):
+        transport.unregister(2)
+        with pytest.raises(DepartedEndpointError):
+            transport.set_online(2, True)
+        with pytest.raises(UnknownEndpointError):
+            transport.set_online(99, True)
+
+    def test_stats_for_distinguishes_departed(self, transport):
+        transport.unregister(2)
+        with pytest.raises(DepartedEndpointError):
+            transport.stats_for(2)
+        with pytest.raises(UnknownEndpointError):
+            transport.stats_for(42)
+
+    def test_departed_peer_is_not_online(self, transport):
+        transport.unregister(2)
+        assert not transport.is_online(2)
+
+    def test_try_send_swallows_departed(self, transport):
+        transport.unregister(2)
+        assert transport.try_send(FetchRequest(sender=1, recipient=2)) is None
+
+    def test_reregistration_clears_departed_state(self, transport):
+        transport.unregister(2)
+        transport.register(2, echo_handler(2))
+        reply = transport.send(FetchRequest(sender=1, recipient=2))
+        assert isinstance(reply, FetchReply)
 
 
 class TestMessageIds:

@@ -64,6 +64,48 @@ class TestPresetConfigs:
         assert scenario_by_name("correlated_outage").build().grace_rounds > 0
 
 
+class TestProtocolPresets:
+    """The PR 5 protocol-fidelity presets."""
+
+    PROTOCOL_PRESETS = ("constrained_uplink", "unfair_freeriders")
+
+    @pytest.mark.parametrize("name", PROTOCOL_PRESETS)
+    def test_registered_and_protocol_fidelity(self, name):
+        config = scenario_by_name(name).build()
+        assert config.fidelity == "protocol"
+
+    def test_constrained_uplink_prices_big_archives(self):
+        config = scenario_by_name("constrained_uplink").build()
+        assert config.archive_bytes > SCENARIOS.get("paper").build().archive_bytes
+        assert config.link_profile == "paper-dsl"
+
+    def test_unfair_freeriders_enforces_fairness(self):
+        assert scenario_by_name("unfair_freeriders").build().fairness_factor == 1.0
+
+    @pytest.mark.parametrize("name", PROTOCOL_PRESETS)
+    def test_preset_runs_end_to_end(self, name):
+        result = (
+            scenario_by_name(name)
+            .with_population(60)
+            .with_rounds(250)
+            .run()
+        )
+        assert result.final_round == 250
+        assert result.metrics.protocol["transfers_completed"] > 0
+
+    def test_with_fidelity_round_trips_any_preset(self):
+        protocol = scenario_by_name("paper").with_fidelity("protocol")
+        assert protocol.build().fidelity == "protocol"
+        # Immutability: the registered preset itself is untouched.
+        assert scenario_by_name("paper").build().fidelity == "abstract"
+        assert protocol.with_fidelity("abstract").build().fidelity == "abstract"
+
+    def test_describe_mentions_fidelity(self):
+        text = scenario_by_name("unfair_freeriders").describe()
+        assert "fidelity=protocol" in text
+        assert "fairness=1" in text
+
+
 class TestPresetSmokeRuns:
     @pytest.mark.parametrize("name", SHIPPED + ("paper",))
     def test_preset_runs_end_to_end(self, name):
