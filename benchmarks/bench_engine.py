@@ -13,7 +13,12 @@ executor and analysis cost.  Two sizes of the ``paper`` scenario preset:
 * ``protocol-quick`` — the same ``quick`` workload at the ``protocol``
   fidelity (PR 5): every repair is a real store/fetch exchange gated by
   the bandwidth model, so this tracks the message-level overhead
-  relative to the abstract fast path.
+  relative to the abstract fast path;
+* ``soa-quick`` / ``soa-default-scale`` — the same two workloads on the
+  structure-of-arrays ``abstract_soa`` backend (ISSUE 6), tracking the
+  vectorized kernel against the object-graph engine on identical
+  trajectories.  The quick variant is the CI ``bench-smoke`` regression
+  gate (``scripts/check_bench_regression.py``).
 
 Run with ``--bench-json BENCH_engine.json`` to append trajectory
 records (see ``conftest.py`` for the format).
@@ -50,6 +55,35 @@ def test_engine_paper_protocol_quick(run_once):
     assert result.metrics.total_repairs > 0
 
 
+@pytest.mark.scenario("paper-soa-quick")
+def test_engine_paper_soa_quick(run_once):
+    config = (
+        scenario_by_name("paper")
+        .with_population(250)
+        .with_rounds(3000)
+        .with_fidelity("abstract_soa")
+        .build()
+    )
+    result = run_once(run_simulation, config)
+    assert result.final_round == 3000
+    assert result.metrics.total_placements > 0
+
+
+@pytest.mark.scenario("paper-soa-default-scale")
+def test_engine_paper_soa_default_scale(run_once):
+    config = (
+        scenario_by_name("paper")
+        .with_population(800)
+        .with_rounds(14000)
+        .with_fidelity("abstract_soa")
+        .build()
+    )
+    result = run_once(run_simulation, config)
+    assert result.final_round == 14000
+    assert result.metrics.total_repairs > 0
+    assert result.deaths > 0
+
+
 @pytest.mark.scenario("paper-default-scale")
 def test_engine_paper_default_scale(run_once):
     config = scenario_by_name("paper").with_population(800).with_rounds(14000).build()
@@ -61,3 +95,17 @@ def test_engine_paper_default_scale(run_once):
     # so the engine tests own that assertion — this just pins the
     # workload's coarse shape.
     assert result.deaths > 0
+
+
+@pytest.mark.scenario("paper-protocol-default-scale")
+def test_engine_paper_protocol_default_scale(run_once):
+    config = (
+        scenario_by_name("paper")
+        .with_population(800)
+        .with_rounds(14000)
+        .with_fidelity("protocol")
+        .build()
+    )
+    result = run_once(run_simulation, config)
+    assert result.final_round == 14000
+    assert result.metrics.protocol["transfers_completed"] > 0

@@ -3,8 +3,9 @@
 Every benchmark regenerates one of the paper's artifacts (DESIGN.md
 section 2) at the QUICK experiment scale, prints the same rows/series
 the paper reports, and asserts the qualitative shape where one is
-defined.  ``pedantic`` mode with a single round keeps pytest-benchmark
-from re-running multi-second simulations dozens of times.
+defined.  ``pedantic`` mode with a handful of rounds (``--bench-repeats``,
+default 3) keeps pytest-benchmark from re-running multi-second
+simulations dozens of times while still measuring a real spread.
 
 Perf trajectory: passing ``--bench-json PATH`` makes every bench run
 append one record per benchmark to the given JSON file (the repo tracks
@@ -38,6 +39,15 @@ def pytest_addoption(parser):
         metavar="PATH",
         help="append {bench, scenario, mean_s, stdev_s, commit} records "
         "for every benchmark to this JSON file (perf trajectory)",
+    )
+    parser.addoption(
+        "--bench-repeats",
+        action="store",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rounds per benchmark (pedantic, one iteration each); "
+        "N >= 2 yields a real stdev_s in the trajectory records",
     )
 
 
@@ -86,11 +96,18 @@ def _append_record(request, benchmark) -> None:
 
 @pytest.fixture
 def run_once(benchmark, request):
-    """Benchmark a callable exactly once and return its result."""
+    """Benchmark a callable (one iteration per round) and return its result.
+
+    The historical name survives: each *round* still runs the callable
+    exactly once, but ``--bench-repeats N`` (default 3) repeats that
+    round N times so the recorded ``stdev_s`` is a real spread instead
+    of the 0.0 a single observation degenerates to.
+    """
+    repeats = max(1, request.config.getoption("--bench-repeats"))
 
     def runner(fn, *args, **kwargs):
         result = benchmark.pedantic(
-            fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=repeats
         )
         _append_record(request, benchmark)
         return result

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Gate engine benchmarks against the committed perf trajectory.
+
+The CI ``bench-smoke`` lane runs ``benchmarks/bench_engine.py`` at quick
+scale with ``--bench-json`` pointed at a *fresh* file, then calls this
+script to compare the fresh means against the latest committed baseline
+in ``BENCH_engine.json``.  A scenario whose fresh mean exceeds
+``tolerance`` x its baseline mean fails the lane — the structure-of-
+arrays backend (ISSUE 6) must not quietly give back its speedup.
+
+Both files use the trajectory record format ``benchmarks/conftest.py``
+writes: a JSON list of ``{bench, scenario, mean_s, stdev_s, commit}``
+objects, newest last.  The *last* record per scenario wins on both
+sides.  A scenario with no committed baseline passes with a notice
+(there is nothing to regress against on the commit that introduces it).
+
+Usage::
+
+    python scripts/check_bench_regression.py --fresh /tmp/bench-fresh.json
+    python scripts/check_bench_regression.py \
+        --fresh /tmp/bench-fresh.json --scenario paper-soa-quick \
+        --tolerance 1.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The scenario the bench-smoke lane gates by default: the quick-scale
+#: structure-of-arrays bench.  (The default-scale benches are too slow
+#: for CI, and gating every legacy bench against means committed from
+#: different hardware would make the lane flaky; the gate exists to
+#: keep the ISSUE 6 speedup from quietly eroding.)
+DEFAULT_SCENARIOS = ("paper-soa-quick",)
+
+DEFAULT_TOLERANCE = 1.2
+
+
+def latest_means(path: Path) -> Dict[str, float]:
+    """The last recorded mean per scenario label in a trajectory file."""
+    records = json.loads(path.read_text() or "[]")
+    means: Dict[str, float] = {}
+    for record in records:
+        scenario = record.get("scenario")
+        if scenario:
+            means[scenario] = float(record["mean_s"])
+    return means
+
+
+def check(
+    fresh: Path,
+    baseline: Path,
+    scenarios,
+    tolerance: float,
+) -> int:
+    fresh_means = latest_means(fresh)
+    baseline_means = latest_means(baseline) if baseline.exists() else {}
+    failures = 0
+    for scenario in scenarios:
+        measured: Optional[float] = fresh_means.get(scenario)
+        committed: Optional[float] = baseline_means.get(scenario)
+        if measured is None:
+            print(f"FAIL  {scenario}: no fresh measurement in {fresh}")
+            failures += 1
+            continue
+        if committed is None:
+            print(
+                f"pass  {scenario}: {measured:.3f}s "
+                "(no committed baseline; nothing to regress against)"
+            )
+            continue
+        limit = committed * tolerance
+        ratio = measured / committed if committed else float("inf")
+        verdict = "pass" if measured <= limit else "FAIL"
+        print(
+            f"{verdict}  {scenario}: {measured:.3f}s vs baseline "
+            f"{committed:.3f}s ({ratio:.2f}x, limit {tolerance:.2f}x)"
+        )
+        if verdict == "FAIL":
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="trajectory file the just-finished bench run wrote",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="committed trajectory to gate against (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="scenario label to gate (repeatable; default: "
+        + ", ".join(DEFAULT_SCENARIOS)
+        + ")",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fail when fresh mean exceeds tolerance x baseline mean "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    scenarios = tuple(args.scenarios) if args.scenarios else DEFAULT_SCENARIOS
+    return check(args.fresh, args.baseline, scenarios, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

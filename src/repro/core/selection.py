@@ -134,9 +134,16 @@ class AgeSelection(SelectionStrategy):
     ) -> List[int]:
         if count < 0:
             raise ValueError("count cannot be negative")
-        jitter = rng.random(len(pairs))
-        order = sorted(range(len(pairs)), key=lambda i: (-pairs[i][1], jitter[i]))
-        return [pairs[i][0] for i in order[:count]]
+        # Decorate-sort without a Python key function: tuples compare in
+        # C.  The peer id rides along as a last-resort tiebreak; it can
+        # only decide when age *and* jitter tie exactly, which the
+        # continuous jitter makes a measure-zero event.
+        jitter = rng.random(len(pairs)).tolist()
+        decorated = sorted(
+            (-age, tiebreak, peer_id)
+            for (peer_id, age), tiebreak in zip(pairs, jitter)
+        )
+        return [entry[2] for entry in decorated[:count]]
 
 
 @SELECTION_STRATEGIES.register("random")

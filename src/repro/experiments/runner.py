@@ -323,9 +323,17 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         "cProfile one scenario simulation and print the hottest "
         "functions (no executor, no cache: pure engine hot loop)",
-        "repro-experiments profile --scenario paper --sort tottime --limit 20",
+        "repro-experiments profile --scenario paper --scale default "
+        "--fidelity abstract_soa --mem",
     )
     _scenario_flags(sub)
+    sub.add_argument(
+        "--scale",
+        default=None,
+        help="resize the scenario to an experiment scale preset "
+        "(quick, default or full) before any --population/--rounds "
+        "override",
+    )
     sub.add_argument(
         "--sort",
         choices=("cumulative", "tottime", "calls"),
@@ -337,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="number of profile rows to print (default: 25)",
+    )
+    sub.add_argument(
+        "--mem",
+        action="store_true",
+        help="also trace memory: tracemalloc peak (Python allocations) "
+        "and the process's peak RSS alongside the profile table",
     )
 
     sub = command(
@@ -540,6 +554,12 @@ def _resolve_scenario(args: argparse.Namespace, command: str):
         )
         return None
     scenario = scenario_by_name(args.scenario)
+    if getattr(args, "scale", None) is not None:
+        # Coarse resize first; explicit --population/--rounds still win.
+        scale = scale_by_name(args.scale)
+        scenario = scenario.with_population(scale.population).with_rounds(
+            scale.rounds
+        )
     if args.population is not None:
         scenario = scenario.with_population(args.population)
     if args.rounds is not None:
@@ -552,35 +572,64 @@ def _resolve_scenario(args: argparse.Namespace, command: str):
 def _run_profile(args: argparse.Namespace) -> int:
     """The ``profile --scenario NAME`` command: cProfile one simulation.
 
-    The run goes straight through :class:`~repro.sim.engine.Simulation`
-    — no executor, no cache — so the profile shows nothing but the
-    engine hot loop.
+    The run goes straight through the fidelity registry's engine for the
+    scenario — no executor, no cache — so the profile shows nothing but
+    the selected backend's hot loop.  ``--mem`` wraps the run in
+    tracemalloc (Python-allocation peak; slows the run, so it is opt-in)
+    and reports the process's peak RSS next to the profile table.
     """
     import cProfile
     import pstats
 
-    from ..sim.engine import Simulation
+    from ..sim.fidelity import simulation_for
 
     scenario = _resolve_scenario(args, "profile")
     if scenario is None:
         return 2
     print(scenario.describe())
     config = scenario.build()
-    simulation = Simulation(config)
+    simulation = simulation_for(config)
+    if args.mem:
+        import tracemalloc
+
+        tracemalloc.start()
     profiler = cProfile.Profile()
     profiler.enable()
     result = simulation.run()
     profiler.disable()
+    traced_peak = None
+    if args.mem:
+        _, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort or "cumulative")
     stats.print_stats(args.limit or 25)
     print(
-        f"[profile] {config.population} peers x {config.rounds} rounds: "
+        f"[profile] {config.population} peers x {config.rounds} rounds "
+        f"(fidelity={config.fidelity}): "
         f"{result.wall_clock_seconds:.2f}s wall, "
         f"{result.metrics.total_repairs} repairs, "
         f"{result.deaths} deaths"
     )
+    if args.mem:
+        print(
+            f"[profile] memory: tracemalloc peak "
+            f"{traced_peak / 2**20:.1f} MiB, peak RSS {_peak_rss_mib():.1f} MiB"
+        )
     return 0
+
+
+def _peak_rss_mib() -> float:
+    """The process's lifetime peak resident set size in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return peak / 2**20
+    return peak / 2**10
 
 
 def _run_worker(args: argparse.Namespace) -> int:

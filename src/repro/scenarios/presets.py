@@ -116,6 +116,19 @@ register_scenario(
     .with_selection("availability")
 )
 
+register_scenario(
+    _base(population=1_000_000, rounds=240)
+    .named(
+        "million_peers",
+        "10^6 peers on the structure-of-arrays backend: a ten-day "
+        "horizon at swarm scale, far beyond what the object-graph "
+        "engine fits in memory",
+    )
+    .with_churn("paper")
+    .with_fidelity("abstract_soa")
+    .with_staggered_join(120)
+)
+
 # ----------------------------------------------------------------------
 # Protocol-fidelity presets (PR 5): the same engine surface, but repairs
 # execute as real store/fetch exchanges with bandwidth-gated completion.

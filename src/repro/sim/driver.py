@@ -431,73 +431,99 @@ class SimulationDriver:
     ) -> List[Union[Candidate, Tuple[int, int]]]:
         """Fused candidate sampling and mutual acceptance (section 3.2).
 
-        This flattens what used to be a candidate generator feeding
-        :func:`repro.core.pool.build_pool` into one loop: candidate ids
-        come from a batched index buffer, the built-in acceptance rules
-        run inline on pre-drawn uniforms, and — when the strategy
-        declares no data needs — no :class:`Candidate` object is ever
-        built: the pool is a list of ``(peer_id, age)`` pairs.  The
-        eligibility filters, the mutual-acceptance structure (owner
-        decides first, the candidate's draw only happens if the owner
-        accepted) and the examined/accepted accounting are unchanged.
+        Draws are consumed in *chunks* rather than one at a time: each
+        pass takes ``chunk_size`` selection uniforms up front, filters
+        the sampled candidates (first occurrence only, not the owner,
+        not already a holder, quota not exhausted), then consumes
+        exactly two acceptance uniforms per filtered candidate —
+        unconditionally, even when the owner's own draw already
+        rejected.  Chunked consumption makes the draw count a pure
+        function of the chunk's content, which is what lets the SoA
+        backend (:mod:`repro.sim.engine_soa`) evaluate whole chunks as
+        numpy array operations while replaying the identical stream.
+        The chunk is sized so one pass almost always fills the pool;
+        candidate *evaluation* (and the ``examined`` count) stops at
+        the candidate that fills it, so the reported pool statistics
+        stay one-at-a-time semantics even though draw consumption is
+        chunk-granular.  The loop bounds are re-checked only between
+        chunks.
+
+        When the strategy declares no data needs, no
+        :class:`Candidate` object is ever built: the pool is a list of
+        ``(peer_id, age)`` pairs.
         """
         population = self.population
         peers = population.peers
         online = population.online_candidates
-        sample = online.sample_with
-        draws = self._selection_draws
-        next_uniform = self._acceptance_draws.next_uniform
+        selection = self._selection_draws
+        acceptance = self._acceptance_draws
         seen = set()
         accepted: List[Union[Candidate, Tuple[int, int]]] = []
         examined = 0
-        sample_budget = 8 * len(online) + 64
-        owner_id = owner.peer_id
-        owner_age = owner.age(now)
-        holders = owner.archive.holders
-        check_quota = not owner.is_observer
-        quota = self.config.quota
-        fast = self._fast_candidates
-        rule = self._acceptance_kind
-        if rule == "age":
-            cap = self.acceptance.age_cap
-            s_owner = owner_age if owner_age < cap else cap
-        while (
-            sample_budget > 0
-            and examined < max_examined
-            and len(accepted) < target_size
-        ):
-            sample_budget -= 1
-            candidate_id = sample(draws)
-            if candidate_id is None:
-                break
-            if candidate_id in seen:
-                continue
-            seen.add(candidate_id)
-            if candidate_id == owner_id or candidate_id in holders:
-                continue
-            candidate = peers[candidate_id]
-            if check_quota and len(candidate.hosted) >= quota:
-                continue
-            examined += 1
-            age = now - candidate.join_round  # candidates are never observers
+        if online:
+            sample_budget = 8 * len(online) + 64
+            owner_id = owner.peer_id
+            owner_age = owner.age(now)
+            holders = owner.archive.holders
+            check_quota = not owner.is_observer
+            quota = self.config.quota
+            fast = self._fast_candidates
+            rule = self._acceptance_kind
             if rule == "age":
-                # Inlined AcceptancePolicy: accept iff u < (L - s1 + s2 + 1)/L
-                # (the min(p, 1) clamp is free because u < 1).
-                s_cand = age if age < cap else cap
-                if next_uniform() * cap >= cap - s_owner + s_cand + 1:
-                    continue  # owner rejects
-                if next_uniform() * cap >= cap - s_cand + s_owner + 1:
-                    continue  # candidate rejects
-            elif rule != "uniform":
-                decide = self.acceptance.decide
-                if not decide(owner_age, age, next_uniform()):
-                    continue
-                if not decide(age, owner_age, next_uniform()):
-                    continue
-            if fast:
-                accepted.append((candidate_id, age))
-            else:
-                accepted.append(self._describe_candidate(candidate))
+                cap = self.acceptance.age_cap
+                s_owner = owner_age if owner_age < cap else cap
+            while (
+                sample_budget > 0
+                and examined < max_examined
+                and len(accepted) < target_size
+            ):
+                chunk_size = 8 * (target_size - len(accepted)) + 16
+                if chunk_size > sample_budget:
+                    chunk_size = sample_budget
+                sample_budget -= chunk_size
+                chunk = online.sample_chunk(selection.take(chunk_size))
+                fresh: List[int] = []
+                for candidate_id in chunk:
+                    if candidate_id in seen:
+                        continue
+                    seen.add(candidate_id)
+                    if candidate_id == owner_id or candidate_id in holders:
+                        continue
+                    if check_quota and len(peers[candidate_id].hosted) >= quota:
+                        continue
+                    fresh.append(candidate_id)
+                pairs = (
+                    acceptance.take(2 * len(fresh))
+                    if rule != "uniform"
+                    else ()
+                )
+                for position, candidate_id in enumerate(fresh):
+                    if len(accepted) >= target_size:
+                        break
+                    examined += 1
+                    # Candidates are never observers.
+                    age = now - peers[candidate_id].join_round
+                    if rule == "age":
+                        # Inlined AcceptancePolicy: accept iff
+                        # u < (L - s1 + s2 + 1)/L (min(p, 1) is free, u < 1).
+                        s_cand = age if age < cap else cap
+                        if pairs[2 * position] * cap >= cap - s_owner + s_cand + 1:
+                            continue  # owner rejects
+                        if pairs[2 * position + 1] * cap >= cap - s_cand + s_owner + 1:
+                            continue  # candidate rejects
+                    elif rule != "uniform":
+                        decide = self.acceptance.decide
+                        if not decide(owner_age, age, pairs[2 * position]):
+                            continue
+                        if not decide(age, owner_age, pairs[2 * position + 1]):
+                            continue
+                    if fast:
+                        accepted.append((candidate_id, age))
+                    else:
+                        accepted.append(
+                            self._describe_candidate(peers[candidate_id])
+                        )
+        del accepted[target_size:]
         self.metrics.record_pool(examined, len(accepted))
         return accepted
 

@@ -25,6 +25,7 @@ future rounds that have events, so its cost is negligible.
 from __future__ import annotations
 
 import heapq
+import operator
 from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -64,18 +65,35 @@ class _Handle:
     ``cancelled`` is set both by :meth:`EventQueue.cancel` and when the
     event is popped (executed), so cancelling an already-consumed handle
     is a safe no-op instead of corrupting the queue's live accounting.
+
+    ``key`` is the canonical intra-bucket sort key — ``(kind, peer_id)``
+    packed into one integer so :meth:`EventQueue._activate` sorts on a
+    C-compared int instead of calling a Python key function per element.
+    Handles tie only when their events are value-identical (same kind,
+    same peer) and therefore interchangeable: live events are unique per
+    (kind, peer) — the engines deduplicate checks and schedule at most
+    one toggle/death per peer — and the exceptions (JOIN and SAMPLE with
+    ``peer_id == -1``, protocol transfer completions) carry no payload
+    beyond the key, so any tie order is unobservable.
     """
 
-    __slots__ = ("round", "event", "cancelled")
+    __slots__ = ("round", "event", "cancelled", "key")
 
     def __init__(self, round_number: int, event: Event):
         self.round = round_number
         self.event = event
         self.cancelled = False
+        # kind value <= 8 and peer_id >= -1; 2**40 clears any realistic
+        # population size.  ``_value_`` skips the enum's
+        # DynamicClassAttribute descriptor (this runs once per schedule).
+        self.key = event.kind._value_ * 1099511627776 + event.peer_id + 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
         return f"_Handle(round={self.round}, event={self.event}{state})"
+
+
+_HANDLE_KEY = operator.attrgetter("key")
 
 
 class EventQueue:
@@ -154,6 +172,15 @@ class EventQueue:
         elif previous is not None and self._live.get(previous) == 0:
             del self._live[previous]
         if len(bucket) > 1:
+            # Canonicalise before shuffling: the execution order must be
+            # a pure function of the bucket's *content* (plus the one
+            # permutation draw), never of the order the events happened
+            # to be appended in.  Appending order leaks the engine's
+            # internal iteration order (e.g. over a peer's partner sets),
+            # so without this sort two state representations of the same
+            # simulation could diverge while being semantically
+            # identical.  Ties are unobservable (see ``_Handle.key``).
+            bucket.sort(key=_HANDLE_KEY)
             order = self._rng.permutation(len(bucket))
             bucket = [bucket[i] for i in order]
         self._current = bucket
@@ -176,6 +203,39 @@ class EventQueue:
                 return None
             self._activate(upcoming)
 
+    def pop_until(self, last_round: int) -> Optional[Tuple[int, Event]]:
+        """Pop the next live event, or ``None`` if it is past ``last_round``.
+
+        Fuses :meth:`peek_round` and :meth:`pop` for the engines' main
+        loops, and skips the earliest-bucket lookup entirely while the
+        current round still has events: buckets are keyed by the round
+        they will execute in, and :meth:`schedule` only ever files into
+        the current round's remainder (``d == 0``) or a future bucket
+        (``d >= 1``), so while ``_current`` is non-empty every bucket in
+        the heap is strictly later than the current round.  (Scheduling
+        into a *past* round mid-execution would break this; use
+        :meth:`pop` for that exotic case.)  Events past ``last_round``
+        stay in the queue untouched.
+        """
+        current = self._current
+        live = self._live
+        while True:
+            if current:
+                if self._current_round > last_round:
+                    return None
+                handle = current.pop()
+                if handle.cancelled:
+                    continue
+                handle.cancelled = True  # consumed: late cancel() is a no-op
+                self._size -= 1
+                live[handle.round] -= 1
+                return handle.round, handle.event
+            upcoming = self._next_bucket_round()
+            if upcoming is None or upcoming > last_round:
+                return None
+            self._activate(upcoming)
+            current = self._current
+
     def peek_round(self) -> Optional[int]:
         """Round of the next live event without removing it."""
         upcoming = self._next_bucket_round()
@@ -187,12 +247,10 @@ class EventQueue:
     def drain_until(self, last_round: int) -> Iterator[Tuple[int, Event]]:
         """Yield events up to and including ``last_round``, in order."""
         while True:
-            upcoming = self.peek_round()
-            if upcoming is None or upcoming > last_round:
+            item = self.pop_until(last_round)
+            if item is None:
                 return
-            item = self.pop()
-            if item is not None:
-                yield item
+            yield item
 
     def __len__(self) -> int:
         return self._size

@@ -168,6 +168,21 @@ class MetricsCollector:
         population: Dict[str, int] = {name: 0 for name in self.by_category}
         for age in ages:
             population[self._category_name(age)] += 1
+        self.sample_counts(round_number, population, interval)
+
+    def sample_counts(
+        self,
+        round_number: int,
+        population: Dict[str, int],
+        interval: int,
+    ) -> None:
+        """Record a census from pre-computed per-category counts.
+
+        Same semantics as :meth:`sample` with the classification already
+        done: the SoA backend computes the counts in one vectorised pass
+        instead of classifying peers one at a time.  ``population`` must
+        hold one entry per category, in category order.
+        """
         if round_number >= self.warmup_rounds:
             for name, count in population.items():
                 self.by_category[name].peer_rounds += count * interval

@@ -59,6 +59,23 @@ class SampleableSet:
             return None
         return items[draws.next_integer(len(items))]
 
+    def sample_chunk(self, uniforms: List[float]) -> List[int]:
+        """One uniform element per entry of ``uniforms`` (with replacement).
+
+        The chunked counterpart of :meth:`sample_with`, used by the pool
+        fill: the index arithmetic is identical (``int(u * n)``, clamped),
+        one element per uniform, in order.  The caller guarantees the set
+        is non-empty.
+        """
+        items = self._items
+        n = len(items)
+        result: List[int] = []
+        append = result.append
+        for u in uniforms:
+            index = int(u * n)
+            append(items[index if index < n else n - 1])
+        return result
+
     def __contains__(self, item: int) -> bool:
         return item in self._index
 

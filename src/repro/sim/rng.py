@@ -38,7 +38,7 @@ class BatchedDraws:
     byte-identical.
     """
 
-    __slots__ = ("_rng", "_block", "_buffer", "_position")
+    __slots__ = ("_rng", "_block", "_buffer", "_np_buffer", "_position")
 
     def __init__(self, rng: np.random.Generator, block: int = DEFAULT_BLOCK):
         if block < 1:
@@ -46,33 +46,110 @@ class BatchedDraws:
         self._rng = rng
         self._block = block
         self._buffer = ()
+        self._np_buffer = np.empty(0)
         self._position = 0
 
     def _refill(self) -> None:
-        self._buffer = self._rng.random(self._block).tolist()
+        # The list view is materialised lazily (`_list_view`): scalar
+        # consumers index a list (C-speed float access), but a stream
+        # drained purely through :meth:`take_array` never pays the
+        # ``tolist``.
+        self._np_buffer = self._rng.random(self._block)
+        self._buffer = None
         self._position = 0
+
+    def _list_view(self) -> list:
+        buffer = self._np_buffer.tolist()
+        self._buffer = buffer
+        return buffer
 
     def next_uniform(self) -> float:
         """One uniform float in ``[0, 1)``."""
         position = self._position
-        if position >= len(self._buffer):
+        buffer = self._buffer
+        if buffer is None:
+            buffer = self._list_view()
+        if position >= len(buffer):
             self._refill()
+            buffer = self._list_view()
             position = 0
         self._position = position + 1
-        return self._buffer[position]
+        return buffer[position]
 
     def next_integer(self, n: int) -> int:
         """One uniform integer in ``[0, n)``."""
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
         position = self._position
-        if position >= len(self._buffer):
+        buffer = self._buffer
+        if buffer is None:
+            buffer = self._list_view()
+        if position >= len(buffer):
             self._refill()
+            buffer = self._list_view()
             position = 0
         self._position = position + 1
-        value = int(self._buffer[position] * n)
+        value = int(buffer[position] * n)
         # float rounding can land exactly on n for huge n; clamp.
         return value if value < n else n - 1
+
+    def take(self, n: int) -> list:
+        """The next ``n`` uniforms in ``[0, 1)`` as one list.
+
+        Chunked consumption for vectorisable consumers (the recruitment
+        pool fill): the result is exactly what ``n`` successive
+        :meth:`next_uniform` calls would have returned, so scalar and
+        chunked consumers of one stream interleave deterministically.
+        """
+        out: list = []
+        position = self._position
+        buffer = self._buffer
+        if buffer is None:
+            buffer = self._list_view()
+        length = len(buffer)
+        while n > 0:
+            if position >= length:
+                self._refill()
+                buffer = self._list_view()
+                length = len(buffer)
+                position = 0
+            grab = n if n <= length - position else length - position
+            out.extend(buffer[position : position + grab])
+            position += grab
+            n -= grab
+        self._position = position
+        return out
+
+    def take_array(self, n: int) -> np.ndarray:
+        """The next ``n`` uniforms as a numpy vector.
+
+        Same stream position semantics as :meth:`take` — ``take_array(n)``
+        and ``take(n)`` return the same values (``tolist`` round-trips
+        float64 exactly) — but without the list detour, for consumers
+        that feed the result straight into array expressions.  The
+        common case (the request fits the current block) returns a
+        zero-copy view.
+        """
+        position = self._position
+        buffer = self._np_buffer
+        length = len(buffer)
+        if 0 < n <= length - position:
+            self._position = position + n
+            return buffer[position : position + n]
+        parts = []
+        while n > 0:
+            if position >= length:
+                self._refill()
+                buffer = self._np_buffer
+                length = len(buffer)
+                position = 0
+            grab = n if n <= length - position else length - position
+            parts.append(buffer[position : position + grab])
+            position += grab
+            n -= grab
+        self._position = position
+        return np.concatenate(parts) if parts else np.empty(0)
+
 
 #: Stable stream names used by the engine; listed here so tests can
 #: assert the full set.

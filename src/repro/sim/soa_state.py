@@ -1,0 +1,206 @@
+"""Structure-of-arrays state tables for the ``abstract_soa`` backend.
+
+The object-graph engine (:mod:`repro.sim.peer`) keeps one ``Peer`` plus
+one ``ArchiveState`` per peer — ~15 heap objects and dict slots per
+simulated participant.  That layout is pleasant to mutate but costs an
+attribute walk per touch and roughly 5 KB per peer, which caps practical
+populations around 10^5.  This module re-lays the same state as parallel
+columns indexed by peer id:
+
+* **scalar columns** are plain Python lists (``join``, ``online``,
+  ``alive``, ``visible``, ``placed`` ...): the simulation's hot handlers
+  touch a handful of scalars per event, where a C-backed list index is
+  several times cheaper than numpy element access *and* than a slotted
+  attribute load;
+* **placement links** are two ragged adjacency tables: ``holders[o]``
+  lists the peers storing owner ``o``'s blocks, and ``owners_of[h]``
+  lists the owners peer ``h`` stores for (the reverse index that makes
+  session toggles O(links-of-one-peer));
+* **census mirrors** (``join_np`` / ``census_alive``) are numpy arrays
+  maintained alongside the lists so the periodic metrics census is one
+  vectorised mask-subtract-searchsorted instead of a Python loop over
+  the whole population.
+
+Invariants (checked by ``SoaSimulation.audit``):
+
+* peer ids are allocated monotonically and never recycled — identical
+  to ``Population.new_id``, which is what lets the two backends share a
+  churn trajectory draw for draw;
+* observers occupy ids ``0 .. n_observers-1`` (they are created before
+  any JOIN event fires), so "is this peer an observer" is an id
+  comparison instead of a column;
+* ``holders`` rows contain **live peers only**: a death removes the
+  dead peer from every row it appears in, so a row's length *is* the
+  archive's live-holder count (``ArchiveState.alive`` in the object
+  engine);
+* ``visible[o]`` counts the online entries of ``holders[o]``, updated
+  incrementally on toggles, recruitment, drops and deaths;
+* the per-link "invisible since" timestamp of ``ArchiveState.holders``
+  is derived, not stored: links are only ever formed to online peers
+  and die with their holder, so a holder ``h`` is invisible exactly
+  when ``online[h]`` is false, and the round it disappeared is
+  ``last_offline[h]``;
+* ``quota_used[h]`` counts the links of ``h`` whose owner is a normal
+  peer (observer-owned blocks are quota-free, paper section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class StateTables:
+    """All per-peer simulation state as parallel columns.
+
+    One instance holds every peer of a run — observers first, then
+    normal peers in spawn order.  ``add_observer`` / ``add_peer`` return
+    the allocated id; columns grow in lockstep.
+    """
+
+    __slots__ = (
+        "n_observers",
+        "count",
+        # scalar columns (Python lists, hot)
+        "join",
+        "death",
+        "profile",
+        "online",
+        "alive",
+        "last_offline",
+        "last_state_change",
+        "online_rounds",
+        "quota_used",
+        # archive columns
+        "visible",
+        "placed",
+        "fully_placed",
+        "pending_check",
+        "check_scheduled",
+        "check_handle",
+        # ragged link tables
+        "holders",
+        "owners_of",
+        # observer side tables (indexed by id < n_observers)
+        "fixed_age",
+        "observer_name",
+        # numpy mirrors (grown amortised): join rounds + census flags
+        # feed the vectorised census; quota feeds the vectorised pool
+        # filter (kept in lockstep with ``quota_used`` by the engine).
+        "_join_np",
+        "_census_alive",
+        "quota_np",
+        "_capacity",
+    )
+
+    def __init__(self, initial_capacity: int = 1024):
+        self.n_observers = 0
+        self.count = 0
+        self.join: List[int] = []
+        self.death: List[Optional[int]] = []
+        self.profile: List[int] = []
+        self.online: List[int] = []
+        self.alive: List[int] = []
+        self.last_offline: List[int] = []
+        self.last_state_change: List[int] = []
+        self.online_rounds: List[int] = []
+        self.quota_used: List[int] = []
+        self.visible: List[int] = []
+        self.placed: List[int] = []
+        self.fully_placed: List[int] = []
+        self.pending_check: List[int] = []
+        self.check_scheduled: List[Optional[int]] = []
+        self.check_handle: List[object] = []
+        self.holders: List[List[int]] = []
+        self.owners_of: List[List[int]] = []
+        self.fixed_age: List[int] = []
+        self.observer_name: List[str] = []
+        capacity = max(int(initial_capacity), 16)
+        self._join_np = np.zeros(capacity, dtype=np.int64)
+        self._census_alive = np.zeros(capacity, dtype=bool)
+        self.quota_np = np.zeros(capacity, dtype=np.int64)
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def _append_common(self, join_round: int) -> int:
+        peer_id = self.count
+        if peer_id >= self._capacity:
+            capacity = self._capacity * 2
+            join_np = np.zeros(capacity, dtype=np.int64)
+            join_np[: self._capacity] = self._join_np
+            census = np.zeros(capacity, dtype=bool)
+            census[: self._capacity] = self._census_alive
+            quota_np = np.zeros(capacity, dtype=np.int64)
+            quota_np[: self._capacity] = self.quota_np
+            self._join_np = join_np
+            self._census_alive = census
+            self.quota_np = quota_np
+            self._capacity = capacity
+        self.count = peer_id + 1
+        self.join.append(join_round)
+        self.online.append(1)
+        self.alive.append(1)
+        self.last_offline.append(-1)
+        self.last_state_change.append(join_round)
+        self.online_rounds.append(0)
+        self.quota_used.append(0)
+        self.visible.append(0)
+        self.placed.append(0)
+        self.fully_placed.append(0)
+        self.pending_check.append(0)
+        self.check_scheduled.append(None)
+        self.check_handle.append(None)
+        self.holders.append([])
+        self.owners_of.append([])
+        self._join_np[peer_id] = join_round
+        return peer_id
+
+    def add_observer(self, fixed_age: int, name: str, join_round: int = 0) -> int:
+        """Register one observer peer; must precede every ``add_peer``."""
+        if self.n_observers != self.count:
+            raise ValueError("observers must be added before normal peers")
+        peer_id = self._append_common(join_round)
+        self.death.append(None)
+        self.profile.append(-1)
+        self.fixed_age.append(fixed_age)
+        self.observer_name.append(name)
+        self.n_observers += 1
+        # Observers are excluded from the census (they are the probe,
+        # not the population), so their census flag stays False.
+        return peer_id
+
+    def add_peer(
+        self, profile_index: int, join_round: int, death_round: Optional[int]
+    ) -> int:
+        """Register one normal peer, returning its id."""
+        peer_id = self._append_common(join_round)
+        self.death.append(death_round)
+        self.profile.append(profile_index)
+        self._census_alive[peer_id] = True
+        return peer_id
+
+    def mark_dead(self, peer_id: int) -> None:
+        """Flip the scalar and census life flags for a departing peer."""
+        self.alive[peer_id] = 0
+        self.online[peer_id] = 0
+        self._census_alive[peer_id] = False
+
+    # ------------------------------------------------------------------
+    # Census
+    # ------------------------------------------------------------------
+    def census_counts(self, now: int, category_uppers: np.ndarray) -> np.ndarray:
+        """Population count per age category over live normal peers.
+
+        ``category_uppers`` holds the finite upper bounds of every
+        category but the last; with half-open contiguous brackets,
+        ``searchsorted(uppers, age, side="right")`` is exactly
+        ``CategoryScheme.classify`` vectorised.
+        """
+        count = self.count
+        mask = self._census_alive[:count]
+        ages = now - self._join_np[:count][mask]
+        indices = np.searchsorted(category_uppers, ages, side="right")
+        return np.bincount(indices, minlength=len(category_uppers) + 1)
