@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.acceptance import AcceptancePolicy
+from ..core.acceptance import acceptance_rule
 from ..core.policy import RepairPolicy
 from ..core.selection import Candidate, SelectionStrategy, strategy_by_name
 from ..erasure.codec import ArchiveCodec, CodedBlock
@@ -32,6 +32,7 @@ from ..net.message import (
     StoreRequest,
 )
 from ..net.transport import InMemoryTransport
+from ..sim.rng import seed_sequence, seeded_generator
 from .archive import Archive
 from .fairness import ExchangeLedger
 from .manifest import MasterBlock
@@ -199,18 +200,18 @@ class BackupSwarm:
         )
         self.quota_blocks = quota_blocks
         self.fairness_factor = fairness_factor
-        self.acceptance = AcceptancePolicy(age_cap=age_cap)
+        self.acceptance = acceptance_rule("age", age_cap=age_cap)
         self.strategy: SelectionStrategy = strategy_by_name(selection)
         self.transport = InMemoryTransport()
         self.dht = MasterBlockDht(replication=3)
         self.clock = 0
         self.nodes: Dict[int, BackupNode] = {}
-        self._seed_sequence = np.random.SeedSequence(seed)
-        self._rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
+        self._seed_sequence = seed_sequence(seed)
+        self._rng = seeded_generator(self._seed_sequence.spawn(1)[0])
 
     def spawn_rng(self) -> np.random.Generator:
         """Independent generator for one node."""
-        return np.random.default_rng(self._seed_sequence.spawn(1)[0])
+        return seeded_generator(self._seed_sequence.spawn(1)[0])
 
     @property
     def rng(self) -> np.random.Generator:

@@ -80,7 +80,12 @@ class ChurnTraceGenerator:
         self.population = population
         self.horizon = horizon
         self.profiles = tuple(profiles)
-        self._rng = np.random.default_rng(seed)
+        # Imported lazily: repro.core imports this package while sim's
+        # config is still loading repro.core, so a module-level import
+        # of repro.sim would be circular.
+        from ..sim.rng import seeded_generator
+
+        self._rng = seeded_generator(seed)
         self._next_peer_id = 0
 
     def _spawn(self, join_round: int) -> PeerTrace:

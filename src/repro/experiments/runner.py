@@ -304,6 +304,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub = command(
+        "lint",
+        "run replint, the AST-based invariant linter, over src/repro "
+        "(rng discipline, digest stability, registry discipline, "
+        "ordered iteration, event-time hygiene); exits non-zero on any "
+        "finding",
+        "repro-experiments lint --format json",
+    )
+    from ..lint.cli import add_lint_arguments
+
+    add_lint_arguments(sub)
+
+    sub = command(
         "run",
         "run one registered scenario preset end to end and report its "
         "repair/loss rates",
@@ -751,6 +763,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "list":
         print(render_component_list())
         return 0
+    if args.experiment == "lint":
+        from ..lint.cli import run_from_args
+
+        return run_from_args(args)
     if args.experiment == "run":
         return _run_scenario(args)
     if args.experiment == "profile":

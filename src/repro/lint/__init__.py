@@ -1,0 +1,64 @@
+"""``replint``: AST-based enforcement of the repo's cross-PR invariants.
+
+Every invariant this repository's correctness leans on — same-seed
+byte-identity across execution and fidelity backends, config-digest
+stability, registry-only component resolution, the RngStreams /
+BatchedDraws RNG discipline — is prose in ``docs/ARCHITECTURE.md`` and
+is ultimately *checked* by equivalence tests that re-run whole
+simulations.  Those tests catch a violation hours after it is written
+and say nothing about where it lives.  ``replint`` turns the invariants
+into integrity constraints checked against the program text itself (the
+deductive-database move: verify the rules against the source, don't
+re-derive the model), so a determinism bug localises to a ``file:line``
+in well under a second.
+
+Rules are components like everything else in this repo: registered in
+:data:`LINT_RULES` (a :class:`repro.registry.Registry`) under their
+stable ids, so downstream code can add project-specific rules without
+touching this package::
+
+    from repro.lint import LINT_RULES, LintRule
+
+    @LINT_RULES.register("X900")
+    class NoPrint(LintRule):
+        rule_id = "X900"
+        name = "no-print"
+        title = "print() is forbidden in library code"
+        def check_module(self, module, graph):
+            for node in module.walk():
+                ...
+
+Surfaces:
+
+* ``repro-experiments lint`` — the CLI subcommand (CI gate);
+* ``python -m repro.lint`` — the same entry point for pre-commit hooks;
+* :func:`run_lint` — the library API the tests drive.
+
+Suppression: append ``# replint: disable=R001`` (comma-separate ids) to
+the offending line.  Suppressions that match no finding are reported as
+``W001 unused-suppression`` warnings so they cannot silently outlive
+the code they excused.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    LINT_RULES,
+    Finding,
+    LintReport,
+    LintRule,
+    Module,
+    ModuleGraph,
+    run_lint,
+)
+from . import rules as _builtin_rules  # noqa: F401  (import = registration)
+
+__all__ = [
+    "LINT_RULES",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "Module",
+    "ModuleGraph",
+    "run_lint",
+]

@@ -1,0 +1,148 @@
+"""CLI plumbing shared by ``repro-experiments lint`` and ``python -m repro.lint``.
+
+Both surfaces parse the same flags (:func:`add_lint_arguments`) and
+dispatch to the same implementation (:func:`run_from_args`), so the CI
+lane and a pre-commit hook cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import (
+    LINT_RULES,
+    default_package_root,
+    default_repo_root,
+    default_schema_path,
+    run_lint,
+)
+from .schema import write_schema_manifest
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (shared by both entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files or directories to lint (default: the installed "
+        "src/repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="run only these rules, by id (R001) or slug "
+        "(rng-discipline); default: all registered rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule with its id, slug and "
+        "description, then exit",
+    )
+    parser.add_argument(
+        "--include-tests",
+        action="store_true",
+        help="also lint tests/ and benchmarks/ in advisory mode: their "
+        "findings are reported but never affect the exit code",
+    )
+    parser.add_argument(
+        "--write-schema",
+        action="store_true",
+        help="regenerate the golden digest manifest "
+        "(docs/digest_schema.json) from sim/config.py and exit — run "
+        "this when a SimulationConfig serialization change is deliberate",
+    )
+    parser.add_argument(
+        "--schema",
+        default=None,
+        metavar="PATH",
+        help="golden digest manifest to check against / write "
+        "(default: docs/digest_schema.json next to the repo)",
+    )
+
+
+def _list_rules_text() -> str:
+    from . import rules as _builtin  # noqa: F401  (import = registration)
+
+    lines = []
+    for rule_id in LINT_RULES.names():
+        rule = LINT_RULES.get(rule_id)
+        lines.append(f"{rule_id}  {rule.name}")
+        lines.append(f"      {rule.title}")
+    return "\n".join(lines)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(_list_rules_text())
+        return 0
+
+    package_root = default_package_root()
+    repo_root = default_repo_root()
+    schema_path = Path(args.schema) if args.schema else default_schema_path()
+
+    if args.write_schema:
+        config_path = package_root / "sim" / "config.py"
+        manifest = write_schema_manifest(config_path, schema_path)
+        print(
+            f"wrote {schema_path}: "
+            f"{len(manifest['dataclass_fields'])} fields, "
+            f"{len(manifest['always_serialized'])} always-serialized, "
+            f"{len(manifest['conditionally_serialized'])} fidelity-gated keys"
+        )
+        return 0
+
+    paths = [Path(p) for p in args.paths] if args.paths else [package_root]
+    advisory: List[Path] = []
+    if args.include_tests:
+        for name in ("tests", "benchmarks"):
+            candidate = repo_root / name
+            if candidate.is_dir():
+                advisory.append(candidate)
+
+    report = run_lint(
+        paths,
+        rules=args.rules,
+        advisory_paths=advisory,
+        roots={package_root: package_root.parent, repo_root: repo_root},
+        repo_root=repo_root,
+        schema_path=schema_path,
+        graph_paths=[package_root],
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.lint`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "replint: AST-based enforcement of the repo's determinism, "
+            "digest-stability and registry invariants (see "
+            "docs/ARCHITECTURE.md, 'Invariants as lint rules')"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,503 @@
+"""The lint engine: module loading, import resolution, rule running.
+
+The engine parses every file it is pointed at with :mod:`ast`, wraps
+each in a :class:`Module` (source, tree, import bindings, suppression
+comments), links them into a :class:`ModuleGraph` (dotted-name lookup
+plus lazy cross-module facts cached by rules), and runs every enabled
+rule from :data:`LINT_RULES` over the *target* modules.  Modules can be
+enforced (findings fail the run) or *advisory* (findings are reported
+but never affect the exit code — how ``--include-tests`` lints the test
+suite without gating on it).
+
+Nothing here imports the code under analysis: the whole check is
+source-level, which is what keeps a full ``src/repro`` run well under a
+second and safe to wire into CI ahead of the test lanes.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..registry import Registry
+
+#: Registry of lint rules, keyed by stable rule id ("R001", ...).
+LINT_RULES: Registry[type] = Registry("lint rule")
+
+#: Rule id used for unused-suppression warnings.
+UNUSED_SUPPRESSION_ID = "W001"
+
+_SUPPRESSION = re.compile(r"#\s*replint:\s*disable=([A-Za-z0-9_,\s]*)")
+_SUPPRESSION_ID = re.compile(r"[A-Za-z]+\d+|all")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    rule_id: str
+    name: str
+    path: str
+    line: int
+    message: str
+    advisory: bool = False
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        tag = " (advisory)" if self.advisory else ""
+        return f"{self.location}: {self.rule_id} {self.name}: {self.message}{tag}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "name": self.name,
+            "file": self.path,
+            "line": self.line,
+            "message": self.message,
+            "advisory": self.advisory,
+        }
+
+
+@dataclass
+class _Suppression:
+    """A ``# replint: disable=...`` comment and its consumption state."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    used: Set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str) -> bool:
+        return "all" in self.rule_ids or rule_id in self.rule_ids
+
+
+class Module:
+    """One parsed source file plus the lint-relevant derived facts."""
+
+    def __init__(
+        self,
+        path: Path,
+        name: str,
+        source: str,
+        tree: ast.Module,
+        *,
+        relpath: str,
+        advisory: bool = False,
+        is_package: bool = False,
+    ):
+        self.path = path
+        self.name = name
+        self.source = source
+        self.tree = tree
+        self.relpath = relpath
+        self.advisory = advisory
+        self.is_package = is_package
+        #: Directory-name segments of the relative path (scope checks).
+        self.scope_dirs: Set[str] = set(Path(relpath).parts[:-1])
+        self.filename = Path(relpath).name
+        self.suppressions: Dict[int, _Suppression] = _parse_suppressions(source)
+        self.bindings: Dict[str, str] = {}
+        self._local_defs: Set[str] = set()
+        self._collect_bindings()
+
+    # -- import resolution ---------------------------------------------
+    @property
+    def package(self) -> str:
+        """The package relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+    def _collect_bindings(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.bindings[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self.resolve_import_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.bindings[bound] = f"{base}.{alias.name}"
+            elif isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._local_defs.add(node.name)
+
+    def resolve_import_from(self, node: ast.ImportFrom) -> Optional[str]:
+        """The absolute dotted module an ``ImportFrom`` pulls from."""
+        if node.level == 0:
+            return node.module
+        parts = self.package.split(".") if self.package else []
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        base_parts = parts[: len(parts) - drop] if drop else parts
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, or None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Absolute dotted target of a Name/Attribute chain.
+
+        The chain's head is mapped through this module's import
+        bindings, so ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``.
+        Returns ``None`` for non-chain expressions and for heads that
+        are not import-bound (locals, parameters, attributes of self).
+        """
+        dotted = self.dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.bindings.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def defines(self, name: str) -> bool:
+        """Whether the module itself defines class/function ``name``."""
+        return name in self._local_defs
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+
+class ModuleGraph:
+    """All loaded modules, addressable by dotted name.
+
+    Rules needing cross-module facts (e.g. which classes are registered
+    where) compute them once and cache them on :attr:`facts`.
+    """
+
+    def __init__(self, modules: Sequence[Module], digest_schema_path: Optional[Path] = None):
+        self.modules: Dict[str, Module] = {m.name: m for m in modules}
+        self.digest_schema_path = digest_schema_path
+        self.facts: Dict[str, object] = {}
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules.values())
+
+    def resolve_module(self, dotted: str) -> Optional[Module]:
+        """The graph module for ``dotted``, exact or by suffix.
+
+        Suffix matching makes absolute imports inside fixture corpora
+        (whose computed names carry their directory prefix) resolve.
+        """
+        module = self.modules.get(dotted)
+        if module is not None:
+            return module
+        suffix = "." + dotted
+        candidates = [m for name, m in self.modules.items() if name.endswith(suffix)]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` (stable, ``R``/``W`` + 3 digits),
+    :attr:`name` (kebab-case slug) and :attr:`title`, and implement
+    :meth:`check_module`.  The engine handles scoping bookkeeping,
+    suppressions and advisory demotion.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    title: str = ""
+
+    def check_module(self, module: Module, graph: ModuleGraph) -> Iterator[Finding]:
+        """Yield findings for one module (may consult the whole graph)."""
+        return iter(())
+
+    def finding(self, module: Module, line: int, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            name=self.name,
+            path=module.relpath,
+            line=line,
+            message=message,
+            advisory=module.advisory,
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    advisory: List[Finding]
+    warnings: List[Finding]
+    rules: List[str]
+    files: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "rules": self.rules,
+            "files": self.files,
+            "findings": [f.to_dict() for f in self.findings],
+            "advisory": [f.to_dict() for f in self.advisory],
+            "warnings": [f.to_dict() for f in self.warnings],
+            "counts": {
+                "findings": len(self.findings),
+                "advisory": len(self.advisory),
+                "warnings": len(self.warnings),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings + self.advisory + self.warnings]
+        lines.append(
+            f"replint: {len(self.findings)} finding(s), "
+            f"{len(self.advisory)} advisory, {len(self.warnings)} warning(s) "
+            f"— {len(self.rules)} rule(s) over {self.files} file(s)"
+        )
+        return "\n".join(lines)
+
+
+def _parse_suppressions(source: str) -> Dict[int, _Suppression]:
+    """Suppression comments by line, from *actual* comment tokens.
+
+    Tokenizing (rather than regex-scanning raw lines) means the marker
+    text can appear in docstrings and string literals — e.g. this
+    package's own documentation — without being treated as live.
+    """
+    suppressions: Dict[int, _Suppression] = {}
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.search(token.string)
+            if match is None:
+                continue
+            lineno = token.start[0]
+            ids = tuple(_SUPPRESSION_ID.findall(match.group(1)))
+            suppressions[lineno] = _Suppression(line=lineno, rule_ids=ids)
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse ran first
+        pass
+    return suppressions
+
+
+def _iter_files(path: Path) -> List[Path]:
+    """Python files under ``path``.
+
+    Directory scans skip ``fixtures/`` subtrees: lint-fixture corpora
+    are deliberately-broken snippets (``tests/lint/fixtures/``), linted
+    only when pointed at explicitly.
+    """
+    if path.is_file():
+        return [path] if path.suffix == ".py" else []
+    return sorted(
+        p
+        for p in path.rglob("*.py")
+        if p.is_file() and "fixtures" not in p.relative_to(path).parts[:-1]
+    )
+
+
+def _module_name(path: Path, root: Path) -> Tuple[str, bool]:
+    """Dotted name (relative to ``root``) and whether it is a package."""
+    relative = path.resolve().relative_to(root.resolve())
+    parts = list(relative.parts)
+    is_package = parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts) or path.stem, is_package
+
+
+def load_module(
+    path: Path, root: Path, repo_root: Path, advisory: bool = False
+) -> Optional[Module]:
+    """Parse one file into a :class:`Module` (None on syntax errors)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+    except (OSError, SyntaxError, ValueError):
+        return None
+    name, is_package = _module_name(path, root)
+    try:
+        relpath = path.resolve().relative_to(repo_root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return Module(
+        path=path,
+        name=name,
+        source=source,
+        tree=tree,
+        relpath=relpath,
+        advisory=advisory,
+        is_package=is_package,
+    )
+
+
+def default_package_root() -> Path:
+    """The installed ``repro`` package directory (``.../src/repro``)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_repo_root() -> Path:
+    """The repository root the package runs from (``src``'s parent)."""
+    return default_package_root().parent.parent
+
+
+def default_schema_path() -> Path:
+    """Where the golden digest manifest lives (``docs/digest_schema.json``)."""
+    return default_repo_root() / "docs" / "digest_schema.json"
+
+
+def _load_rules(rule_ids: Optional[Sequence[str]]) -> List[LintRule]:
+    from . import rules as _builtin  # noqa: F401  (import = registration)
+
+    if rule_ids is None:
+        selected = LINT_RULES.names()
+    else:
+        by_name = {LINT_RULES.get(rid).name: rid for rid in LINT_RULES.names()}
+        selected = []
+        for requested in rule_ids:
+            rid = by_name.get(requested, requested)
+            LINT_RULES.check(rid)
+            selected.append(rid)
+    return [LINT_RULES.get(rid)() for rid in sorted(set(selected))]
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[str]] = None,
+    advisory_paths: Sequence[Path] = (),
+    roots: Optional[Dict[Path, Path]] = None,
+    repo_root: Optional[Path] = None,
+    schema_path: Optional[Path] = None,
+    graph_paths: Sequence[Path] = (),
+) -> LintReport:
+    """Lint ``paths`` (enforced) and ``advisory_paths`` (reported only).
+
+    ``roots`` maps a lint path to the root its module names are computed
+    against (defaults to the path's parent, so ``src/repro`` yields
+    ``repro.*`` names).  ``graph_paths`` name extra trees to parse into
+    the module graph *without* linting them — cross-module rules (R003's
+    registration census, R002's config extraction) consult the graph, so
+    a subset lint still sees the whole package.
+    """
+    repo_root = repo_root or default_repo_root()
+    roots = dict(roots or {})
+
+    def root_for(path: Path) -> Path:
+        for candidate, root in roots.items():
+            try:
+                path.resolve().relative_to(candidate.resolve())
+                return root
+            except ValueError:
+                continue
+        return path if path.is_dir() else path.parent
+
+    loaded: Dict[Path, Module] = {}
+
+    def load_tree(tree_paths: Sequence[Path], advisory: bool, target: bool) -> List[Module]:
+        out = []
+        for top in tree_paths:
+            root = root_for(top)
+            for file_path in _iter_files(Path(top)):
+                key = file_path.resolve()
+                existing = loaded.get(key)
+                if existing is not None:
+                    if target and existing.advisory and not advisory:
+                        existing.advisory = False
+                    out.append(existing)
+                    continue
+                module = load_module(file_path, root, repo_root, advisory=advisory)
+                if module is None:
+                    continue
+                loaded[key] = module
+                out.append(module)
+        return out
+
+    targets = load_tree(list(paths), advisory=False, target=True)
+    targets += load_tree(list(advisory_paths), advisory=True, target=True)
+    load_tree(list(graph_paths), advisory=True, target=False)
+
+    graph = ModuleGraph(
+        list(loaded.values()),
+        digest_schema_path=schema_path or default_schema_path(),
+    )
+    active_rules = _load_rules(rules)
+    enabled_ids = {rule.rule_id for rule in active_rules}
+
+    enforced: List[Finding] = []
+    advisory: List[Finding] = []
+    warnings: List[Finding] = []
+    seen_targets = {module.path.resolve() for module in targets}
+
+    for module in sorted(targets, key=lambda m: m.relpath):
+        if module.path.resolve() not in seen_targets:
+            continue
+        seen_targets.discard(module.path.resolve())
+        for rule in active_rules:
+            for finding in rule.check_module(module, graph):
+                suppression = module.suppressions.get(finding.line)
+                if suppression is not None and suppression.covers(finding.rule_id):
+                    suppression.used.add(finding.rule_id)
+                    continue
+                (advisory if finding.advisory else enforced).append(finding)
+        for suppression in module.suppressions.values():
+            stale = [
+                rid
+                for rid in suppression.rule_ids
+                if (rid in enabled_ids or rid == "all") and rid not in suppression.used
+                and not (rid == "all" and suppression.used)
+            ]
+            for rid in stale:
+                warnings.append(
+                    Finding(
+                        rule_id=UNUSED_SUPPRESSION_ID,
+                        name="unused-suppression",
+                        path=module.relpath,
+                        line=suppression.line,
+                        message=(
+                            f"suppression for {rid} matches no finding on this "
+                            "line; delete the stale comment"
+                        ),
+                        advisory=True,
+                    )
+                )
+
+    order = lambda f: (f.path, f.line, f.rule_id)  # noqa: E731
+    return LintReport(
+        findings=sorted(enforced, key=order),
+        advisory=sorted(advisory, key=order),
+        warnings=sorted(warnings, key=order),
+        rules=sorted(enabled_ids),
+        files=len(targets),
+    )

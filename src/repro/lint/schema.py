@@ -1,0 +1,294 @@
+"""Static extraction of the ``SimulationConfig`` digest schema (R002).
+
+The sweep executor's content-addressed cache hashes
+``SimulationConfig.to_dict()`` (see ``repro.exec.cache``), so the *set*
+of keys that method emits is load-bearing: an unconditionally serialized
+new key silently changes every existing digest and orphans every cached
+cell.  PR 5 established the conditional-serialization pattern — new
+(fidelity-axis) keys are emitted only under
+``if self.fidelity != DEFAULT_FIDELITY:`` — and this module extracts
+both halves of the contract *from the source text*:
+
+* the dataclass field set of ``SimulationConfig``;
+* the keys ``to_dict`` always emits vs. the keys it emits only inside a
+  conditional.
+
+R002 diffs that extraction against the committed golden manifest
+``docs/digest_schema.json``; ``repro-experiments lint --write-schema``
+regenerates the manifest when a change is deliberate, and
+``tests/lint/test_schema.py`` cross-checks the static extraction
+against the live ``to_dict`` output at both fidelities.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: The class whose serialization the manifest pins.
+CONFIG_CLASS = "SimulationConfig"
+
+#: Manifest format version (bump on structural changes).
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class DigestSchema:
+    """What the source says about the config's serialized shape.
+
+    Values map names to the line they were extracted from, so R002
+    findings point at the offending declaration, not at the class.
+    """
+
+    class_line: int = 1
+    to_dict_line: int = 1
+    fields: Dict[str, int] = field(default_factory=dict)
+    always: Dict[str, int] = field(default_factory=dict)
+    conditional: Dict[str, int] = field(default_factory=dict)
+
+    def to_manifest(self) -> Dict[str, object]:
+        """The golden-manifest form of this extraction."""
+        return {
+            "version": MANIFEST_VERSION,
+            "config_class": CONFIG_CLASS,
+            "dataclass_fields": sorted(self.fields),
+            "always_serialized": sorted(self.always),
+            "conditionally_serialized": sorted(self.conditional),
+        }
+
+
+def _string_keys(node: ast.Dict) -> Iterator[Tuple[str, int]]:
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            yield key.value, key.lineno
+
+
+def _subscript_key(target: ast.AST) -> Optional[Tuple[str, int]]:
+    """``("k", line)`` for a ``data["k"] = ...`` assignment target."""
+    if not isinstance(target, ast.Subscript):
+        return None
+    index = target.slice
+    if isinstance(index, ast.Index):  # pragma: no cover - py<3.9 form
+        index = index.value
+    if isinstance(index, ast.Constant) and isinstance(index.value, str):
+        return index.value, target.lineno
+    return None
+
+
+def _walk_to_dict(
+    statements: List[ast.stmt], schema: DigestSchema, conditional: bool
+) -> None:
+    for stmt in statements:
+        if isinstance(stmt, ast.If):
+            _walk_to_dict(stmt.body, schema, True)
+            _walk_to_dict(stmt.orelse, schema, True)
+            continue
+        if isinstance(stmt, (ast.For, ast.While)):
+            _walk_to_dict(stmt.body, schema, True)
+            _walk_to_dict(stmt.orelse, schema, True)
+            continue
+        if isinstance(stmt, ast.With):
+            _walk_to_dict(stmt.body, schema, conditional)
+            continue
+        if isinstance(stmt, ast.Try):
+            for body in (stmt.body, stmt.orelse, stmt.finalbody):
+                _walk_to_dict(body, schema, conditional)
+            for handler in stmt.handlers:
+                _walk_to_dict(handler.body, schema, True)
+            continue
+        bucket = schema.conditional if conditional else schema.always
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                entry = _subscript_key(target)
+                if entry is not None:
+                    bucket.setdefault(entry[0], entry[1])
+            if isinstance(stmt.value, ast.Dict):
+                for key, line in _string_keys(stmt.value):
+                    bucket.setdefault(key, line)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.value, ast.Dict):
+            for key, line in _string_keys(stmt.value):
+                bucket.setdefault(key, line)
+
+
+def extract_digest_schema(tree: ast.Module) -> Optional[DigestSchema]:
+    """Extract the digest schema from a parsed config module.
+
+    Returns ``None`` when the module defines no :data:`CONFIG_CLASS`
+    (so R002 stays silent on unrelated ``config.py`` files).
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+            config_class = node
+            break
+    else:
+        return None
+    schema = DigestSchema(class_line=config_class.lineno)
+    for stmt in config_class.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if not (
+                isinstance(stmt.annotation, ast.Name)
+                and stmt.annotation.id == "ClassVar"
+            ) and not (
+                isinstance(stmt.annotation, ast.Subscript)
+                and isinstance(stmt.annotation.value, ast.Name)
+                and stmt.annotation.value.id == "ClassVar"
+            ):
+                schema.fields[stmt.target.id] = stmt.lineno
+        elif isinstance(stmt, ast.FunctionDef) and stmt.name == "to_dict":
+            schema.to_dict_line = stmt.lineno
+            _walk_to_dict(stmt.body, schema, conditional=False)
+    return schema
+
+
+def load_manifest(path: Optional[Path]) -> Optional[Dict[str, object]]:
+    """The committed golden manifest, or ``None`` if missing/unreadable."""
+    if path is None:
+        return None
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    return data
+
+
+def _as_set(manifest: Dict[str, object], key: str) -> frozenset:
+    value = manifest.get(key, [])
+    if not isinstance(value, (list, tuple)):
+        return frozenset()
+    return frozenset(str(item) for item in value)
+
+
+def compare_schema(
+    schema: DigestSchema, manifest: Dict[str, object]
+) -> List[Tuple[int, str]]:
+    """``(line, message)`` pairs for every divergence from the manifest.
+
+    Key order inside ``to_dict`` is deliberately *not* compared: the
+    cache serializes with ``sort_keys=True`` (``repro.exec.cache``), so
+    only membership and conditionality affect digests.
+    """
+    manifest_fields = _as_set(manifest, "dataclass_fields")
+    manifest_always = _as_set(manifest, "always_serialized")
+    manifest_cond = _as_set(manifest, "conditionally_serialized")
+    issues: List[Tuple[int, str]] = []
+
+    for key in sorted(schema.always):
+        line = schema.always[key]
+        if key in manifest_always:
+            continue
+        if key in manifest_cond:
+            issues.append(
+                (
+                    line,
+                    f"to_dict key '{key}' is serialized unconditionally but "
+                    "the golden manifest records it as fidelity-gated — "
+                    "this changes the cache digest of every existing "
+                    "config; restore the 'if self.fidelity != "
+                    "DEFAULT_FIDELITY' guard, or regenerate the manifest "
+                    "with 'repro-experiments lint --write-schema' if the "
+                    "digest break is deliberate",
+                )
+            )
+        else:
+            issues.append(
+                (
+                    line,
+                    f"new to_dict key '{key}' is serialized unconditionally, "
+                    "which silently changes every cache digest — gate it "
+                    "behind the fidelity conditional (the PR 5 pattern) or "
+                    "regenerate the manifest with 'repro-experiments lint "
+                    "--write-schema' to accept the break",
+                )
+            )
+    for key in sorted(schema.conditional):
+        line = schema.conditional[key]
+        if key in manifest_cond:
+            continue
+        if key in manifest_always:
+            issues.append(
+                (
+                    line,
+                    f"to_dict key '{key}' became conditionally serialized "
+                    "but the manifest records it as unconditional — "
+                    "existing digests change; regenerate the manifest with "
+                    "--write-schema if this is deliberate",
+                )
+            )
+        else:
+            issues.append(
+                (
+                    line,
+                    f"new conditionally serialized to_dict key '{key}' is "
+                    "not in the golden manifest; regenerate it with "
+                    "'repro-experiments lint --write-schema'",
+                )
+            )
+    emitted = set(schema.always) | set(schema.conditional)
+    for key in sorted((manifest_always | manifest_cond) - emitted):
+        issues.append(
+            (
+                schema.to_dict_line,
+                f"the golden manifest records to_dict key '{key}' but "
+                "to_dict no longer emits it — existing cache digests "
+                "change; regenerate the manifest with --write-schema if "
+                "the removal is deliberate",
+            )
+        )
+    for name in sorted(set(schema.fields) - manifest_fields):
+        issues.append(
+            (
+                schema.fields[name],
+                f"new SimulationConfig field '{name}' is not recorded in "
+                "the golden manifest; regenerate it with "
+                "'repro-experiments lint --write-schema' (and serialize "
+                "the field behind the fidelity guard)",
+            )
+        )
+    for name in sorted(manifest_fields - set(schema.fields)):
+        issues.append(
+            (
+                schema.class_line,
+                f"the golden manifest records SimulationConfig field "
+                f"'{name}' which no longer exists; regenerate the manifest "
+                "with --write-schema",
+            )
+        )
+    issues.sort(key=lambda item: item[0])
+    return issues
+
+
+def extract_from_file(config_path: Path) -> Optional[DigestSchema]:
+    """Parse ``config_path`` and extract its digest schema."""
+    try:
+        tree = ast.parse(Path(config_path).read_text(encoding="utf-8"))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    return extract_digest_schema(tree)
+
+
+def write_schema_manifest(
+    config_path: Path, manifest_path: Path
+) -> Dict[str, object]:
+    """Regenerate the golden manifest from the config source.
+
+    Returns the written manifest.  Raises ``ValueError`` when the
+    source does not define :data:`CONFIG_CLASS`.
+    """
+    schema = extract_from_file(config_path)
+    if schema is None:
+        raise ValueError(
+            f"{config_path} does not define {CONFIG_CLASS}; cannot write "
+            "the digest manifest"
+        )
+    manifest = schema.to_manifest()
+    manifest_path = Path(manifest_path)
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return manifest

@@ -277,7 +277,7 @@ class ProtocolSimulation(Simulation):
         if pending is not None:
             self._cancel_pending(pending, release_blocks=True)
         # It can no longer become a holder for anyone's pending transfer.
-        for owner_id in self._pending_by_holder.pop(peer_id, set()):
+        for owner_id in sorted(self._pending_by_holder.pop(peer_id, ())):
             waiting = self._pending.get(owner_id)
             if waiting is not None and waiting.blocks.pop(peer_id, None) is not None:
                 self.metrics.bump("blocks_cancelled")

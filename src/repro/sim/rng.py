@@ -214,3 +214,27 @@ class RngStreams:
             entropy=self._root.entropy, spawn_key=(len(STREAM_NAMES) + self._extra_spawned,)
         ).spawn(1)
         return np.random.default_rng(child)
+
+
+def seed_sequence(seed: Optional[int] = None) -> np.random.SeedSequence:
+    """The blessed way to build a ``SeedSequence`` outside this module.
+
+    R001 (rng-discipline) bans direct ``numpy.random.SeedSequence``
+    construction in simulation code so every root of randomness is
+    greppable in one place; components that manage their own spawn
+    hierarchy (e.g. the backup swarm harness) obtain it here.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def seeded_generator(seed=None) -> np.random.Generator:
+    """The blessed way to construct a seeded generator outside this module.
+
+    Accepts anything ``numpy.random.default_rng`` accepts (an int seed,
+    ``None``, or a ``SeedSequence`` child from :func:`seed_sequence`),
+    and returns a bit-identical generator — it exists so R001 can pin
+    *where* generators come from without changing what they produce.
+    """
+    return np.random.default_rng(seed)

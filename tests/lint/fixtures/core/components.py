@@ -1,0 +1,11 @@
+"""R003 fixture support: a registry with one registered component."""
+
+from repro.registry import Registry
+
+SELECTION_STRATEGIES = Registry("selection strategy")
+
+
+@SELECTION_STRATEGIES.register("fixture")
+class FixtureStrategy:
+    def choose(self, candidates):
+        return candidates[0]

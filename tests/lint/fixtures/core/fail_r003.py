@@ -1,0 +1,7 @@
+"""R003 failing fixture: constructing a registered class directly."""
+
+from core.components import FixtureStrategy
+
+
+def build():
+    return FixtureStrategy()

@@ -1,0 +1,7 @@
+"""R003 passing fixture: resolution through the registry."""
+
+from core.components import SELECTION_STRATEGIES
+
+
+def build():
+    return SELECTION_STRATEGIES.get("fixture")()

@@ -1,0 +1,22 @@
+"""R002 fixture: a miniature SimulationConfig with one gated key.
+
+Compared against ``manifest_ok.json`` (which records ``extra_knob`` as
+always-serialized) this is clean; against ``manifest_gated.json``
+(which records it as fidelity-gated) the unconditional ``extra_knob``
+line is exactly the guard-deletion R002 case.
+"""
+
+DEFAULT_FIDELITY = "abstract"
+
+
+class SimulationConfig:
+    population: int = 1000
+    fidelity: str = DEFAULT_FIDELITY
+    extra_knob: int = 3
+
+    def to_dict(self):
+        data = {"population": self.population}
+        data["extra_knob"] = self.extra_knob
+        if self.fidelity != DEFAULT_FIDELITY:
+            data["fidelity"] = self.fidelity
+        return data

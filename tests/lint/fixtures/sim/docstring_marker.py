@@ -1,0 +1,13 @@
+"""Documentation-only marker fixture.
+
+This docstring *mentions* the suppression syntax::
+
+    # replint: disable=R001
+
+but contains no live comment, so the engine must neither honour it nor
+report it as unused.
+"""
+
+
+def add(a, b):
+    return a + b

@@ -1,0 +1,15 @@
+"""R001 failing fixture: every banned randomness/clock source at once."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def draw():
+    value = random.random()
+    jitter = np.random.default_rng()
+    stamp = time.time()
+    salt = os.urandom(8)
+    return value, jitter, stamp, salt

@@ -1,0 +1,10 @@
+"""R004 failing fixture: set iteration in order-sensitive scope."""
+
+
+def drain(pending, peer_id, alive):
+    for owner in pending.pop(peer_id, set()):
+        yield owner
+    for peer in alive | {0}:
+        yield peer
+    ordered = list({peer_id, 1, 2})
+    return ordered

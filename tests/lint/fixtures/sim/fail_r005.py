@@ -1,0 +1,9 @@
+"""R005 failing fixture: heapq scheduling and float round arithmetic."""
+
+import heapq
+
+
+def reschedule(queue, now, interval):
+    heapq.heappush(queue, now)
+    queue.schedule(now + interval / 2, "repair")
+    queue.schedule(now + 1.5, "audit")

@@ -1,0 +1,12 @@
+"""R001 passing fixture: randomness through the blessed helpers only."""
+
+import time
+
+from repro.sim.rng import RngStreams, seeded_generator
+
+
+def draw(seed):
+    streams = RngStreams(seed)
+    extra = seeded_generator(seed)
+    started = time.perf_counter()  # perf timing is not simulation state
+    return streams.stream("selection").random(), extra.random(), started

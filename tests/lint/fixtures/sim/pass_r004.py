@@ -1,0 +1,10 @@
+"""R004 passing fixture: the same shapes, iterated in sorted order."""
+
+
+def drain(pending, peer_id, alive):
+    for owner in sorted(pending.pop(peer_id, ())):
+        yield owner
+    for peer in sorted(alive | {0}):
+        yield peer
+    ordered = sorted({peer_id, 1, 2})
+    return ordered

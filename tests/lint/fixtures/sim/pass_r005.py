@@ -1,0 +1,7 @@
+"""R005 passing fixture: integer rounds through the EventQueue API."""
+
+
+def reschedule(queue, scheduler, now, interval, delay_seconds):
+    queue.schedule(now + interval, "repair")
+    queue.schedule(now + int(delay_seconds / 3600), "audit")
+    queue.schedule(scheduler.round_for(delay_seconds / 3600), "transfer")

@@ -1,0 +1,7 @@
+"""Suppression fixture: a violation excused on its own line."""
+
+import random  # replint: disable=R001
+
+
+def draw():
+    return random.random()  # replint: disable=R001

@@ -1,0 +1,5 @@
+"""Unused-suppression fixture: the comment excuses nothing."""
+
+
+def add(a, b):
+    return a + b  # replint: disable=R001

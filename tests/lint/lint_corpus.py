@@ -1,0 +1,33 @@
+"""Shared helpers for the replint tests: fixture-corpus lint runs."""
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Manifest under which the fixture config is clean.
+MANIFEST_OK = FIXTURES / "manifest_ok.json"
+
+#: Manifest recording ``extra_knob`` as fidelity-gated — the fixture
+#: config serializes it unconditionally, the guard-deletion R002 case.
+MANIFEST_GATED = FIXTURES / "manifest_gated.json"
+
+
+def lint_fixture(*relpaths, rules=None, schema=MANIFEST_OK, advisory=()):
+    """Lint fixture files as their own mini-repo.
+
+    ``repo_root`` is the fixtures directory, so ``sim/...`` fixtures
+    carry the scope the rules key on (no leading ``tests/`` segment,
+    which would put them out of scope for R003).
+    """
+    paths = [FIXTURES / rel for rel in relpaths]
+    return run_lint(
+        paths,
+        rules=rules,
+        advisory_paths=[FIXTURES / rel for rel in advisory],
+        roots={FIXTURES: FIXTURES},
+        repo_root=FIXTURES,
+        schema_path=schema,
+        graph_paths=[FIXTURES],
+    )

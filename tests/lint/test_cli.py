@@ -1,0 +1,144 @@
+"""The lint CLI surfaces: flags, JSON shape, exit codes, runner wiring."""
+
+import json
+
+import pytest
+
+from lint_corpus import FIXTURES, MANIFEST_OK
+from repro.experiments.runner import build_parser
+from repro.lint import LINT_RULES
+from repro.lint.cli import main as lint_main
+
+EXPECTED_RULES = ("R001", "R002", "R003", "R004", "R005")
+
+
+def run_cli(capsys, *argv):
+    code = lint_main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestRegistry:
+    def test_five_rules_registered(self):
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in LINT_RULES
+
+    def test_rules_carry_metadata(self):
+        for rule_id in EXPECTED_RULES:
+            rule = LINT_RULES.get(rule_id)
+            assert rule.rule_id == rule_id
+            assert rule.name
+            assert rule.title
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        code, out = run_cli(capsys, "--list-rules")
+        assert code == 0
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in out
+        assert "rng-discipline" in out
+
+    def test_clean_file_exits_zero(self, capsys):
+        code, out = run_cli(capsys, str(FIXTURES / "sim" / "pass_r001.py"))
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_failing_file_exits_one(self, capsys):
+        code, out = run_cli(capsys, str(FIXTURES / "sim" / "fail_r001.py"))
+        assert code == 1
+        assert "R001" in out
+
+    def test_rules_subset_flag(self, capsys):
+        code, _ = run_cli(
+            capsys,
+            str(FIXTURES / "sim" / "fail_r001.py"),
+            "--rules",
+            "R004",
+        )
+        assert code == 0
+
+    def test_unknown_rule_rejected(self, capsys):
+        with pytest.raises(Exception):
+            run_cli(capsys, "--rules", "R999")
+
+    def test_src_repro_default_is_clean(self, capsys):
+        # The acceptance bar: the shipped tree lints clean by default.
+        code, out = run_cli(capsys)
+        assert code == 0, out
+        assert "0 finding(s)" in out
+
+    def test_include_tests_stays_advisory(self, capsys):
+        code, _ = run_cli(capsys, "--include-tests")
+        assert code == 0
+
+    def test_relative_path_from_repo_root(self, capsys, monkeypatch):
+        # Regression: a cwd-relative path used to crash _module_name
+        # (relative path compared against the resolved absolute root).
+        repo_root = FIXTURES.parents[2]
+        monkeypatch.chdir(repo_root)
+        relative = FIXTURES.relative_to(repo_root) / "sim" / "fail_r001.py"
+        code, out = run_cli(capsys, str(relative))
+        assert code == 1
+        assert "fail_r001.py:4: R001" in out
+
+
+class TestJsonOutput:
+    def test_shape(self, capsys):
+        code, out = run_cli(
+            capsys,
+            str(FIXTURES / "sim" / "fail_r001.py"),
+            "--format",
+            "json",
+            "--schema",
+            str(MANIFEST_OK),
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["version"] == 1
+        assert sorted(payload["rules"]) == list(EXPECTED_RULES)
+        assert payload["files"] >= 1
+        assert payload["counts"]["findings"] == len(payload["findings"])
+        finding = payload["findings"][0]
+        assert set(finding) == {
+            "rule",
+            "name",
+            "file",
+            "line",
+            "message",
+            "advisory",
+        }
+        assert finding["advisory"] is False
+        assert isinstance(finding["line"], int)
+
+    def test_clean_run_has_empty_findings(self, capsys):
+        code, out = run_cli(
+            capsys,
+            str(FIXTURES / "sim" / "pass_r004.py"),
+            "--format",
+            "json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["findings"] == []
+        assert payload["counts"] == {
+            "findings": 0,
+            "advisory": 0,
+            "warnings": 0,
+        }
+
+
+class TestRunnerWiring:
+    def test_lint_subcommand_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["lint", "--format", "json"])
+        assert args.experiment == "lint"
+        assert args.format == "json"
+        assert args.list_rules is False
+
+    def test_lint_subcommand_accepts_paths_and_rules(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["lint", "src/repro/sim", "--rules", "R001", "R004"]
+        )
+        assert args.paths == ["src/repro/sim"]
+        assert args.rules == ["R001", "R004"]

@@ -1,0 +1,105 @@
+"""Every rule demonstrated on the fixture corpus: one fail, one pass."""
+
+import pytest
+
+from lint_corpus import MANIFEST_GATED, MANIFEST_OK, lint_fixture
+
+FAILING = {
+    "R001": "sim/fail_r001.py",
+    "R003": "core/fail_r003.py",
+    "R004": "sim/fail_r004.py",
+    "R005": "sim/fail_r005.py",
+}
+
+PASSING = {
+    "R001": "sim/pass_r001.py",
+    "R003": "core/pass_r003.py",
+    "R004": "sim/pass_r004.py",
+    "R005": "sim/pass_r005.py",
+}
+
+
+class TestFailingFixtures:
+    @pytest.mark.parametrize("rule_id", sorted(FAILING))
+    def test_rule_fires(self, rule_id):
+        report = lint_fixture(FAILING[rule_id])
+        fired = {f.rule_id for f in report.findings}
+        assert rule_id in fired
+        assert report.exit_code == 1
+
+    @pytest.mark.parametrize("rule_id", sorted(FAILING))
+    def test_findings_carry_location(self, rule_id):
+        report = lint_fixture(FAILING[rule_id])
+        for finding in report.findings:
+            assert finding.path.endswith(".py")
+            assert finding.line >= 1
+            assert finding.message
+            assert ":" in finding.location
+
+    def test_r001_catches_each_source(self):
+        report = lint_fixture("sim/fail_r001.py")
+        messages = "\n".join(f.message for f in report.findings)
+        assert "random" in messages
+        assert "wall-clock" in messages
+        assert "OS entropy" in messages
+        assert "generator state" in messages
+        assert len(report.findings) >= 5
+
+    def test_r002_guard_deletion_fires_with_location(self):
+        report = lint_fixture("sim/config.py", schema=MANIFEST_GATED)
+        r002 = [f for f in report.findings if f.rule_id == "R002"]
+        assert len(r002) == 1
+        assert r002[0].path == "sim/config.py"
+        # The finding anchors on the unconditional data["extra_knob"] line.
+        assert "extra_knob" in r002[0].message
+        assert "fidelity" in r002[0].message.lower()
+
+    def test_r003_names_registry_and_module(self):
+        report = lint_fixture("core/fail_r003.py")
+        (finding,) = [f for f in report.findings if f.rule_id == "R003"]
+        assert "FixtureStrategy" in finding.message
+        assert "SELECTION_STRATEGIES" in finding.message
+
+    def test_r004_flags_each_shape(self):
+        report = lint_fixture("sim/fail_r004.py")
+        r004 = [f for f in report.findings if f.rule_id == "R004"]
+        assert len(r004) == 3  # pop-with-set-fallback, set union, list(set)
+
+    def test_r005_flags_heapq_and_float_times(self):
+        report = lint_fixture("sim/fail_r005.py")
+        r005 = [f for f in report.findings if f.rule_id == "R005"]
+        messages = "\n".join(f.message for f in r005)
+        assert "heapq" in messages
+        assert "float" in messages
+        assert len(r005) == 3  # the import plus two tainted schedules
+
+
+class TestPassingFixtures:
+    @pytest.mark.parametrize("rule_id", sorted(PASSING))
+    def test_rule_stays_silent(self, rule_id):
+        report = lint_fixture(PASSING[rule_id])
+        assert report.findings == []
+        assert report.exit_code == 0
+
+    def test_r002_clean_against_matching_manifest(self):
+        report = lint_fixture("sim/config.py", schema=MANIFEST_OK)
+        assert [f for f in report.findings if f.rule_id == "R002"] == []
+
+    def test_rule_subset_selection(self):
+        # Only R004 enabled: the R001 fixture comes up clean.
+        report = lint_fixture("sim/fail_r001.py", rules=["R004"])
+        assert report.findings == []
+        assert report.rules == ["R004"]
+
+    def test_rule_selection_by_slug(self):
+        report = lint_fixture("sim/fail_r001.py", rules=["rng-discipline"])
+        assert {f.rule_id for f in report.findings} == {"R001"}
+
+
+class TestAdvisoryMode:
+    def test_advisory_findings_do_not_gate(self):
+        report = lint_fixture(advisory=("sim/fail_r001.py",))
+        assert report.findings == []
+        assert report.advisory
+        assert report.exit_code == 0
+        assert all(f.advisory for f in report.advisory)

@@ -1,0 +1,155 @@
+"""R002's golden manifest: runtime cross-checks and the guard-deletion gate."""
+
+import ast
+import json
+from dataclasses import fields as dataclass_fields
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.engine import default_package_root, default_schema_path
+from repro.lint.schema import (
+    extract_digest_schema,
+    load_manifest,
+    write_schema_manifest,
+)
+from repro.sim.config import DEFAULT_FIDELITY, SimulationConfig
+
+CONFIG_PATH = default_package_root() / "sim" / "config.py"
+SCHEMA_PATH = default_schema_path()
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    data = load_manifest(SCHEMA_PATH)
+    assert data is not None, f"golden manifest missing at {SCHEMA_PATH}"
+    return data
+
+
+class TestManifestMatchesRuntime:
+    """The static extraction agrees with the *live* serialization."""
+
+    def test_fields_match_dataclass(self, manifest):
+        live = sorted(f.name for f in dataclass_fields(SimulationConfig))
+        assert manifest["dataclass_fields"] == live
+
+    def test_abstract_to_dict_emits_exactly_the_always_keys(self, manifest):
+        config = SimulationConfig.scaled()
+        assert config.fidelity == DEFAULT_FIDELITY
+        assert sorted(config.to_dict()) == manifest["always_serialized"]
+
+    def test_protocol_to_dict_adds_exactly_the_gated_keys(self, manifest):
+        config = SimulationConfig.scaled(fidelity="protocol")
+        emitted = set(config.to_dict())
+        always = set(manifest["always_serialized"])
+        gated = set(manifest["conditionally_serialized"])
+        assert emitted == always | gated
+
+    def test_every_field_is_serialized_somewhere(self, manifest):
+        serialized = set(manifest["always_serialized"]) | set(
+            manifest["conditionally_serialized"]
+        )
+        assert serialized == set(manifest["dataclass_fields"])
+
+
+class TestStaticExtraction:
+    def test_extraction_matches_manifest(self, manifest):
+        schema = extract_digest_schema(
+            ast.parse(CONFIG_PATH.read_text(encoding="utf-8"))
+        )
+        assert schema is not None
+        assert schema.to_manifest() == manifest
+
+    def test_write_schema_round_trips(self, tmp_path, manifest):
+        target = tmp_path / "digest_schema.json"
+        written = write_schema_manifest(CONFIG_PATH, target)
+        assert written == manifest
+        assert json.loads(target.read_text(encoding="utf-8")) == manifest
+
+
+class _GuardDeleter(ast.NodeTransformer):
+    """Replace the fidelity guard in ``to_dict`` with its own body."""
+
+    def __init__(self):
+        self.deleted = False
+
+    def visit_ClassDef(self, node):
+        if node.name != "SimulationConfig":
+            return node
+        self.generic_visit(node)
+        return node
+
+    def visit_FunctionDef(self, node):
+        if node.name != "to_dict":
+            return node
+        new_body = []
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.If)
+                and isinstance(stmt.test, ast.Compare)
+                and "fidelity" in ast.dump(stmt.test)
+            ):
+                new_body.extend(stmt.body)
+                self.deleted = True
+            else:
+                new_body.append(stmt)
+        node.body = new_body
+        return node
+
+
+class TestGuardDeletionGate:
+    """The ISSUE-7 acceptance criterion, executed literally.
+
+    Deleting the conditional-serialization guard on the protocol-only
+    config fields must make R002 fail with a file:line pointing at the
+    now-unconditional serialization.
+    """
+
+    def test_deleting_the_guard_fails_r002(self, tmp_path):
+        tree = ast.parse(CONFIG_PATH.read_text(encoding="utf-8"))
+        deleter = _GuardDeleter()
+        tree = deleter.visit(tree)
+        assert deleter.deleted, "fidelity guard not found in to_dict"
+        mutated = tmp_path / "sim"
+        mutated.mkdir()
+        target = mutated / "config.py"
+        target.write_text(ast.unparse(tree), encoding="utf-8")
+
+        report = run_lint(
+            [target],
+            roots={tmp_path: tmp_path},
+            repo_root=tmp_path,
+            schema_path=SCHEMA_PATH,
+        )
+        r002 = [f for f in report.findings if f.rule_id == "R002"]
+        assert r002, "R002 did not fire after guard deletion"
+        assert report.exit_code == 1
+        gated = {
+            "fidelity",
+            "link_profile",
+            "round_seconds",
+            "archive_bytes",
+            "fairness_factor",
+        }
+        flagged = {
+            key for f in r002 for key in gated if f"'{key}'" in f.message
+        }
+        assert flagged == gated
+        for finding in r002:
+            assert finding.path == "sim/config.py"
+            assert finding.line > 1  # points at the serialization line
+            assert "guard" in finding.message or "manifest" in finding.message
+
+    def test_unmutated_config_is_clean(self, tmp_path):
+        mirror = tmp_path / "sim"
+        mirror.mkdir()
+        target = mirror / "config.py"
+        target.write_text(CONFIG_PATH.read_text(encoding="utf-8"))
+        report = run_lint(
+            [target],
+            rules=["R002"],
+            roots={tmp_path: tmp_path},
+            repo_root=tmp_path,
+            schema_path=SCHEMA_PATH,
+        )
+        assert report.findings == []

@@ -1,0 +1,26 @@
+"""The shipped tree satisfies its own invariants (the CI lint gate)."""
+
+from repro.lint import LINT_RULES, run_lint
+from repro.lint.engine import default_package_root, default_repo_root
+
+
+class TestSrcClean:
+    def test_src_repro_lints_clean(self):
+        report = run_lint([default_package_root()])
+        assert report.findings == [], report.render_text()
+        assert report.warnings == [], report.render_text()
+        assert report.rules == sorted(LINT_RULES.names())
+        assert report.files > 50  # the whole package, not a subset
+
+    def test_tests_and_benchmarks_advisory_clean(self):
+        repo_root = default_repo_root()
+        advisory = [
+            path
+            for path in (repo_root / "tests", repo_root / "benchmarks")
+            if path.is_dir()
+        ]
+        report = run_lint(
+            [default_package_root()], advisory_paths=advisory
+        )
+        assert report.findings == [], report.render_text()
+        assert report.advisory == [], report.render_text()

@@ -1,0 +1,34 @@
+"""Suppression comments: honouring, staleness warnings, inert docstrings."""
+
+from lint_corpus import lint_fixture
+
+
+class TestSuppressions:
+    def test_suppressed_violation_is_silent(self):
+        report = lint_fixture("sim/suppressed_r001.py")
+        assert report.findings == []
+        assert report.warnings == []
+        assert report.exit_code == 0
+
+    def test_suppression_only_covers_named_rule(self):
+        # The same file's suppressions name R001; with R001 disabled the
+        # comments cover nothing and surface as W001.
+        report = lint_fixture("sim/suppressed_r001.py", rules=["R004"])
+        assert report.findings == []
+        assert report.warnings == []  # R001 not enabled -> not stale either
+
+    def test_unused_suppression_warns(self):
+        report = lint_fixture("sim/unused_suppression.py")
+        assert report.findings == []
+        (warning,) = report.warnings
+        assert warning.rule_id == "W001"
+        assert warning.name == "unused-suppression"
+        assert "R001" in warning.message
+        assert warning.line == 5
+        # Warnings are advisory: they never gate.
+        assert report.exit_code == 0
+
+    def test_docstring_marker_is_inert(self):
+        report = lint_fixture("sim/docstring_marker.py")
+        assert report.findings == []
+        assert report.warnings == []
