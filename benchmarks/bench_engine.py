@@ -18,7 +18,12 @@ executor and analysis cost.  Two sizes of the ``paper`` scenario preset:
   structure-of-arrays ``abstract_soa`` backend (ISSUE 6), tracking the
   vectorized kernel against the object-graph engine on identical
   trajectories.  The quick variant is the CI ``bench-smoke`` regression
-  gate (``scripts/check_bench_regression.py``).
+  gate (``scripts/check_bench_regression.py``);
+* ``protocol-impaired-quick`` — the protocol quick workload under the
+  worst netem preset (30% loss, 50 ms ± 5 ms), so the impairment
+  sampler, drop handling and retry/backoff machinery (PR 8) have their
+  own trajectory line: the delta against ``protocol-quick`` is the
+  price of fault injection.
 
 Run with ``--bench-json BENCH_engine.json`` to append trajectory
 records (see ``conftest.py`` for the format).
@@ -52,6 +57,23 @@ def test_engine_paper_protocol_quick(run_once):
     result = run_once(run_simulation, config)
     assert result.final_round == 3000
     assert result.metrics.protocol["transfers_completed"] > 0
+    assert result.metrics.total_repairs > 0
+
+
+@pytest.mark.scenario("paper-protocol-impaired-quick")
+def test_engine_paper_protocol_impaired_quick(run_once):
+    config = (
+        scenario_by_name("paper")
+        .with_population(250)
+        .with_rounds(3000)
+        .with_fidelity("protocol")
+        .with_impairment("loss30_delay50ms_jitter5ms")
+        .build()
+    )
+    result = run_once(run_simulation, config)
+    assert result.final_round == 3000
+    assert result.metrics.protocol["drops"] > 0
+    assert result.metrics.protocol["retries"] > 0
     assert result.metrics.total_repairs > 0
 
 

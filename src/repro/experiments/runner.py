@@ -49,6 +49,7 @@ from . import (
     ablation_quota,
     ablation_selection,
     fidelity_compare,
+    fig_impairment,
     fig1_repairs_by_threshold,
     fig2_losses_by_threshold,
     fig3_observer_repairs,
@@ -76,6 +77,8 @@ _SIMULATION_EXPERIMENTS = {
                           ablation_adaptive.check_shape),
     "fig-fidelity": (fidelity_compare.run_fidelity_compare,
                      fidelity_compare.check_shape),
+    "fig-impairment": (fig_impairment.run_fig_impairment,
+                       fig_impairment.check_shape),
 }
 
 #: Spec builders for the ``worker`` command: name -> (scale, seeds) -> spec.
@@ -91,6 +94,7 @@ _SPEC_BUILDERS = {
     "ablation-proactive": ablation_proactive.ablation_proactive_spec,
     "ablation-adaptive": ablation_adaptive.ablation_adaptive_spec,
     "fig-fidelity": fidelity_compare.fidelity_compare_spec,
+    "fig-impairment": fig_impairment.fig_impairment_spec,
 }
 
 _EXPERIMENT_HELP = {
@@ -105,6 +109,9 @@ _EXPERIMENT_HELP = {
     "ablation-adaptive": "A5 — static vs adaptive thresholds",
     "fig-fidelity": "abstract vs protocol fidelity: loss/repair curves "
                     "from one spec on the paper workload",
+    "fig-impairment": "protocol fidelity across the netem loss x delay "
+                      "matrix: durability and repair latency per "
+                      "impairment profile",
 }
 
 
@@ -232,6 +239,13 @@ def _scenario_flags(parser: argparse.ArgumentParser) -> None:
         "(counters, the figures' fast path) or 'protocol' (real "
         "store/fetch exchanges gated by the bandwidth model); see "
         "'repro-experiments list'",
+    )
+    parser.add_argument(
+        "--impairment",
+        default=None,
+        help="apply a netem-style link condition to protocol-mode "
+        "exchanges (registered impairment profile, e.g. 'loss10' or "
+        "'loss30_delay50ms_jitter5ms'); see 'repro-experiments list'",
     )
 
 
@@ -455,6 +469,7 @@ def render_component_list() -> str:
     from ..core.selection import SELECTION_STRATEGIES
     from ..erasure.matrix import CODEC_BACKENDS, DEFAULT_BACKEND
     from ..net.bandwidth import KILOBYTE, LINK_PROFILES
+    from ..net.impairment import IMPAIRMENT_PROFILES
     from ..scenarios import SCENARIOS
     from ..sim.fidelity import FIDELITY_BACKENDS, available_fidelities
 
@@ -497,6 +512,23 @@ def render_component_list() -> str:
             f"  {name} ({link.download_bps // KILOBYTE} kB/s down, "
             f"{link.upload_bps // KILOBYTE} kB/s up)"
         )
+
+    lines.append("impairment profiles:")
+    for name, profile in IMPAIRMENT_PROFILES.items():
+        traits: List[str] = []
+        if profile.loss_probability:
+            traits.append(f"loss {profile.loss_probability:.0%}")
+        if profile.delay_seconds:
+            delay = f"delay {profile.delay_seconds * 1000:g}ms"
+            if profile.jitter_seconds:
+                delay += f" ±{profile.jitter_seconds * 1000:g}ms"
+            traits.append(delay)
+        if profile.bursty:
+            traits.append(
+                f"bursts to {profile.burst_loss_probability:.0%} loss"
+            )
+        summary = ", ".join(traits) if traits else "no impairment"
+        lines.append(f"  {name} ({summary})")
 
     lines.append("lifetime models:")
     lines.extend(f"  {name}" for name in LIFETIME_MODELS.names())
@@ -578,6 +610,8 @@ def _resolve_scenario(args: argparse.Namespace, command: str):
         scenario = scenario.with_rounds(args.rounds)
     if getattr(args, "fidelity", None) is not None:
         scenario = scenario.with_fidelity(args.fidelity)
+    if getattr(args, "impairment", None) is not None:
+        scenario = scenario.with_impairment(args.impairment)
     return scenario
 
 

@@ -147,6 +147,23 @@ class CostModel:
         per_day = self.max_repairs_per_day(regenerated_blocks) * budget_fraction
         return per_day / archives
 
+    @property
+    def peer_transfer_bps(self) -> float:
+        """Rate one block actually moves between two peers.
+
+        A block leaves on the sender's uplink and arrives on the
+        receiver's downlink; the slower of the two gates the transfer.
+        With one (homogeneous) link profile per simulation that is
+        ``min(upload_bps, download_bps)`` — on asymmetric DSL the uplink,
+        but a custom profile with a starved downlink is gated correctly
+        too.
+        """
+        return min(self.link.upload_bps, self.link.download_bps)
+
+    def block_transfer_seconds(self) -> float:
+        """Seconds to move one block peer-to-peer at the gated rate."""
+        return self.block_size / self.peer_transfer_bps
+
     def backup_cost_seconds(self, total_blocks: int) -> float:
         """Initial upload of all ``n`` blocks (the d = n initial 'repair')."""
         if total_blocks < self.data_blocks:
@@ -163,18 +180,28 @@ class ScheduledTransfer:
     """One transfer occupying a peer's access link for ``seconds``.
 
     ``start_second`` already accounts for queueing behind the peer's
-    earlier transfers; ``finish_second`` is when the link frees up.
+    earlier transfers.  ``latency_seconds`` is propagation delay from
+    the impairment layer: it pushes the completion signal
+    (``finish_second``) without occupying the link — the link frees up
+    at ``link_release_second``, so queued successors are not charged
+    for time the wire spent merely in flight.
     """
 
     peer_id: int
     seconds: float
     start_second: float
+    latency_seconds: float = 0.0
     cancelled: bool = field(default=False, compare=False)
 
     @property
-    def finish_second(self) -> float:
-        """Simulation second the transfer completes."""
+    def link_release_second(self) -> float:
+        """Simulation second the peer's link frees up."""
         return self.start_second + self.seconds
+
+    @property
+    def finish_second(self) -> float:
+        """Simulation second the transfer completes (latency included)."""
+        return self.start_second + self.seconds + self.latency_seconds
 
     def queue_delay(self, requested_second: float) -> float:
         """Seconds spent waiting for the link before the transfer began."""
@@ -190,8 +217,14 @@ class LinkScheduler:
     transfers *queue* rather than magically sharing the link.  The
     scheduler keeps one ``busy_until`` watermark per peer: a new
     transfer starts at ``max(now, busy_until)`` and pushes the watermark
-    to its finish, which yields both the completion time (for the event
-    clock) and the queueing delay (a protocol-fidelity metric).
+    to the moment its bytes stop flowing, which yields both the
+    completion time (for the event clock) and the queueing delay (a
+    protocol-fidelity metric).  Transfer durations themselves are priced
+    at the pairwise gated rate ``min(sender uplink, receiver downlink)``
+    (see :meth:`CostModel.block_transfer_seconds`), so a partner's
+    starved downlink slows a transfer just as a slow source uplink does.
+    Impairment latency defers only the completion signal (see
+    :meth:`schedule`).
 
     When a peer departs mid-transfer, :meth:`cancel_peer` drops its
     queued transfers and releases the link immediately — capacity never
@@ -206,17 +239,32 @@ class LinkScheduler:
         self._active: Dict[int, List[ScheduledTransfer]] = {}
 
     def schedule(
-        self, peer_id: int, seconds: float, now_round: int
+        self,
+        peer_id: int,
+        seconds: float,
+        now_round: int,
+        latency_seconds: float = 0.0,
     ) -> ScheduledTransfer:
-        """Enqueue a transfer of ``seconds`` on ``peer_id``'s link."""
+        """Enqueue a transfer of ``seconds`` on ``peer_id``'s link.
+
+        ``latency_seconds`` (impairment-layer propagation delay) defers
+        the transfer's *completion* without extending the link's busy
+        window: the next queued transfer starts as soon as the bytes
+        stop flowing, not when the last one lands.
+        """
         if seconds < 0:
             raise ValueError("transfer duration cannot be negative")
+        if latency_seconds < 0:
+            raise ValueError("latency cannot be negative")
         now_second = now_round * self.round_seconds
         start = max(now_second, self._busy_until.get(peer_id, 0.0))
         transfer = ScheduledTransfer(
-            peer_id=peer_id, seconds=seconds, start_second=start
+            peer_id=peer_id,
+            seconds=seconds,
+            start_second=start,
+            latency_seconds=latency_seconds,
         )
-        self._busy_until[peer_id] = transfer.finish_second
+        self._busy_until[peer_id] = transfer.link_release_second
         self._active.setdefault(peer_id, []).append(transfer)
         return transfer
 

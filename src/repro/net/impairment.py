@@ -1,0 +1,247 @@
+"""Netem-style link impairment profiles (deterministic fault injection).
+
+The paper's protocol assumes messages either deliver or visibly fail;
+real access links lose and delay them.  This module models the link the
+way ``tc netem`` does — per-message loss probability, base one-way delay
+and uniform jitter, plus an optional two-state Gilbert-Elliott chain for
+bursty (correlated) loss — so the protocol fidelity backend can be run
+against the same loss/delay matrix used to qualify real gossip stacks
+(clean, 10% loss, 10 ms delay, 30% loss + 50 ms ± 5 ms).
+
+Determinism discipline (R001): profiles are pure data and samplers are
+pure consumers — every random decision comes from uniform draws handed
+in by the caller (the simulation's dedicated ``"impairment"`` RNG
+stream), never from a generator constructed here.  Same seed, same
+message sequence, same outcomes, on every execution backend.
+
+Sampling granularity: one :meth:`ImpairmentSampler.sample` call covers
+one request/reply *exchange*.  A dropped exchange loses the whole round
+trip before any recipient-side effect — the sender observes a timeout,
+the recipient observes nothing.  Folding reply-leg loss into the same
+per-exchange probability keeps holder bookkeeping unambiguous (no
+stored-but-unacknowledged blocks); the two-generals ambiguity is out of
+scope at this fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, Tuple
+
+from ..registry import Registry
+
+
+class UniformSource(Protocol):
+    """Anything that yields uniform floats in [0, 1) on demand.
+
+    ``repro.sim.rng.BatchedDraws`` satisfies this; tests can pass a
+    stub replaying a fixed sequence.
+    """
+
+    def next_uniform(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class ImpairmentOutcome:
+    """What the simulated network did to one exchange."""
+
+    dropped: bool
+    delay_seconds: float = 0.0
+
+
+#: The outcome of an exchange over an unimpaired link.
+CLEAN_OUTCOME = ImpairmentOutcome(dropped=False, delay_seconds=0.0)
+
+
+@dataclass(frozen=True)
+class ImpairmentProfile:
+    """One netem-style link condition, as pure data.
+
+    ``loss_probability`` is the per-exchange drop probability (the
+    steady loss floor when a burst chain is configured).  Delay is the
+    base one-way latency; jitter is the half-width of a uniform band
+    around it, mirroring ``netem delay <base> <jitter>``.
+
+    Bursty loss uses the Gilbert-Elliott two-state chain: each exchange
+    the link flips good→bad with ``burst_enter`` probability and bad→
+    good with ``burst_exit``; in the bad state exchanges drop with
+    ``burst_loss_probability`` instead of the base rate.  Leaving all
+    three at zero yields independent (Bernoulli) loss.
+    """
+
+    name: str = "impairment"
+    loss_probability: float = 0.0
+    delay_seconds: float = 0.0
+    jitter_seconds: float = 0.0
+    burst_enter: float = 0.0
+    burst_exit: float = 0.0
+    burst_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label in (
+            "loss_probability",
+            "burst_enter",
+            "burst_exit",
+            "burst_loss_probability",
+        ):
+            value = getattr(self, label)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be a probability, got {value}")
+        if self.delay_seconds < 0 or self.jitter_seconds < 0:
+            raise ValueError("delay and jitter cannot be negative")
+        if self.jitter_seconds > self.delay_seconds:
+            raise ValueError("jitter wider than the base delay would go negative")
+        if self.burst_enter > 0 and self.burst_exit == 0:
+            raise ValueError("a burst state needs a nonzero exit probability")
+
+    @property
+    def bursty(self) -> bool:
+        """Whether the Gilbert-Elliott chain is active."""
+        return self.burst_enter > 0.0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the profile cannot alter any exchange.
+
+        The protocol backend skips sampler installation entirely for
+        clean profiles, so the dedicated RNG stream is never consumed
+        and pre-impairment runs stay byte-identical.
+        """
+        return (
+            self.loss_probability == 0.0
+            and self.delay_seconds == 0.0
+            and self.jitter_seconds == 0.0
+            and not self.bursty
+        )
+
+    def sampler(self, draws: UniformSource) -> "ImpairmentSampler":
+        """Bind the profile to a draw source for one simulation run."""
+        return ImpairmentSampler(self, draws)
+
+
+class ImpairmentSampler:
+    """Per-run sampling state for one profile (Gilbert-Elliott position).
+
+    Draw consumption per :meth:`sample` is fixed by the profile — one
+    transition draw when bursty, one loss draw when any loss is
+    configured, one jitter draw for delivered exchanges under jitter —
+    so the draw sequence is a pure function of the exchange sequence.
+    """
+
+    def __init__(self, profile: ImpairmentProfile, draws: UniformSource):
+        self.profile = profile
+        self._draws = draws
+        self._in_burst = False
+
+    def sample(self) -> ImpairmentOutcome:
+        """Outcome of the next exchange over this link."""
+        profile = self.profile
+        loss = profile.loss_probability
+        if profile.bursty:
+            flip = self._draws.next_uniform()
+            if self._in_burst:
+                self._in_burst = flip >= profile.burst_exit
+            else:
+                self._in_burst = flip < profile.burst_enter
+            if self._in_burst:
+                loss = profile.burst_loss_probability
+        if loss > 0.0 and self._draws.next_uniform() < loss:
+            return ImpairmentOutcome(dropped=True)
+        delay = profile.delay_seconds
+        if profile.jitter_seconds > 0.0:
+            swing = 2.0 * self._draws.next_uniform() - 1.0
+            delay += swing * profile.jitter_seconds
+        return ImpairmentOutcome(dropped=False, delay_seconds=delay)
+
+
+@dataclass(frozen=True)
+class ScriptedImpairment(ImpairmentProfile):
+    """A profile replaying a fixed outcome schedule (tests only).
+
+    The schedule cycles, so a short script covers an arbitrarily long
+    run; no draws are consumed.  Register one under a test-local name
+    and point ``SimulationConfig.impairment_profile`` at it to make a
+    drop sequence fully deterministic regardless of seed.
+    """
+
+    script: Tuple[ImpairmentOutcome, ...] = (CLEAN_OUTCOME,)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.script:
+            raise ValueError("a scripted profile needs at least one outcome")
+
+    @property
+    def is_clean(self) -> bool:
+        return all(
+            not outcome.dropped and outcome.delay_seconds == 0.0
+            for outcome in self.script
+        )
+
+    def sampler(self, draws: UniformSource) -> "ImpairmentSampler":
+        return _ScriptedSampler(self)
+
+
+class _ScriptedSampler(ImpairmentSampler):
+    """Cycles through a :class:`ScriptedImpairment` schedule."""
+
+    def __init__(self, profile: ScriptedImpairment):
+        super().__init__(profile, draws=None)
+        self._cursor = 0
+
+    def sample(self) -> ImpairmentOutcome:
+        script: Sequence[ImpairmentOutcome] = self.profile.script
+        outcome = script[self._cursor % len(script)]
+        self._cursor += 1
+        return outcome
+
+
+def drop_schedule(*dropped: bool) -> Tuple[ImpairmentOutcome, ...]:
+    """Build a scripted schedule from per-exchange drop flags."""
+    return tuple(ImpairmentOutcome(dropped=flag) for flag in dropped)
+
+
+#: The identity profile: every exchange delivers instantly.
+CLEAN = ImpairmentProfile(name="clean")
+
+#: netem ``loss 10%``: one exchange in ten vanishes, no delay.
+LOSS10 = ImpairmentProfile(name="loss10", loss_probability=0.10)
+
+#: netem ``delay 10ms``: reliable but 10 ms one-way latency.
+DELAY10MS = ImpairmentProfile(name="delay10ms", delay_seconds=0.010)
+
+#: netem ``loss 30% delay 50ms 5ms``: the stress cell of the matrix.
+LOSS30_DELAY50MS_JITTER5MS = ImpairmentProfile(
+    name="loss30_delay50ms_jitter5ms",
+    loss_probability=0.30,
+    delay_seconds=0.050,
+    jitter_seconds=0.005,
+)
+
+#: A geostationary-style link: long latency and bursty outage windows
+#: (Gilbert-Elliott: rare entry into a lossy state that persists for a
+#: handful of exchanges).  Backs the ``flaky_satellite`` scenario.
+SATELLITE_BURST = ImpairmentProfile(
+    name="satellite_burst",
+    loss_probability=0.02,
+    delay_seconds=0.300,
+    jitter_seconds=0.050,
+    burst_enter=0.05,
+    burst_exit=0.30,
+    burst_loss_probability=0.80,
+)
+
+#: Registry of impairment profiles.  ``SimulationConfig.impairment_profile``
+#: names resolve here, so a custom link condition registers like any
+#: component::
+#:
+#:     IMPAIRMENT_PROFILES.register("lab", ImpairmentProfile(name="lab", ...))
+IMPAIRMENT_PROFILES: Registry[ImpairmentProfile] = Registry("impairment profile")
+IMPAIRMENT_PROFILES.register(CLEAN.name, CLEAN)
+IMPAIRMENT_PROFILES.register(LOSS10.name, LOSS10)
+IMPAIRMENT_PROFILES.register(DELAY10MS.name, DELAY10MS)
+IMPAIRMENT_PROFILES.register(
+    LOSS30_DELAY50MS_JITTER5MS.name, LOSS30_DELAY50MS_JITTER5MS
+)
+IMPAIRMENT_PROFILES.register(SATELLITE_BURST.name, SATELLITE_BURST)

@@ -6,9 +6,13 @@ honours that assumption: any online endpoint can deliver to any other
 online endpoint; messages to offline endpoints fail immediately (the
 caller sees the same signal the real system would get from a timeout).
 
-Deliveries are synchronous; latency is not modelled because the paper's
-round granularity (one hour) makes individual message latency invisible.
-Optional per-link byte accounting feeds the bandwidth cost model.
+Deliveries are synchronous in wall-clock terms, but the link between the
+endpoints can be impaired: an installed :mod:`repro.net.impairment`
+sampler may drop an exchange (raising :class:`DroppedMessageError`, the
+sender's view of a timeout) or charge it latency, which the transport
+accumulates in :attr:`InMemoryTransport.last_delay_seconds` for the
+caller to fold into transfer finish times.  Optional per-link byte
+accounting feeds the bandwidth cost model.
 """
 
 from __future__ import annotations
@@ -43,6 +47,18 @@ class DepartedEndpointError(TransportError):
 
 class OfflineEndpointError(TransportError):
     """The endpoint exists but is currently unreachable (offline)."""
+
+
+class DroppedMessageError(TransportError):
+    """The network lost the exchange in flight (impairment layer).
+
+    Both endpoints were alive and online; the link simply ate the
+    message.  This is the sender's view of a timeout — unlike the
+    endpoint errors above it says nothing about the partner's state,
+    so callers should treat it as transient and retry with backoff.
+    The recipient's handler never ran: a dropped exchange loses the
+    whole round trip before any recipient-side effect.
+    """
 
 
 @dataclass
@@ -80,6 +96,22 @@ class InMemoryTransport:
         self._departed: set = set()
         self._log: List[Message] = []
         self.record_log = False
+        self._impairment = None
+        #: One-way latency charged to the most recent :meth:`send`
+        #: (doubled for exchanges that produced a reply).  Callers that
+        #: model time read it immediately after a successful send.
+        self.last_delay_seconds = 0.0
+        #: Exchanges lost to the impairment layer since construction.
+        self.dropped_messages = 0
+
+    def set_impairment(self, sampler) -> None:
+        """Install (or clear) the link-condition sampler for all sends.
+
+        ``sampler`` follows :class:`repro.net.impairment.ImpairmentSampler`:
+        one ``sample()`` call per exchange.  ``None`` restores the
+        perfect link.
+        """
+        self._impairment = sampler
 
     def register(self, peer_id: int, handler: Handler) -> Endpoint:
         """Attach an endpoint; replaces any previous registration."""
@@ -126,7 +158,8 @@ class InMemoryTransport:
         fetch observes under churn: :class:`DepartedEndpointError` for a
         peer that left the system, :class:`UnknownEndpointError` for an
         address that never existed, :class:`OfflineEndpointError` for a
-        peer that is merely disconnected.
+        peer that is merely disconnected, :class:`DroppedMessageError`
+        when the impairment layer loses the exchange in flight.
         """
         sender = self._lookup(message.sender, "sender")
         if not sender.online:
@@ -140,6 +173,20 @@ class InMemoryTransport:
         size = _payload_size(message)
         sender.stats.messages_sent += 1
         sender.stats.bytes_sent += size
+
+        self.last_delay_seconds = 0.0
+        if self._impairment is not None:
+            outcome = self._impairment.sample()
+            if outcome.dropped:
+                # The sender paid to transmit; the network ate it before
+                # the recipient saw anything.
+                self.dropped_messages += 1
+                raise DroppedMessageError(
+                    f"message from {message.sender} to {message.recipient} "
+                    "lost in flight"
+                )
+            self.last_delay_seconds = outcome.delay_seconds
+
         recipient.stats.messages_received += 1
         recipient.stats.bytes_received += size
         if self.record_log:
@@ -154,6 +201,9 @@ class InMemoryTransport:
             sender.stats.bytes_received += reply_size
             if self.record_log:
                 self._log.append(reply)
+            # The reply rides the same impaired link back: charge the
+            # one-way latency once more for the full round trip.
+            self.last_delay_seconds *= 2.0
         return reply
 
     def try_send(self, message: Message) -> Optional[Message]:

@@ -32,6 +32,7 @@ from ..core.acceptance import ACCEPTANCE_RULES
 from ..core.policy import scaled_threshold
 from ..core.selection import SELECTION_STRATEGIES
 from ..net.bandwidth import LINK_PROFILES
+from ..net.impairment import IMPAIRMENT_PROFILES
 from ..sim.config import ObserverSpec, SimulationConfig
 
 #: Either a registered mix name or an explicit profile tuple.
@@ -201,6 +202,31 @@ class Scenario:
         """Enable (or disable, with ``None``) protocol-mode fairness caps."""
         return self._derive(fairness_factor=fairness_factor)
 
+    def with_impairment(
+        self,
+        impairment_profile: str,
+        retry_budget: Optional[int] = None,
+        retry_backoff_base: Optional[int] = None,
+        retry_backoff_cap: Optional[int] = None,
+    ) -> "Scenario":
+        """Apply a netem-style link condition to protocol-mode exchanges.
+
+        ``impairment_profile`` is a registered
+        :data:`~repro.net.impairment.IMPAIRMENT_PROFILES` name; the
+        optional arguments tune how hard the protocol fights the
+        impaired link (retry attempts per exchange and the exponential
+        backoff window, in rounds).
+        """
+        IMPAIRMENT_PROFILES.check(impairment_profile)
+        changes = {"impairment_profile": impairment_profile}
+        if retry_budget is not None:
+            changes["retry_budget"] = retry_budget
+        if retry_backoff_base is not None:
+            changes["retry_backoff_base"] = retry_backoff_base
+        if retry_backoff_cap is not None:
+            changes["retry_backoff_cap"] = retry_backoff_cap
+        return self._derive(**changes)
+
     def observers(self, specs: Sequence[ObserverSpec]) -> "Scenario":
         """Attach fixed-age observer peers (paper section 4.2.2)."""
         return self._derive(observers=tuple(specs))
@@ -263,9 +289,16 @@ class Scenario:
                 if config.fairness_factor is not None
                 else ""
             )
+            impairment = (
+                f" impairment={config.impairment_profile}"
+                f" retries={config.retry_budget}"
+                if config.impairment_profile != "clean"
+                else ""
+            )
             lines.append(
                 f"  fidelity={config.fidelity} link={config.link_profile} "
-                f"archive={config.archive_bytes // (1024 * 1024)}MB{fairness}"
+                f"archive={config.archive_bytes // (1024 * 1024)}MB"
+                f"{fairness}{impairment}"
             )
         if config.observers:
             names = ", ".join(spec.name for spec in config.observers)

@@ -159,3 +159,36 @@ register_scenario(
     .with_fidelity("protocol")
     .with_fairness(1.0)
 )
+
+# ----------------------------------------------------------------------
+# Impaired-network presets (PR 8): the protocol stack on lossy and
+# high-latency links, with the timeout/retry/backoff machinery active.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    _base(population=300, rounds=3000)
+    .named(
+        "lossy_dsl",
+        "protocol fidelity on the paper's DSL link losing 10% of "
+        "exchanges: repairs retry with backoff and durability degrades "
+        "measurably",
+    )
+    .with_churn("paper")
+    .with_fidelity("protocol")
+    .with_link("paper-dsl")
+    .with_impairment("loss10")
+)
+
+register_scenario(
+    _base(population=300, rounds=3000)
+    .named(
+        "flaky_satellite",
+        "geostationary-grade latency with bursty Gilbert-Elliott loss "
+        "windows: the retry budget is raised because outage bursts "
+        "outlast a single backoff cycle",
+    )
+    .with_churn("correlated_outage")
+    .with_grace(24)
+    .with_fidelity("protocol")
+    .with_impairment("satellite_burst", retry_budget=5, retry_backoff_cap=16)
+)

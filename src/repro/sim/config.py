@@ -19,6 +19,7 @@ from ..core.categories import DEFAULT_SCHEME, CategoryScheme
 from ..core.policy import RepairPolicy, scaled_threshold
 from ..core.selection import SELECTION_STRATEGIES
 from ..net.bandwidth import LINK_PROFILES, MEGABYTE
+from ..net.impairment import IMPAIRMENT_PROFILES
 
 #: The fidelity whose serialized form is the historical one.  Configs at
 #: this fidelity omit every fidelity-related key from ``to_dict`` so
@@ -100,6 +101,19 @@ class SimulationConfig:
     #: Pairwise-exchange fairness cap enforced by protocol-mode block
     #: stores (``None`` disables enforcement; see repro.backup.fairness).
     fairness_factor: Optional[float] = None
+    #: Netem-style link condition applied to protocol-mode exchanges
+    #: (``repro.net.impairment.IMPAIRMENT_PROFILES`` name).  "clean"
+    #: leaves the transport untouched and consumes no RNG draws.
+    impairment_profile: str = "clean"
+    #: How many times a placement/repair/restore exchange is retried
+    #: after an impairment-layer timeout before the operation gives up
+    #: and re-enqueues as an ordinary check.
+    retry_budget: int = 3
+    #: Rounds to wait before the first retry of a timed-out exchange;
+    #: doubles per attempt (capped below).
+    retry_backoff_base: int = 1
+    #: Ceiling on the exponential retry backoff, in rounds.
+    retry_backoff_cap: int = 8
 
     def __post_init__(self) -> None:
         if self.population <= 0:
@@ -153,12 +167,21 @@ class SimulationConfig:
             raise ValueError("archive_bytes must be positive")
         if self.fairness_factor is not None and self.fairness_factor <= 0:
             raise ValueError("fairness_factor must be positive (or None)")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget cannot be negative")
+        if self.retry_backoff_base < 1:
+            raise ValueError("retry_backoff_base must be at least one round")
+        if self.retry_backoff_cap < self.retry_backoff_base:
+            raise ValueError(
+                "retry_backoff_cap cannot be below retry_backoff_base"
+            )
         # Component names resolve through the registries, so a typo (or a
         # strategy that was never registered) fails here with the list of
         # valid choices instead of deep inside Simulation._setup.
         SELECTION_STRATEGIES.check(self.selection_strategy)
         ACCEPTANCE_RULES.check(self.acceptance_rule)
         LINK_PROFILES.check(self.link_profile)
+        IMPAIRMENT_PROFILES.check(self.impairment_profile)
         # Imported lazily: the fidelity registry's built-in backends live
         # in modules that themselves import this one.
         from .fidelity import check_fidelity
@@ -222,6 +245,10 @@ class SimulationConfig:
             data["round_seconds"] = self.round_seconds
             data["archive_bytes"] = self.archive_bytes
             data["fairness_factor"] = self.fairness_factor
+            data["impairment_profile"] = self.impairment_profile
+            data["retry_budget"] = self.retry_budget
+            data["retry_backoff_base"] = self.retry_backoff_base
+            data["retry_backoff_cap"] = self.retry_backoff_cap
         return data
 
     @classmethod
@@ -258,6 +285,10 @@ class SimulationConfig:
             round_seconds=data.get("round_seconds", 3600),
             archive_bytes=data.get("archive_bytes", 128 * MEGABYTE),
             fairness_factor=data.get("fairness_factor"),
+            impairment_profile=data.get("impairment_profile", "clean"),
+            retry_budget=data.get("retry_budget", 3),
+            retry_backoff_base=data.get("retry_backoff_base", 1),
+            retry_backoff_cap=data.get("retry_backoff_cap", 8),
         )
 
     def with_threshold(self, repair_threshold: int) -> "SimulationConfig":

@@ -36,7 +36,15 @@ Deliberate simplifications, documented rather than hidden:
   megabytes through the heap;
 * the transfer occupies the repairing owner's link (the paper's
   owner-centric ``delta_repair = delta_download + delta_upload`` cost
-  model); partner uplinks are not separately modelled;
+  model); in addition each download source's uplink serves a block, and
+  every block leg is priced at the pairwise gated rate ``min(sender
+  uplink, receiver downlink)`` — partner downlinks gate uploads;
+* exchanges cross the impairment layer
+  (``SimulationConfig.impairment_profile``): a dropped exchange loses
+  the whole round trip before any recipient-side effect, the sender
+  observes a timeout and retries with capped exponential backoff up to
+  ``retry_budget`` attempts, then gives up gracefully (the operation
+  re-enqueues as an ordinary check);
 * observers (the paper's measurement probes) keep the abstract
   instantaneous path: they are instruments, not workload, and must not
   perturb quota, fairness or bandwidth accounting;
@@ -53,6 +61,7 @@ from ..backup.fairness import ExchangeLedger, GlobalFairness
 from ..backup.store import BlockStore
 from ..erasure.codec import CodedBlock
 from ..net.bandwidth import LINK_PROFILES, CostModel, LinkScheduler
+from ..net.impairment import IMPAIRMENT_PROFILES
 from ..net.message import (
     FetchReply,
     FetchRequest,
@@ -61,7 +70,11 @@ from ..net.message import (
     StoreReply,
     StoreRequest,
 )
-from ..net.transport import InMemoryTransport, TransportError
+from ..net.transport import (
+    DroppedMessageError,
+    InMemoryTransport,
+    TransportError,
+)
 from .config import SimulationConfig
 from .engine import Simulation
 from .events import Event, EventKind
@@ -128,7 +141,24 @@ class ProtocolSimulation(Simulation):
         self._manifest: Dict[int, Dict[int, int]] = {}
         self._next_index: Dict[int, int] = {}
         self._messages = 0
+        self.impairment = IMPAIRMENT_PROFILES.get(config.impairment_profile)
+        #: Exchanges lost to the impairment layer so far (operations
+        #: snapshot it to tell a transient timeout from a dead partner).
+        self._drop_count = 0
+        #: Impairment latency accrued by the current operation's
+        #: negotiation exchanges; folded into its transfer finish time.
+        self._latency_pool = 0.0
+        #: owner -> consecutive timed-out attempts of its current
+        #: placement/repair operation (the per-exchange retry budget).
+        self._attempts: Dict[int, int] = {}
         super().__init__(config)
+        # Installed only for non-clean profiles: a clean run never
+        # consumes the dedicated "impairment" stream, so pre-impairment
+        # trajectories stay byte-identical.
+        if not self.impairment.is_clean:
+            self.transport.set_impairment(
+                self.impairment.sampler(self.rng.batched("impairment"))
+            )
 
     # ------------------------------------------------------------------
     # Messaging plumbing
@@ -138,13 +168,25 @@ class ProtocolSimulation(Simulation):
 
         Every failure mode — departed recipient, offline endpoint — is a
         typed :class:`TransportError`, which at this fidelity is the
-        moral equivalent of the real system's timeout.
+        moral equivalent of the real system's timeout.  Drops from the
+        impairment layer are counted separately (``drops``): they are
+        the *transient* timeouts the retry machinery exists for, unlike
+        a departed partner which no retry can bring back.
         """
         self._messages += 1
         try:
-            return self.transport.send(message), True
+            reply = self.transport.send(message)
+        except DroppedMessageError:
+            self._drop_count += 1
+            self.metrics.bump("drops")
+            return None, False
         except TransportError:
             return None, False
+        delay = self.transport.last_delay_seconds
+        if delay > 0.0:
+            self._latency_pool += delay
+            self.metrics.bump("impairment_delay_seconds", delay)
+        return reply, True
 
     def _make_handler(self, peer_id: int) -> Callable[[Message], Optional[Message]]:
         def handle(message: Message) -> Optional[Message]:
@@ -276,6 +318,10 @@ class ProtocolSimulation(Simulation):
         pending = self._pending.pop(peer_id, None)
         if pending is not None:
             self._cancel_pending(pending, release_blocks=True)
+        # Mid-retry churn: a backed-off operation whose owner dies must
+        # not leave retry state behind (its pending check is swallowed
+        # by the driver's alive guard).
+        self._attempts.pop(peer_id, None)
         # It can no longer become a holder for anyone's pending transfer.
         for owner_id in sorted(self._pending_by_holder.pop(peer_id, ())):
             waiting = self._pending.get(owner_id)
@@ -320,6 +366,35 @@ class ProtocolSimulation(Simulation):
         self.metrics.bump("messages_sent", self._messages)
 
     # ------------------------------------------------------------------
+    # Timeout / retry machinery
+    # ------------------------------------------------------------------
+    def _retry_after_timeout(self, owner: Peer, now: int) -> None:
+        """An operation lost exchanges to the network; retry or give up.
+
+        Retries back off exponentially (``retry_backoff_base`` rounds,
+        doubling per attempt, capped at ``retry_backoff_cap``) up to
+        ``retry_budget`` attempts.  Exhaustion degrades gracefully: the
+        operation re-enqueues as an ordinary next-round check — the
+        archive keeps being maintained, it just stops being treated as
+        a transient network hiccup.
+        """
+        owner_id = owner.peer_id
+        self.metrics.bump("timeouts")
+        attempts = self._attempts.get(owner_id, 0)
+        if attempts >= self.config.retry_budget:
+            self._attempts.pop(owner_id, None)
+            self.metrics.bump("gave_up")
+            self._schedule_check(owner, now + 1)
+            return
+        self._attempts[owner_id] = attempts + 1
+        self.metrics.bump("retries")
+        backoff = min(
+            self.config.retry_backoff_base << attempts,
+            self.config.retry_backoff_cap,
+        )
+        self._schedule_check(owner, now + backoff)
+
+    # ------------------------------------------------------------------
     # Execution trio, message-level
     # ------------------------------------------------------------------
     def _run_placement(self, owner: Peer, now: int) -> None:
@@ -330,11 +405,19 @@ class ProtocolSimulation(Simulation):
         archive = owner.archive
         needed = self.policy.n - len(archive.holders)
         if needed > 0:
+            drops_before = self._drop_count
+            self._latency_pool = 0.0
             placed = self._store_blocks(owner, now, needed)
             if placed:
+                self._attempts.pop(owner.peer_id, None)
                 self._begin_transfer(
                     owner, now, kind="placement", blocks=placed, sources=()
                 )
+                return
+            if self._drop_count > drops_before:
+                # Nothing placed and the network ate at least one store
+                # exchange: a transient failure, not a refusal.
+                self._retry_after_timeout(owner, now)
                 return
         self._placement_bookkeeping(owner, now)
 
@@ -361,25 +444,38 @@ class ProtocolSimulation(Simulation):
                 self._drop_holder(owner, self.population.get(holder_id))
         # Download phase: fetch any k blocks from visible holders, as
         # real exchanges (the driver's can_decode pre-check said this
-        # should succeed; a shortfall means the stack lost a block).
+        # should succeed; a shortfall means the stack lost a block —
+        # or, under impairment, that the network ate some fetches).
+        fetch_drops_before = self._drop_count
+        self._latency_pool = 0.0
         sources = self._collect_blocks(owner)
         if len(sources) < self.policy.k:
             archive.blocked_count += 1
             if owner.adaptive is not None:
                 owner.adaptive.on_blocked(now)
             self.metrics.record_blocked(now, owner.age(now), owner.observer_name)
+            if self._drop_count > fetch_drops_before:
+                self._retry_after_timeout(owner, now)
+                return
             self.metrics.bump("fetch_shortfalls")
             self._schedule_check(owner, now + 1)
             return
         needed = self.policy.n - len(archive.holders)
+        store_drops_before = self._drop_count
         placed = self._store_blocks(owner, now, needed) if needed > 0 else {}
         if not placed:
+            if self._drop_count > store_drops_before:
+                # Every would-be recruit exchange drowned; the selection
+                # pool itself may be fine, so back off and retry.
+                self._retry_after_timeout(owner, now)
+                return
             if owner.adaptive is not None:
                 owner.adaptive.on_starved(now)
             self.metrics.record_starved()
             if self._needs_repair(owner, archive.visible):
                 self._schedule_check(owner, now + 1)
             return
+        self._attempts.pop(owner.peer_id, None)
         self._begin_transfer(
             owner,
             now,
@@ -400,20 +496,34 @@ class ProtocolSimulation(Simulation):
         pending = self._pending.pop(owner.peer_id, None)
         if pending is not None:
             self._cancel_pending(pending, release_blocks=True)
+        # The dead archive's retry state dies with it.
+        self._attempts.pop(owner.peer_id, None)
         # Restore attempt: the owner only accepts the loss after real
         # fetch exchanges against the remaining holders come back short.
+        # A restore is a one-shot event (there is no later round to back
+        # off to), so dropped probes are re-sent immediately, up to the
+        # retry budget per holder.
         for holder_id in list(owner.archive.holders):
             index = self._manifest.get(owner.peer_id, {}).get(holder_id)
             if index is None:
                 continue
-            self._send(
-                FetchRequest(
-                    sender=owner.peer_id,
-                    recipient=holder_id,
-                    archive_id=self._archive_id(owner.peer_id),
-                    block_index=index,
-                )
+            probe = FetchRequest(
+                sender=owner.peer_id,
+                recipient=holder_id,
+                archive_id=self._archive_id(owner.peer_id),
+                block_index=index,
             )
+            attempts = 0
+            while True:
+                drops_before = self._drop_count
+                _, delivered = self._send(probe)
+                if delivered or self._drop_count == drops_before:
+                    break  # delivered, or a dead endpoint retries can't fix
+                if attempts >= self.config.retry_budget:
+                    self.metrics.bump("timeouts")
+                    break
+                attempts += 1
+                self.metrics.bump("retries")
         self.metrics.bump("restore_attempts")
         super()._record_loss(owner, now)
 
@@ -534,22 +644,32 @@ class ProtocolSimulation(Simulation):
         The owner's asymmetric link carries the whole repair
         (``delta_download + delta_upload``, the paper's cost model); in
         addition each download *source* serves one block over its own
-        uplink.  The transfer completes when the slowest involved link
-        frees — which is where real queueing appears: concurrent repairs
-        fetching from the same stable elder serialise on its uplink.
+        uplink.  Every block leg is priced at the pairwise gated rate
+        ``min(sender uplink, receiver downlink)`` — a recruited
+        partner's starved downlink slows the owner's upload exactly as
+        a slow source uplink slows a serve.  The transfer completes
+        when the slowest involved link frees — which is where real
+        queueing appears: concurrent repairs fetching from the same
+        stable elder serialise on its uplink.  Impairment latency
+        accrued by the operation's negotiation exchanges defers the
+        completion signal without occupying any link.
         """
         block_size = self.cost_model.block_size
         now_second = now * self.links.round_seconds
+        block_seconds = self.cost_model.block_transfer_seconds()
         seconds = (
             len(sources) * block_size / self.link.download_bps
-            + len(blocks) * block_size / self.link.upload_bps
+            + len(blocks) * block_seconds
         )
-        transfer = self.links.schedule(owner.peer_id, seconds, now)
+        latency = self._latency_pool
+        self._latency_pool = 0.0
+        transfer = self.links.schedule(
+            owner.peer_id, seconds, now, latency_seconds=latency
+        )
         delay = transfer.queue_delay(now_second)
         finish_second = transfer.finish_second
-        serve_seconds = block_size / self.link.upload_bps
         for source_id in sources:
-            serve = self.links.schedule(source_id, serve_seconds, now)
+            serve = self.links.schedule(source_id, block_seconds, now)
             delay += serve.queue_delay(now_second)
             if serve.finish_second > finish_second:
                 finish_second = serve.finish_second
@@ -692,5 +812,11 @@ class ProtocolSimulation(Simulation):
                 problems.append(
                     f"peer {peer_id}: block store over quota "
                     f"({len(store)} > {self.config.quota})"
+                )
+        for owner_id in sorted(self._attempts):
+            peer = self.population.peers.get(owner_id)
+            if peer is None or not peer.alive:
+                problems.append(
+                    f"peer {owner_id}: retry state outlived its owner"
                 )
         return problems

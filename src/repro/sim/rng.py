@@ -161,6 +161,7 @@ STREAM_NAMES = (
     "selection",
     "ordering",
     "placement",
+    "impairment",
 )
 
 

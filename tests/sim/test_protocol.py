@@ -59,7 +59,9 @@ class TestDigestStability:
     def test_abstract_to_dict_has_no_fidelity_keys(self):
         data = SimulationConfig().to_dict()
         for key in ("fidelity", "link_profile", "round_seconds",
-                    "archive_bytes", "fairness_factor"):
+                    "archive_bytes", "fairness_factor",
+                    "impairment_profile", "retry_budget",
+                    "retry_backoff_base", "retry_backoff_cap"):
             assert key not in data
 
     def test_protocol_digest_differs(self):
@@ -77,6 +79,12 @@ class TestDigestStability:
         )
         assert config_digest(base) != config_digest(
             dataclasses.replace(base, archive_bytes=2 * base.archive_bytes)
+        )
+        assert config_digest(base) != config_digest(
+            dataclasses.replace(base, impairment_profile="loss10")
+        )
+        assert config_digest(base) != config_digest(
+            dataclasses.replace(base, retry_budget=5)
         )
 
     def test_protocol_config_round_trips(self):
