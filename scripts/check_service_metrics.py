@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""The service-smoke gate: boot a real server, assert the ops schema.
+
+CI's ``service-smoke`` lane runs this after the roundtrip tests.  It
+boots ``SweepService`` behind the real HTTP layer on an ephemeral
+port, submits one tiny sweep, waits for it, then scrapes ``/metrics``
+and ``/queue`` and validates the structured-JSON event schema those
+endpoints promise (docs/ARCHITECTURE.md, "The sweep service") —
+every key an operator's dashboard would graph must be present with
+the right shape.  Exit status is non-zero on any mismatch, so the ops
+surface cannot drift from its documentation silently.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_service_metrics.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+from typing import List
+
+#: One sub-second sweep: enough to light up every counter.
+PAYLOAD = {
+    "scenario": "paper",
+    "scale": "quick",
+    "population": 60,
+    "rounds": 300,
+    "seeds": [0],
+}
+
+#: /metrics: top-level key -> required sub-keys (None = scalar/list).
+METRICS_SCHEMA = {
+    "event": None,
+    "ts": None,
+    "queue": ("queued", "leased", "published", "done", "failed"),
+    "queue_depth": None,
+    "jobs": ("submitted", "duplicate", "completed", "failed", "stolen"),
+    "requests": ("total", "throttled", "per_second", "window_seconds"),
+    "cells": ("simulated", "from_cache", "cache_hit_ratio"),
+    "cache": ("entries", "size_bytes"),
+    "leases": ("jobs", "cells"),
+    "quotas": None,
+}
+
+#: /queue: required keys of the document and of each job row.
+QUEUE_KEYS = ("event", "ts", "depth", "jobs")
+QUEUE_JOB_KEYS = (
+    "job_id", "state", "client", "spec", "cells", "worker",
+    "age_seconds", "error",
+)
+
+
+def check_schema(document: dict, schema: dict, label: str) -> List[str]:
+    problems = []
+    for key, subkeys in schema.items():
+        if key not in document:
+            problems.append(f"{label}: missing key {key!r}")
+            continue
+        if subkeys is None:
+            continue
+        value = document[key]
+        if not isinstance(value, dict):
+            problems.append(f"{label}.{key}: expected an object")
+            continue
+        for subkey in subkeys:
+            if subkey not in value:
+                problems.append(f"{label}.{key}: missing key {subkey!r}")
+    return problems
+
+
+def main() -> int:
+    from repro.exec import ResultCache
+    from repro.service.client import ServiceClient
+    from repro.service.server import SweepService, make_server
+
+    problems: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as scratch:
+        service = SweepService(
+            ResultCache(scratch), workers=1, poll_interval=0.02
+        )
+        service.start()
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.02},
+            daemon=True,
+        ).start()
+        try:
+            client = ServiceClient(
+                f"http://{host}:{port}", client_id="service-smoke"
+            )
+            record = client.submit_and_wait(PAYLOAD, timeout=300)
+            if record["state"] != "done":
+                problems.append(f"job ended {record['state']!r}, not done")
+            if not client.raw_result(record["job_id"]):
+                problems.append("finished job returned an empty result body")
+
+            metrics = client.metrics()
+            problems += check_schema(metrics, METRICS_SCHEMA, "/metrics")
+            if metrics.get("event") != "service_metrics":
+                problems.append(
+                    f"/metrics.event is {metrics.get('event')!r}, "
+                    "expected 'service_metrics'"
+                )
+            jobs = metrics.get("jobs", {})
+            if isinstance(jobs, dict) and not jobs.get("submitted"):
+                problems.append("/metrics.jobs.submitted never incremented")
+            requests = metrics.get("requests", {})
+            if isinstance(requests, dict) and not requests.get("total"):
+                problems.append("/metrics.requests.total never incremented")
+
+            queue = client.queue()
+            for key in QUEUE_KEYS:
+                if key not in queue:
+                    problems.append(f"/queue: missing key {key!r}")
+            if queue.get("event") != "service_queue":
+                problems.append(
+                    f"/queue.event is {queue.get('event')!r}, "
+                    "expected 'service_queue'"
+                )
+            for row in queue.get("jobs", []):
+                for key in QUEUE_JOB_KEYS:
+                    if key not in row:
+                        problems.append(f"/queue job row: missing {key!r}")
+                break  # one row carries the schema
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+
+    for problem in problems:
+        print(f"FAIL {problem}")
+    print(
+        f"check_service_metrics: {len(problems)} problem(s) "
+        "(submit -> wait -> /metrics + /queue schema)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

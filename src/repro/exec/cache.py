@@ -77,6 +77,26 @@ class ResultCache:
         """
         return self.root / "leases"
 
+    @property
+    def service_root(self) -> Path:
+        """Where the sweep service keeps its job records and job leases.
+
+        Co-located with the results for the same reason as
+        :attr:`lease_root`: one filesystem, one set of atomicity
+        guarantees, and a server restarted against the same cache
+        directory recovers every job it had accepted.
+        """
+        return self.root / "service"
+
+    def contains_digest(self, digest: str) -> bool:
+        """Whether a result for ``digest`` is stored (cheap existence probe).
+
+        Unlike :meth:`load` this never reads or parses the payload, so
+        the sweep service can classify a whole job as a cache hit
+        without deserialising every cell.
+        """
+        return self.path_for(digest).is_file()
+
     def entry_count(self) -> int:
         """Number of stored result payloads."""
         return sum(1 for _ in self.root.glob("??/*.json"))

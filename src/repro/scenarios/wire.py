@@ -1,0 +1,229 @@
+"""Wire format of the sweep service: JSON payloads -> experiment specs.
+
+The service (:mod:`repro.service`) accepts sweep submissions as plain
+JSON documents so any HTTP client can drive it.  This module is the
+single point where those documents are validated and turned into the
+same :class:`~repro.exec.spec.ExperimentSpec` objects the CLI builds —
+which is what makes the service's results byte-identical to a local
+``repro-experiments run``: both sides share one construction path.
+
+A payload selects a starting point (exactly one of ``scenario`` — a
+registered preset name — or ``config`` — an explicit
+``SimulationConfig.to_dict()`` document), then applies the same resize
+and override pipeline as the CLI's ``--scenario`` flags::
+
+    {
+        "scenario": "paper",
+        "scale": "quick",
+        "seeds": [0, 1],
+        "fidelity": "abstract",
+        "overrides": {"quota": 64}
+    }
+
+Validation failures raise :class:`SpecValidationError` with an
+actionable message (the offending field, the reason, and the accepted
+choices where a registry is involved) so API clients can fix their
+payload without reading server logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..sim.config import SimulationConfig
+from .builder import Scenario
+from .presets import scenario_by_name
+
+#: Every key a submission may carry, with a one-line meaning (the
+#: validation error quotes this table, so unknown-key mistakes are
+#: self-documenting on the wire).
+ALLOWED_KEYS: Dict[str, str] = {
+    "scenario": "registered scenario preset name (exclusive with 'config')",
+    "config": "explicit SimulationConfig.to_dict() document "
+              "(exclusive with 'scenario')",
+    "name": "label for progress display and job listings",
+    "seeds": "replication seeds, a non-empty list of integers",
+    "scale": "experiment scale preset resizing population/rounds "
+             "('quick', 'default' or 'full')",
+    "population": "peer population override (positive integer)",
+    "rounds": "simulated rounds override (positive integer)",
+    "fidelity": "simulation backend (registered fidelity name)",
+    "impairment": "netem-style link condition (registered profile name)",
+    "link": "access-link profile (registered name)",
+    "selection": "partner-selection strategy (registered name)",
+    "churn": "churn mix (registered name)",
+    "threshold": "repair threshold k' (positive integer)",
+    "quota": "per-peer hosting quota (positive integer)",
+    "overrides": "escape hatch: arbitrary SimulationConfig field overrides",
+}
+
+
+class SpecValidationError(ValueError):
+    """A submission payload that cannot become an experiment spec."""
+
+
+def _fail(field: str, reason: str) -> "SpecValidationError":
+    return SpecValidationError(f"invalid submission field {field!r}: {reason}")
+
+
+def _positive_int(payload: Dict[str, Any], field: str) -> int:
+    value = payload[field]
+    # bool is an int subclass; "population": true must not pass.
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise _fail(field, f"expected a positive integer, got {value!r}")
+    return value
+
+
+def _seeds(payload: Dict[str, Any]) -> Tuple[int, ...]:
+    value = payload.get("seeds", [0])
+    if not isinstance(value, (list, tuple)) or not value:
+        raise _fail("seeds", f"expected a non-empty list of integers, got {value!r}")
+    for seed in value:
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise _fail("seeds", f"expected integers, got {seed!r}")
+    return tuple(value)
+
+
+def _base_scenario(payload: Dict[str, Any]) -> Scenario:
+    has_scenario = "scenario" in payload
+    has_config = "config" in payload
+    if has_scenario == has_config:
+        raise SpecValidationError(
+            "a submission selects its starting point with exactly one of "
+            "'scenario' (a registered preset name) or 'config' (an "
+            "explicit configuration document)"
+        )
+    if has_scenario:
+        name = payload["scenario"]
+        if not isinstance(name, str):
+            raise _fail("scenario", f"expected a preset name, got {name!r}")
+        try:
+            return scenario_by_name(name)
+        except (KeyError, ValueError) as error:
+            raise _fail("scenario", str(error)) from None
+    document = payload["config"]
+    if not isinstance(document, dict):
+        raise _fail("config", f"expected a configuration object, got {document!r}")
+    try:
+        config = SimulationConfig.from_dict(document)
+    except (KeyError, TypeError, ValueError) as error:
+        raise _fail("config", str(error)) from None
+    return Scenario.from_config(config, name="wire")
+
+
+def _apply_knobs(scenario: Scenario, payload: Dict[str, Any]) -> Scenario:
+    """The CLI's resize/override pipeline, field by field.
+
+    Order matches ``repro-experiments run``: the coarse ``scale`` resize
+    first, then explicit population/rounds, then component swaps, then
+    the ``overrides`` escape hatch — so a payload and the equivalent CLI
+    invocation build the exact same configuration (and therefore the
+    same cache digests).
+    """
+    if "scale" in payload:
+        from ..experiments.common import scale_by_name
+
+        try:
+            scale = scale_by_name(payload["scale"])
+        except (TypeError, ValueError) as error:
+            raise _fail("scale", str(error)) from None
+        scenario = scenario.with_population(scale.population).with_rounds(
+            scale.rounds
+        )
+    if "population" in payload:
+        scenario = scenario.with_population(_positive_int(payload, "population"))
+    if "rounds" in payload:
+        scenario = scenario.with_rounds(_positive_int(payload, "rounds"))
+    registry_knobs = (
+        ("fidelity", "with_fidelity"),
+        ("impairment", "with_impairment"),
+        ("link", "with_link"),
+        ("selection", "with_selection"),
+        ("churn", "with_churn"),
+    )
+    for field, method in registry_knobs:
+        if field not in payload:
+            continue
+        value = payload[field]
+        if not isinstance(value, str):
+            raise _fail(field, f"expected a registered name, got {value!r}")
+        try:
+            scenario = getattr(scenario, method)(value)
+        except (KeyError, ValueError) as error:
+            raise _fail(field, str(error)) from None
+    if "threshold" in payload:
+        scenario = scenario.with_threshold(_positive_int(payload, "threshold"))
+    if "quota" in payload:
+        scenario = scenario.with_quota(_positive_int(payload, "quota"))
+    if "overrides" in payload:
+        overrides = payload["overrides"]
+        if not isinstance(overrides, dict):
+            raise _fail("overrides",
+                        f"expected an object of config fields, got {overrides!r}")
+        try:
+            scenario = scenario.override(**overrides)
+        except (TypeError, ValueError) as error:
+            raise _fail("overrides", str(error)) from None
+    return scenario
+
+
+def spec_from_payload(payload: Any) -> "ExperimentSpec":
+    """Validate a submission document and build its experiment spec.
+
+    Raises :class:`SpecValidationError` on anything malformed; the
+    message always names the offending field and, for registry-backed
+    fields, lists the accepted choices (the registries' own
+    did-you-mean messages pass through).
+    """
+    # Imported lazily, exactly like Scenario.spec(): repro.exec resolves
+    # the package version during import, which is only bound after the
+    # top-level scenario imports finish.
+    from ..exec.spec import ExperimentSpec
+
+    if not isinstance(payload, dict):
+        raise SpecValidationError(
+            f"a submission is a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(ALLOWED_KEYS))
+    if unknown:
+        allowed = "\n".join(
+            f"  {key}: {meaning}" for key, meaning in ALLOWED_KEYS.items()
+        )
+        raise SpecValidationError(
+            f"unknown submission field(s) {', '.join(map(repr, unknown))}; "
+            f"allowed fields:\n{allowed}"
+        )
+    label = payload.get("name", payload.get("scenario", "custom"))
+    if not isinstance(label, str) or not label:
+        raise _fail("name", f"expected a non-empty string, got {label!r}")
+    seeds = _seeds(payload)
+    scenario = _apply_knobs(_base_scenario(payload), payload)
+    try:
+        config = scenario.build()
+        # Force validation now (frozen dataclasses validate in
+        # __post_init__, but override() already constructed it; the
+        # seed application below re-runs replace()).
+        config.with_seed(seeds[0])
+    except (TypeError, ValueError) as error:
+        raise SpecValidationError(
+            f"submission builds an invalid configuration: {error}"
+        ) from None
+    return ExperimentSpec(
+        name=f"service:{label}",
+        build=lambda params: config,
+        seeds=seeds,
+    )
+
+
+def scenario_payload(scenario: str, **fields: Any) -> Dict[str, Any]:
+    """Client-side helper: a well-formed submission document.
+
+    Keyword arguments are payload fields (``scale="quick"``,
+    ``seeds=[0, 1]``, ``overrides={...}``); they are validated by the
+    same :func:`spec_from_payload` the server runs, so a payload that
+    leaves this function is one the server accepts.
+    """
+    payload: Dict[str, Any] = {"scenario": scenario}
+    payload.update(fields)
+    spec_from_payload(payload)  # fail client-side, with the same message
+    return payload

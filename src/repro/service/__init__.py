@@ -1,0 +1,55 @@
+"""Simulation-as-a-service on the distributed substrate.
+
+The coordinator-less execution backend (:mod:`repro.exec.distributed`)
+already provides location-transparent cells, atomic lease files and a
+content-addressed result cache; this package adds the missing step to a
+persistent service: a long-lived HTTP/JSON job API
+(``repro-experiments serve``) where concurrent clients submit
+:class:`~repro.scenarios.Scenario` sweep specs, a standing worker fleet
+drains the cells, and results stream back from the cache — instant on
+digest hit.
+
+Layout
+------
+:mod:`repro.service.jobs`
+    The job-state machine (queued → leased → published → done/failed)
+    and its restart-safe on-disk store under the cache root.
+:mod:`repro.service.quotas`
+    Per-client token buckets backing 429 backpressure.
+:mod:`repro.service.server`
+    The ``ThreadingHTTPServer`` front end, the worker fleet, and the
+    structured JSON-event metrics surface (``/metrics``, ``/queue``).
+:mod:`repro.service.client`
+    A stdlib HTTP client (``repro-experiments submit`` is built on it).
+
+Everything is standard library only — the service adds no dependency
+the batch tool does not already carry.
+"""
+
+from .client import QuotaExceededError, ServiceClient, ServiceError
+from .jobs import (
+    JOB_STATES,
+    IllegalTransition,
+    JobRecord,
+    JobState,
+    JobStore,
+    job_id_for,
+)
+from .quotas import ClientQuotas, TokenBucket
+from .server import SweepService, serve
+
+__all__ = [
+    "JOB_STATES",
+    "ClientQuotas",
+    "IllegalTransition",
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "QuotaExceededError",
+    "ServiceClient",
+    "ServiceError",
+    "SweepService",
+    "TokenBucket",
+    "job_id_for",
+    "serve",
+]

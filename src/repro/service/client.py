@@ -1,0 +1,226 @@
+"""A standard-library HTTP client for the sweep service.
+
+``repro-experiments submit`` is a thin CLI over this class, and the
+service tests drive the server through it, so the client is exercised
+end to end on every CI run.  It speaks plain ``http.client`` — the
+service stays dependency-free on both sides of the wire.
+
+The one piece of cleverness is connect retry: ``repro-experiments
+serve &`` in a quickstart (or a CI lane) races the client against the
+server's bind, so the first connection attempt retries with a short
+backoff for up to ``connect_retry_seconds`` before giving up.  After
+the first successful request the retry window drops to zero — a
+*dropped* connection then fails fast instead of masking a crashed
+server.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+#: Default service URL (the `serve` command's default bind).
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+class ServiceError(RuntimeError):
+    """A non-success response from the service."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class QuotaExceededError(ServiceError):
+    """HTTP 429: the per-client token bucket ran dry."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class JobFailedError(ServiceError):
+    """The submitted job reached the ``failed`` state."""
+
+
+class ServiceClient:
+    """Submit sweeps, poll jobs, fetch results and scrape metrics."""
+
+    def __init__(
+        self,
+        url: str = DEFAULT_URL,
+        client_id: Optional[str] = None,
+        timeout: float = 30.0,
+        connect_retry_seconds: float = 5.0,
+    ):
+        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+        if parts.scheme != "http":
+            raise ValueError(
+                f"the sweep service speaks plain http, got {url!r}"
+            )
+        if not parts.hostname:
+            raise ValueError(f"no host in service url {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.client_id = client_id
+        self.timeout = timeout
+        self.connect_retry_seconds = connect_retry_seconds
+        self._connected_once = False
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        headers = {"Content-Type": "application/json"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        retry_budget = 0.0 if self._connected_once else self.connect_retry_seconds
+        started = time.monotonic()
+        while True:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+                self._connected_once = True
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    payload,
+                )
+            except (ConnectionRefusedError, ConnectionResetError, OSError):
+                if time.monotonic() - started >= retry_budget:
+                    raise
+                time.sleep(0.05)
+            finally:
+                connection.close()
+
+    def _json(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Dict[str, object]:
+        status, headers, payload = self._request(method, path, body)
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceError(
+                status, f"non-JSON response: {payload[:200]!r}"
+            ) from None
+        if status == 429:
+            retry_after = float(
+                headers.get("retry-after", document.get("retry_after", 0.1))
+            )
+            raise QuotaExceededError(
+                str(document.get("error", "quota exceeded")), retry_after
+            )
+        if status >= 400:
+            raise ServiceError(status, str(document.get("error", document)))
+        return document
+
+    # ------------------------------------------------------------------
+    # Job API
+    # ------------------------------------------------------------------
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """POST a submission; returns the job document (may be ``done``
+        immediately on a hot cache).  Raises :class:`QuotaExceededError`
+        on 429 and :class:`ServiceError` on validation failures."""
+        body = json.dumps(payload).encode("utf-8")
+        document = self._json("POST", "/jobs", body)
+        return document["job"]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """GET one job's current record."""
+        return self._json("GET", f"/jobs/{job_id}")["job"]
+
+    def raw_result(self, job_id: str) -> bytes:
+        """The finished job's result payload, verbatim wire bytes.
+
+        The body is the canonical JSON of the result list — the bytes
+        the roundtrip test compares against a serial executor run.
+        Raises :class:`JobFailedError` for failed jobs and
+        :class:`ServiceError` (with ``status == 202``) when not ready.
+        """
+        status, _, payload = self._request("GET", f"/jobs/{job_id}/result")
+        if status == 200:
+            return payload
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            document = {}
+        message = str(document.get("error", document))
+        if status == 500 and "error" in document:
+            raise JobFailedError(status, message)
+        raise ServiceError(status, message or "result not ready")
+
+    def result(self, job_id: str) -> List[Dict[str, object]]:
+        """The finished job's results, decoded (cell order)."""
+        return json.loads(self.raw_result(job_id).decode("utf-8"))
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, object]:
+        """Poll until the job is terminal; returns the final record.
+
+        Raises :class:`JobFailedError` if the job failed and
+        :class:`TimeoutError` if it is still running at the deadline.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] == "done":
+                return record
+            if record["state"] == "failed":
+                raise JobFailedError(
+                    500, record.get("error") or "job failed"
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']!r} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def submit_and_wait(
+        self,
+        payload: Dict[str, object],
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, object]:
+        """Submit (respecting 429 backoff) and wait for completion."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                record = self.submit(payload)
+                break
+            except QuotaExceededError as error:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(max(error.retry_after, 0.01), 1.0))
+        if record["state"] == "done":
+            return record
+        remaining = max(deadline - time.monotonic(), poll_interval)
+        return self.wait(
+            record["job_id"], timeout=remaining, poll_interval=poll_interval
+        )
+
+    # ------------------------------------------------------------------
+    # Ops API
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        """The ``/metrics`` structured JSON event."""
+        return self._json("GET", "/metrics")
+
+    def queue(self) -> Dict[str, object]:
+        """The ``/queue`` structured JSON event."""
+        return self._json("GET", "/queue")

@@ -1,0 +1,323 @@
+"""The sweep service's job-state machine and its restart-safe store.
+
+A *job* is one accepted submission: a validated spec payload plus the
+content digests of every cell it expands to.  Its lifecycle is a small
+explicit state machine::
+
+    queued ──► leased ──► published ──► done
+      │          │  ▲          │
+      │          │  └──────────┼─── (lease expired: back to the queue
+      │          ▼             ▼     via leased → queued)
+      └───────► failed ◄───────┘
+
+Every transition is table-driven (:data:`TRANSITIONS`); anything off
+the table raises :class:`IllegalTransition`, so a bug in the server
+loop surfaces as an exception instead of a silently corrupted queue.
+The property tests in ``tests/service/test_jobs.py`` drive random
+interleavings against exactly this table.
+
+Job identifiers are **content-addressed**: the SHA-256 of the job's
+cell-digest vector (:func:`job_id_for`).  Two clients submitting the
+same sweep — or one client retrying a timed-out POST — therefore land
+on the *same* job, which is what makes submission idempotent and
+duplicate compute structurally impossible at the job level.
+
+Records persist as one JSON file per job under the cache root
+(``<cache>/service/jobs/``), written with the same
+write-temp-then-``os.replace`` discipline as cache payloads, so a
+server restarted against the same cache directory recovers every job
+it had accepted (see :meth:`repro.service.server.SweepService.recover`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..exec.cache import canonical_json
+
+#: The five job states, in lifecycle order.
+JobState = str
+
+QUEUED: JobState = "queued"
+LEASED: JobState = "leased"
+PUBLISHED: JobState = "published"
+DONE: JobState = "done"
+FAILED: JobState = "failed"
+
+JOB_STATES: Tuple[JobState, ...] = (QUEUED, LEASED, PUBLISHED, DONE, FAILED)
+
+#: The complete legal transition table.  ``LEASED -> QUEUED`` is the
+#: lease-expiry path: a worker died mid-job and another one (or the
+#: server's recovery scan) put the job back in the queue.
+TRANSITIONS: Dict[JobState, Tuple[JobState, ...]] = {
+    QUEUED: (LEASED, FAILED),
+    LEASED: (PUBLISHED, QUEUED, FAILED),
+    PUBLISHED: (DONE, FAILED),
+    DONE: (),
+    FAILED: (),
+}
+
+#: States a job never leaves.
+TERMINAL_STATES: Tuple[JobState, ...] = (DONE, FAILED)
+
+
+class IllegalTransition(RuntimeError):
+    """A job was asked to move along an edge not in :data:`TRANSITIONS`."""
+
+    def __init__(self, job_id: str, current: JobState, target: JobState):
+        self.job_id = job_id
+        self.current = current
+        self.target = target
+        super().__init__(
+            f"job {job_id}: illegal transition {current!r} -> {target!r}; "
+            f"legal from {current!r}: {list(TRANSITIONS[current])}"
+        )
+
+
+def job_id_for(digests: Sequence[str]) -> str:
+    """The content-addressed job identifier of a cell-digest vector.
+
+    Cell order is part of the identity (results are returned in cell
+    order), and the digests already encode package + schema versions,
+    so equal job ids imply byte-identical result payloads.
+    """
+    payload = canonical_json({"job": list(digests)})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """One job's full, serialisable state.
+
+    ``history`` records every transition as ``[state, timestamp]``
+    pairs — the audit trail the ops endpoints and the restart-recovery
+    scan read.
+    """
+
+    job_id: str
+    client: str
+    payload: Dict[str, object]
+    spec_name: str
+    digests: Tuple[str, ...]
+    state: JobState = QUEUED
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    worker: Optional[str] = None
+    error: Optional[str] = None
+    history: List[Tuple[JobState, float]] = field(default_factory=list)
+
+    def transition(
+        self,
+        target: JobState,
+        now: float,
+        worker: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> "JobRecord":
+        """Move to ``target`` (mutating), enforcing the transition table."""
+        if target not in TRANSITIONS:
+            raise IllegalTransition(self.job_id, self.state, target)
+        if target not in TRANSITIONS[self.state]:
+            raise IllegalTransition(self.job_id, self.state, target)
+        self.state = target
+        self.updated_at = now
+        self.history.append((target, now))
+        if worker is not None:
+            self.worker = worker
+        if target == QUEUED:  # requeued after lease expiry: unowned again
+            self.worker = None
+        if error is not None:
+            self.error = error
+        return self
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-safe; the wire and on-disk format)."""
+        return {
+            "job_id": self.job_id,
+            "client": self.client,
+            "payload": self.payload,
+            "spec_name": self.spec_name,
+            "digests": list(self.digests),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "updated_at": self.updated_at,
+            "worker": self.worker,
+            "error": self.error,
+            "history": [[state, at] for state, at in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        state = data["state"]
+        if state not in TRANSITIONS:
+            raise ValueError(f"unknown job state {state!r}")
+        return cls(
+            job_id=data["job_id"],
+            client=data["client"],
+            payload=data["payload"],
+            spec_name=data["spec_name"],
+            digests=tuple(data["digests"]),
+            state=state,
+            submitted_at=data["submitted_at"],
+            updated_at=data["updated_at"],
+            worker=data.get("worker"),
+            error=data.get("error"),
+            history=[(entry[0], entry[1]) for entry in data.get("history", [])],
+        )
+
+
+def _wall_clock() -> float:
+    """Job timestamps are wall-clock: they survive restarts and appear
+    in client-facing listings, so a monotonic (boot-relative) clock
+    would be meaningless."""
+    return time.time()  # replint: disable=R001 (job audit timestamps are wall-clock by design; simulation RNG is untouched)
+
+
+class JobStore:
+    """The in-memory job table with write-through on-disk persistence.
+
+    One server process owns the store; every mutation happens under one
+    lock and is persisted before the lock is released, so the on-disk
+    view under ``<root>/jobs/`` is never ahead of nor more than one
+    crash behind the in-memory one.  Reloading the directory rebuilds
+    the table exactly (:meth:`load_existing`).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        clock: Callable[[], float] = _wall_clock,
+    ):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._records: Dict[str, JobRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def path_for(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _persist(self, record: JobRecord) -> None:
+        path = self.path_for(record.job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{record.job_id[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(canonical_json(record.to_dict()))
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def load_existing(self) -> List[JobRecord]:
+        """Load every readable record from disk into the table.
+
+        Corrupt or truncated files (a crash mid-write leaves none,
+        thanks to the temp-then-replace discipline, but a torn disk
+        might) are skipped: the job id is content-addressed, so a
+        client resubmitting simply recreates the job.
+        """
+        loaded: List[JobRecord] = []
+        with self._lock:
+            for path in sorted(self.jobs_dir.glob("*.json")):
+                try:
+                    data = json.loads(path.read_text(encoding="utf-8"))
+                    record = JobRecord.from_dict(data)
+                except (OSError, TypeError, KeyError, ValueError):
+                    continue
+                self._records[record.job_id] = record
+                loaded.append(record)
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Table operations
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def create(
+        self,
+        client: str,
+        payload: Dict[str, object],
+        spec_name: str,
+        digests: Sequence[str],
+    ) -> Tuple[JobRecord, bool]:
+        """Create (or re-find) the job for a digest vector.
+
+        Returns ``(record, created)``.  An existing non-failed job is
+        returned as-is — submission is idempotent.  A FAILED job is
+        replaced with a fresh QUEUED record: resubmitting is the
+        client-visible retry path.
+        """
+        job_id = job_id_for(digests)
+        with self._lock:
+            existing = self._records.get(job_id)
+            if existing is not None and existing.state != FAILED:
+                return existing, False
+            now = self.clock()
+            record = JobRecord(
+                job_id=job_id,
+                client=client,
+                payload=payload,
+                spec_name=spec_name,
+                digests=tuple(digests),
+                submitted_at=now,
+                updated_at=now,
+                history=[(QUEUED, now)],
+            )
+            self._records[job_id] = record
+            self._persist(record)
+            return record, True
+
+    def transition(
+        self,
+        job_id: str,
+        target: JobState,
+        worker: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> JobRecord:
+        """Validated state change, persisted before returning."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            record.transition(target, self.clock(), worker=worker, error=error)
+            self._persist(record)
+            return record
+
+    def records(self) -> List[JobRecord]:
+        """Snapshot of every record, submission order (FIFO queue view)."""
+        with self._lock:
+            return sorted(
+                self._records.values(),
+                key=lambda record: (record.submitted_at, record.job_id),
+            )
+
+    def counts(self) -> Dict[JobState, int]:
+        """Jobs per state (every state present, zero included)."""
+        totals = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for record in self._records.values():
+                totals[record.state] += 1
+        return totals

@@ -1,0 +1,126 @@
+"""Per-client token-bucket quotas backing the service's 429 responses.
+
+Each client identity (the ``X-Client-Id`` header, falling back to the
+remote address) owns one :class:`TokenBucket`: ``capacity`` tokens,
+refilled continuously at ``refill_per_second``.  A submission costs one
+token; an empty bucket yields HTTP 429 with a ``Retry-After`` derived
+from :meth:`TokenBucket.retry_after`, so well-behaved clients back off
+for exactly as long as necessary.
+
+The clock is injectable (and defaults to :func:`time.monotonic`, which
+never jumps backwards) so the property tests in
+``tests/service/test_quotas.py`` can drive arbitrary interleavings of
+takes and refills and assert the budget invariant: the balance never
+leaves ``[0, capacity]`` and a take never succeeds on an empty bucket.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Tuple
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket (thread-safe)."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_second: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        if refill_per_second <= 0:
+            raise ValueError(
+                f"refill_per_second must be positive, got {refill_per_second!r}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_second
+            )
+        # A clock that stands still (or an injected one driven backwards)
+        # simply refills nothing; the balance is never debited by time.
+        self._stamp = max(self._stamp, now)
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if the balance covers them; never blocks."""
+        if tokens <= 0:
+            raise ValueError(f"tokens must be positive, got {tokens!r}")
+        with self._lock:
+            self._refill(self.clock())
+            if self._tokens + 1e-9 < tokens:
+                return False
+            self._tokens = max(0.0, self._tokens - tokens)
+            return True
+
+    def balance(self) -> float:
+        """The current token balance (refreshed)."""
+        with self._lock:
+            self._refill(self.clock())
+            return self._tokens
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be affordable (0 if already)."""
+        with self._lock:
+            self._refill(self.clock())
+            deficit = tokens - self._tokens
+            if deficit <= 0:
+                return 0.0
+            return deficit / self.refill_per_second
+
+
+class ClientQuotas:
+    """The per-client bucket table (thread-safe, lazily populated)."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_second: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.capacity = capacity
+        self.refill_per_second = refill_per_second
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def bucket_for(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.capacity, self.refill_per_second, clock=self.clock
+                )
+                self._buckets[client] = bucket
+            return bucket
+
+    def try_take(self, client: str, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Debit ``client``; returns ``(allowed, retry_after_seconds)``."""
+        bucket = self.bucket_for(client)
+        if bucket.try_take(tokens):
+            return True, 0.0
+        return False, bucket.retry_after(tokens)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Per-client balances for the ops surface (sorted by client)."""
+        with self._lock:
+            clients = sorted(self._buckets)
+            return [
+                {
+                    "client": client,
+                    "tokens": round(self._buckets[client].balance(), 3),
+                    "capacity": self.capacity,
+                }
+                for client in clients
+            ]

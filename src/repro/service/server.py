@@ -1,0 +1,727 @@
+"""The sweep service: HTTP front end, worker fleet, ops surface.
+
+``repro-experiments serve`` runs one :class:`SweepService` behind a
+:class:`http.server.ThreadingHTTPServer` — standard library only.  The
+service is deliberately layered so the tests can grip each seam:
+
+* :class:`SweepService` is HTTP-agnostic: submissions, the job table,
+  the standing worker fleet and the metrics all live here and are
+  driven directly by the unit tests.
+* :func:`make_server` wraps a service in the HTTP layer (ephemeral
+  ports via ``port=0``); :func:`serve` is the CLI entry point.
+
+Execution reuses the distributed substrate wholesale: each worker
+thread drains a job's cells through a ``SweepExecutor`` on the
+``distributed`` backend, so cell-level leasing, crash recovery and
+publish-before-release semantics are exactly those of
+:mod:`repro.exec.distributed` — the service adds only a *job*-level
+lease (same :class:`~repro.exec.distributed.LeaseDirectory` mechanism,
+separate directory) so one worker owns a job's progress reporting
+while any number of workers may legally help with its cells.
+
+Observability is structured JSON events: every state change emits one
+JSON line on the event stream, and ``/metrics`` + ``/queue`` serve the
+same shapes over HTTP (schema asserted by
+``scripts/check_service_metrics.py`` in the ``service-smoke`` CI lane).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Deque, Dict, IO, List, Optional, Tuple
+
+from ..exec.cache import ResultCache, canonical_json, config_digest
+from ..exec.distributed import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_POLL_INTERVAL,
+    LeaseDirectory,
+    default_worker_id,
+)
+from ..exec.executor import SweepExecutor
+from ..scenarios.wire import SpecValidationError, spec_from_payload
+from . import jobs as J
+from .jobs import JobRecord, JobStore
+from .quotas import ClientQuotas
+
+#: Default per-client quota: burst capacity and steady-state refill.
+DEFAULT_QUOTA_CAPACITY = 16.0
+DEFAULT_QUOTA_REFILL = 4.0
+
+#: Sliding window for the sustained requests/s figure, seconds.
+REQUEST_WINDOW_SECONDS = 60.0
+
+
+def _now() -> float:
+    """Service wall clock, in one place.
+
+    Lease ages, job timestamps and event stamps are operator-facing and
+    must survive restarts, so they are wall-clock by design; simulation
+    randomness never touches this function.
+    """
+    return time.time()  # replint: disable=R001 (ops timestamps are wall-clock by design; simulation RNG derives only from config.seed)
+
+
+class ServiceEvents:
+    """Structured JSON-event emitter: one JSON object per line.
+
+    The stream is injectable (tests capture an ``io.StringIO``; the CLI
+    uses stderr so result payloads on stdout stay clean).  Every event
+    carries ``event`` (its type) and ``ts`` (wall-clock seconds).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream
+        self._lock = threading.Lock()
+
+    def emit(self, event: str, **fields: object) -> Dict[str, object]:
+        payload: Dict[str, object] = {"event": event, "ts": _now()}
+        payload.update(fields)
+        if self.stream is not None:
+            line = canonical_json(payload)
+            with self._lock:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+        return payload
+
+
+@dataclass
+class ServiceMetrics:
+    """Thread-safe counters behind ``/metrics``."""
+
+    requests_total: int = 0
+    requests_throttled: int = 0
+    jobs_submitted: int = 0
+    jobs_duplicate: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_stolen: int = 0
+    cells_simulated: int = 0
+    cells_from_cache: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _request_times: Deque[float] = field(default_factory=deque)
+
+    def record_request(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            self.requests_total += 1
+            self._request_times.append(now)
+            horizon = now - REQUEST_WINDOW_SECONDS
+            while self._request_times and self._request_times[0] < horizon:
+                self._request_times.popleft()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def requests_per_second(self) -> float:
+        """Sustained request rate over the sliding window."""
+        now = time.monotonic()
+        with self._lock:
+            horizon = now - REQUEST_WINDOW_SECONDS
+            while self._request_times and self._request_times[0] < horizon:
+                self._request_times.popleft()
+            if not self._request_times:
+                return 0.0
+            span = max(now - self._request_times[0], 1e-6)
+            return len(self._request_times) / span
+
+    def cache_hit_ratio(self) -> float:
+        with self._lock:
+            cells = self.cells_simulated + self.cells_from_cache
+            if cells == 0:
+                return 0.0
+            return self.cells_from_cache / cells
+
+
+class SweepService:
+    """Submissions, the job table, the worker fleet and the ops surface.
+
+    Parameters
+    ----------
+    cache:
+        The shared result cache.  Job records live under its
+        :attr:`~repro.exec.cache.ResultCache.service_root`; cell leases
+        under its ``lease_root`` exactly as in batch mode, so batch
+        workers (``repro-experiments worker``) can help drain a
+        service's cells and vice versa.
+    workers:
+        Standing worker threads draining jobs.
+    lease_ttl:
+        Seconds without a heartbeat before a job (or cell) lease is
+        stealable.
+    quota_capacity / quota_refill:
+        Per-client token bucket: burst size and tokens/second.
+    events:
+        Optional text stream receiving one JSON event per line.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        workers: int = 1,
+        lease_ttl: Optional[float] = None,
+        poll_interval: Optional[float] = None,
+        quota_capacity: float = DEFAULT_QUOTA_CAPACITY,
+        quota_refill: float = DEFAULT_QUOTA_REFILL,
+        events: Optional[IO[str]] = None,
+        worker_id: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache = cache
+        self.worker_count = workers
+        self.lease_ttl = DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl
+        self.poll_interval = (
+            DEFAULT_POLL_INTERVAL if poll_interval is None else poll_interval
+        )
+        self.worker_id = worker_id or default_worker_id()
+        self.store = JobStore(cache.service_root)
+        self.job_lease_root = cache.service_root / "job-leases"
+        self.quotas = ClientQuotas(quota_capacity, quota_refill)
+        self.events = ServiceEvents(events)
+        self.metrics = ServiceMetrics()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._work_ready = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def recover(self) -> int:
+        """Rebuild the job table from disk after a restart.
+
+        * ``leased`` jobs whose job lease is gone or expired lost their
+          worker: they go back to the queue (the legal
+          ``leased -> queued`` edge).  A *healthy* lease means another
+          server process over the same cache still owns the job — leave
+          it alone; the steal path takes over if its heartbeat stops.
+        * ``published`` jobs finished compute but missed the final
+          bookkeeping tick: finish it — unless the cache lost their
+          results, in which case the honest answer is ``failed`` (the
+          content-addressed job id makes resubmission recreate them).
+        * ``queued`` / ``done`` / ``failed`` need nothing.
+        """
+        recovered = 0
+        job_leases = LeaseDirectory(
+            self.job_lease_root, worker_id=self.worker_id, ttl=self.lease_ttl
+        )
+        for record in self.store.load_existing():
+            if record.state == J.LEASED:
+                info = job_leases.read(record.job_id)
+                if info is not None and not info.expired():
+                    continue  # live owner elsewhere; not ours to requeue
+                self.store.transition(record.job_id, J.QUEUED)
+                self.events.emit(
+                    "job_recovered", job_id=record.job_id, requeued=True
+                )
+                recovered += 1
+            elif record.state == J.PUBLISHED:
+                if self._all_cached(record):
+                    self.store.transition(record.job_id, J.DONE)
+                    self.events.emit(
+                        "job_recovered", job_id=record.job_id, finished=True
+                    )
+                else:
+                    self.store.transition(
+                        record.job_id,
+                        J.FAILED,
+                        error="results missing from cache after restart; "
+                        "resubmit the job",
+                    )
+                recovered += 1
+        return recovered
+
+    def start(self) -> None:
+        """Recover persisted jobs and start the standing worker fleet."""
+        self.recover()
+        for index in range(self.worker_count):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"{self.worker_id}-w{index}",),
+                name=f"sweep-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self.events.emit(
+            "service_started",
+            workers=self.worker_count,
+            cache=str(self.cache.root),
+        )
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._work_ready:
+            self._work_ready.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+    def submit(self, client: str, payload: Dict[str, object]) -> Tuple[JobRecord, bool]:
+        """Validate a payload and create (or re-find) its job.
+
+        Raises :class:`~repro.scenarios.wire.SpecValidationError` on a
+        malformed payload.  Returns ``(record, created)``; an identical
+        in-flight or finished submission is returned rather than
+        duplicated (content-addressed job ids).
+        """
+        spec = spec_from_payload(payload)
+        digests = [config_digest(cell.config) for cell in spec.cells()]
+        record, created = self.store.create(
+            client=client, payload=payload, spec_name=spec.name, digests=digests
+        )
+        if not created:
+            self.metrics.bump("jobs_duplicate")
+            self.events.emit(
+                "job_duplicate",
+                job_id=record.job_id,
+                client=client,
+                state=record.state,
+            )
+            return record, created
+        self.metrics.bump("jobs_submitted")
+        self.events.emit(
+            "job_submitted",
+            job_id=record.job_id,
+            client=client,
+            spec=spec.name,
+            cells=len(digests),
+        )
+        if self._all_cached(record):
+            # Hot-cache fast path: every cell already has a published
+            # result, so the job walks its whole lifecycle inline and
+            # the client's next poll (or this response) sees ``done``.
+            try:
+                self.store.transition(record.job_id, J.LEASED, worker="cache")
+                self.store.transition(record.job_id, J.PUBLISHED)
+                record = self.store.transition(record.job_id, J.DONE)
+            except J.IllegalTransition:
+                # A standing worker grabbed the job between creation and
+                # this fast path; let it finish — same result bytes.
+                return self.store.get(record.job_id) or record, created
+            self.metrics.bump("cells_from_cache", len(record.digests))
+            self.metrics.bump("jobs_completed")
+            self.events.emit(
+                "job_completed",
+                job_id=record.job_id,
+                cache_hit=True,
+                cells=len(record.digests),
+            )
+        else:
+            with self._work_ready:
+                self._work_ready.notify_all()
+        return record, created
+
+    def _all_cached(self, record: JobRecord) -> bool:
+        return all(self.cache.contains_digest(d) for d in record.digests)
+
+    # ------------------------------------------------------------------
+    # Worker fleet
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker_id: str) -> None:
+        leases = LeaseDirectory(
+            self.job_lease_root, worker_id=worker_id, ttl=self.lease_ttl
+        )
+        while not self._stop.is_set():
+            claimed = self._claim_next(leases)
+            if claimed is None:
+                with self._work_ready:
+                    self._work_ready.wait(timeout=self.poll_interval)
+                continue
+            record, stolen = claimed
+            try:
+                self._run_job(record, worker_id, leases, stolen)
+            finally:
+                leases.release(record.job_id)
+
+    def _claim_next(
+        self, leases: LeaseDirectory
+    ) -> Optional[Tuple[JobRecord, bool]]:
+        """Claim the oldest runnable job, if any.
+
+        Jobs are scanned in submission order.  A ``queued`` job is
+        claimed directly; a ``leased`` job whose job lease is stealable
+        (expired heartbeat — its worker died) is stolen via the same
+        ``try_acquire`` path and requeued through the legal
+        ``leased -> queued -> leased`` edges.
+        """
+        for record in self.store.records():
+            if record.state not in (J.QUEUED, J.LEASED):
+                continue
+            if record.state == J.LEASED:
+                info = leases.read(record.job_id)
+                if info is not None and not info.expired():
+                    continue  # healthy owner elsewhere
+            if not leases.try_acquire(record.job_id):
+                continue  # lost the race (or owner is healthy)
+            try:
+                stolen = False
+                current = self.store.get(record.job_id)
+                if current is None or current.terminal:
+                    leases.release(record.job_id)
+                    continue
+                if current.state == J.LEASED:
+                    # The owner died mid-job: take it over.
+                    self.store.transition(record.job_id, J.QUEUED)
+                    stolen = True
+                self.store.transition(
+                    record.job_id, J.LEASED, worker=leases.worker_id
+                )
+                return self.store.get(record.job_id), stolen
+            except J.IllegalTransition:
+                # Benign race: another thread moved the job first.
+                leases.release(record.job_id)
+                continue
+        return None
+
+    def _run_job(
+        self,
+        record: JobRecord,
+        worker_id: str,
+        leases: LeaseDirectory,
+        stolen: bool,
+    ) -> None:
+        if stolen:
+            self.metrics.bump("jobs_stolen")
+            self.events.emit(
+                "job_stolen", job_id=record.job_id, worker=worker_id
+            )
+        self.events.emit(
+            "job_leased",
+            job_id=record.job_id,
+            worker=worker_id,
+            cells=len(record.digests),
+        )
+        try:
+            with leases.heartbeating(
+                record.job_id, interval=self.lease_ttl / 4
+            ):
+                spec = spec_from_payload(record.payload)
+                executor = SweepExecutor(
+                    cache=self.cache,
+                    backend="distributed",
+                    worker_id=worker_id,
+                    lease_ttl=self.lease_ttl,
+                    poll_interval=self.poll_interval,
+                )
+                sweep = executor.run(spec)
+        except Exception as error:  # noqa: BLE001 — jobs fail, servers don't
+            self.metrics.bump("jobs_failed")
+            try:
+                self.store.transition(
+                    record.job_id, J.FAILED, error=f"{type(error).__name__}: {error}"
+                )
+            except J.IllegalTransition:
+                pass  # already moved (e.g. recovery marked it)
+            self.events.emit(
+                "job_failed", job_id=record.job_id, error=str(error)
+            )
+            return
+        self.metrics.bump("cells_simulated", sweep.stats.simulated)
+        self.metrics.bump("cells_from_cache", sweep.stats.cache_hits)
+        try:
+            self.store.transition(record.job_id, J.PUBLISHED)
+            self.store.transition(record.job_id, J.DONE)
+        except J.IllegalTransition:
+            # A concurrent steal finished the job first; its results are
+            # identical (content-addressed), so there is nothing to undo.
+            return
+        self.metrics.bump("jobs_completed")
+        self.events.emit(
+            "job_completed",
+            job_id=record.job_id,
+            worker=worker_id,
+            cache_hit=sweep.stats.simulated == 0,
+            simulated=sweep.stats.simulated,
+            cells=len(record.digests),
+        )
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def job_payload(self, record: JobRecord) -> Dict[str, object]:
+        """The wire form of one job's status."""
+        return {
+            "event": "job_status",
+            "ts": _now(),
+            "job": record.to_dict(),
+        }
+
+    def result_bytes(self, record: JobRecord) -> bytes:
+        """The finished job's results: canonical JSON, cell order.
+
+        This is byte-for-byte ``canonical_json([result.to_dict() ...])``
+        of a serial ``SweepExecutor`` run of the same spec — the cache
+        stores exactly those dicts, and cell order is the digest order.
+        """
+        payloads = [self.cache.load(digest) for digest in record.digests]
+        if any(payload is None for payload in payloads):
+            raise LookupError(
+                f"job {record.job_id}: results missing from cache"
+            )
+        return canonical_json(payloads).encode("utf-8")
+
+    def metrics_payload(self) -> Dict[str, object]:
+        """The ``/metrics`` document (one structured JSON event)."""
+        counts = self.store.counts()
+        now = _now()
+        job_leases = LeaseDirectory(
+            self.job_lease_root, worker_id=self.worker_id, ttl=self.lease_ttl
+        ).scan()
+        cell_leases = LeaseDirectory(
+            self.cache.lease_root, worker_id=self.worker_id, ttl=self.lease_ttl
+        ).scan()
+        metrics = self.metrics
+        return {
+            "event": "service_metrics",
+            "ts": now,
+            "queue": counts,
+            "queue_depth": counts[J.QUEUED] + counts[J.LEASED],
+            "jobs": {
+                "submitted": metrics.jobs_submitted,
+                "duplicate": metrics.jobs_duplicate,
+                "completed": metrics.jobs_completed,
+                "failed": metrics.jobs_failed,
+                "stolen": metrics.jobs_stolen,
+            },
+            "requests": {
+                "total": metrics.requests_total,
+                "throttled": metrics.requests_throttled,
+                "per_second": round(metrics.requests_per_second(), 3),
+                "window_seconds": REQUEST_WINDOW_SECONDS,
+            },
+            "cells": {
+                "simulated": metrics.cells_simulated,
+                "from_cache": metrics.cells_from_cache,
+                "cache_hit_ratio": round(metrics.cache_hit_ratio(), 4),
+            },
+            "cache": {
+                "entries": self.cache.entry_count(),
+                "size_bytes": self.cache.size_bytes(),
+            },
+            "leases": {
+                "jobs": self._lease_listing(job_leases, now),
+                "cells": self._lease_listing(cell_leases, now),
+            },
+            "quotas": self.quotas.snapshot(),
+        }
+
+    @staticmethod
+    def _lease_listing(leases, now: float) -> List[Dict[str, object]]:
+        return [
+            {
+                "digest": digest,
+                "worker": info.worker_id,
+                "age_seconds": round(max(0.0, now - info.acquired_at), 3),
+                "heartbeat_age_seconds": round(
+                    max(0.0, now - info.heartbeat_at), 3
+                ),
+                "ttl": info.ttl,
+                "expired": info.expired(now),
+            }
+            for digest, info in sorted(leases.items())
+        ]
+
+    def queue_payload(self) -> Dict[str, object]:
+        """The ``/queue`` document: every job, submission order."""
+        now = _now()
+        listing = [
+            {
+                "job_id": record.job_id,
+                "state": record.state,
+                "client": record.client,
+                "spec": record.spec_name,
+                "cells": len(record.digests),
+                "worker": record.worker,
+                "age_seconds": round(max(0.0, now - record.submitted_at), 3),
+                "error": record.error,
+            }
+            for record in self.store.records()
+        ]
+        counts = self.store.counts()
+        return {
+            "event": "service_queue",
+            "ts": now,
+            "depth": counts[J.QUEUED] + counts[J.LEASED],
+            "jobs": listing,
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    service: SweepService
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes: POST /jobs, GET /jobs/<id>[/result], /metrics, /queue."""
+
+    protocol_version = "HTTP/1.1"
+    server: _ServiceHTTPServer
+
+    # The default handler logs every request to stderr in Apache format;
+    # the service speaks structured JSON events instead.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> SweepService:
+        return self.server.service
+
+    def _client_id(self) -> str:
+        return self.headers.get("X-Client-Id") or self.client_address[0]
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = canonical_json(payload).encode("utf-8")
+        self._send_body(status, body, extra_headers)
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self.service.metrics.record_request()
+        if self.path.rstrip("/") != "/jobs":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        client = self._client_id()
+        allowed, retry_after = self.service.quotas.try_take(client)
+        if not allowed:
+            self.service.metrics.bump("requests_throttled")
+            self.service.events.emit(
+                "request_throttled", client=client, retry_after=retry_after
+            )
+            self._send_json(
+                429,
+                {
+                    "error": "quota exceeded",
+                    "client": client,
+                    "retry_after": retry_after,
+                },
+                {"Retry-After": f"{max(retry_after, 0.001):.3f}"},
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._send_json(400, {"error": f"malformed JSON body: {error}"})
+            return
+        try:
+            record, created = self.service.submit(client, payload)
+        except SpecValidationError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        status = 201 if created else 200
+        self._send_json(status, self.service.job_payload(record))
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self.service.metrics.record_request()
+        path = self.path.rstrip("/")
+        if path == "/metrics":
+            self._send_json(200, self.service.metrics_payload())
+            return
+        if path == "/queue":
+            self._send_json(200, self.service.queue_payload())
+            return
+        parts = [part for part in path.split("/") if part]
+        if not parts or parts[0] != "jobs" or len(parts) not in (2, 3):
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        record = self.service.store.get(parts[1])
+        if record is None:
+            self._send_json(404, {"error": f"unknown job {parts[1]!r}"})
+            return
+        if len(parts) == 2:
+            self._send_json(200, self.service.job_payload(record))
+            return
+        if parts[2] != "result":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        if record.state == J.FAILED:
+            self._send_json(
+                500, {"error": record.error or "job failed", "job_id": record.job_id}
+            )
+            return
+        if record.state != J.DONE:
+            # Not ready: 202 with the status document; clients poll.
+            self._send_json(202, self.service.job_payload(record))
+            return
+        try:
+            self._send_body(200, self.service.result_bytes(record))
+        except LookupError as error:
+            self._send_json(500, {"error": str(error)})
+
+
+def make_server(
+    service: SweepService, host: str = "127.0.0.1", port: int = 0
+) -> _ServiceHTTPServer:
+    """Bind the HTTP layer over a service (``port=0`` = ephemeral)."""
+    server = _ServiceHTTPServer((host, port), _Handler)
+    server.service = service
+    return server
+
+
+def serve(
+    cache_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 1,
+    lease_ttl: Optional[float] = None,
+    quota_capacity: float = DEFAULT_QUOTA_CAPACITY,
+    quota_refill: float = DEFAULT_QUOTA_REFILL,
+    events: Optional[IO[str]] = None,
+) -> int:
+    """The ``repro-experiments serve`` entry point: run until interrupted."""
+    service = SweepService(
+        ResultCache(cache_dir),
+        workers=workers,
+        lease_ttl=lease_ttl,
+        quota_capacity=quota_capacity,
+        quota_refill=quota_refill,
+        events=events if events is not None else sys.stderr,
+    )
+    service.start()
+    server = make_server(service, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"[serve] sweep service on http://{bound_host}:{bound_port} "
+        f"({workers} worker(s), cache {cache_dir}) — "
+        "POST /jobs, GET /jobs/<id>[/result], /metrics, /queue"
+    )
+    sys.stdout.flush()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("[serve] interrupted; draining workers")
+    finally:
+        server.server_close()
+        service.stop()
+    return 0

@@ -1,0 +1,143 @@
+"""Shared fixtures for the sweep-service tests.
+
+``live_service`` boots a real :class:`SweepService` behind a real
+``ThreadingHTTPServer`` on an ephemeral port over a per-test cache
+directory — the full stack the ``serve`` command runs, minus only the
+argparse layer — and tears both down afterwards.  Tests reach the
+server exclusively through :class:`ServiceClient`, so the HTTP surface
+itself is exercised, not just the service object.
+
+The test directories carry no ``__init__.py`` (repo convention), so
+helpers are shared as fixtures: ``make_live`` is the factory for tests
+needing custom quota/worker settings, ``tiny_payload`` builds
+sub-second sweep submissions, ``serial_bytes`` computes the canonical
+local bytes a service response must match.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from typing import Callable, List, Optional
+
+import pytest
+
+from repro.exec import ResultCache, SweepExecutor, canonical_json
+from repro.scenarios import spec_from_payload
+from repro.service.client import ServiceClient
+from repro.service.server import SweepService, make_server
+
+#: A sweep payload that simulates in well under a second.
+TINY_PAYLOAD = {
+    "scenario": "paper",
+    "scale": "quick",
+    "population": 60,
+    "rounds": 300,
+    "seeds": [0],
+}
+
+
+class LiveService:
+    """One running server: service + HTTP thread + client factory."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        workers: int = 1,
+        quota_capacity: float = 1000.0,
+        quota_refill: float = 1000.0,
+        lease_ttl: float = 5.0,
+        start_workers: bool = True,
+    ):
+        self.cache = cache
+        self.events = io.StringIO()
+        self.service = SweepService(
+            cache,
+            workers=workers,
+            lease_ttl=lease_ttl,
+            poll_interval=0.02,
+            quota_capacity=quota_capacity,
+            quota_refill=quota_refill,
+            events=self.events,
+        )
+        if start_workers:
+            self.service.start()
+        self.server = make_server(self.service)
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.02},
+            daemon=True,
+        )
+        self._thread.start()
+
+    def client(self, client_id: Optional[str] = None) -> ServiceClient:
+        return ServiceClient(self.url, client_id=client_id, timeout=30.0)
+
+    def event_log(self) -> List[dict]:
+        return [
+            json.loads(line)
+            for line in self.events.getvalue().strip().splitlines()
+            if line
+        ]
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.stop()
+
+
+@pytest.fixture
+def service_cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def make_live(service_cache) -> Callable[..., LiveService]:
+    """Factory for live servers over the shared per-test cache.
+
+    Every server built here is torn down at test end, in reverse
+    construction order, even when the test raises.
+    """
+    spawned: List[LiveService] = []
+
+    def factory(**kwargs) -> LiveService:
+        live = LiveService(kwargs.pop("cache", service_cache), **kwargs)
+        spawned.append(live)
+        return live
+
+    yield factory
+    for live in reversed(spawned):
+        live.close()
+
+
+@pytest.fixture
+def live_service(make_live) -> LiveService:
+    return make_live()
+
+
+@pytest.fixture
+def tiny_payload() -> Callable[..., dict]:
+    """Submission documents that simulate in well under a second."""
+
+    def build(**overrides) -> dict:
+        payload = dict(TINY_PAYLOAD)
+        payload.update(overrides)
+        return payload
+
+    return build
+
+
+@pytest.fixture
+def serial_bytes() -> Callable[[dict], bytes]:
+    """What a local serial run serialises a submission to."""
+
+    def compute(payload: dict) -> bytes:
+        sweep = SweepExecutor().run(spec_from_payload(payload))
+        return canonical_json(
+            [result.to_dict() for result in sweep.results]
+        ).encode("utf-8")
+
+    return compute

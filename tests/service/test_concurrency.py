@@ -1,0 +1,229 @@
+"""Service soak tests: concurrent clients, quotas, worker death.
+
+The ISSUE's service-grade bar: 16 threads hammering submit/poll on
+overlapping specs must not duplicate compute beyond benign lease
+races, per-client quotas must actually emit 429s under burst, and a
+worker that dies mid-job must have its job stolen and completed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exec import config_digest
+from repro.exec.distributed import LeaseDirectory
+from repro.scenarios import spec_from_payload
+from repro.service import jobs as J
+from repro.service.client import QuotaExceededError
+
+pytestmark = pytest.mark.slow
+
+#: Threads in the hammer tests (the ISSUE's figure).
+HAMMER_THREADS = 16
+
+
+def unique_digests(payloads) -> set:
+    digests = set()
+    for payload in payloads:
+        for cell in spec_from_payload(payload).cells():
+            digests.add(config_digest(cell.config))
+    return digests
+
+
+class TestConcurrentClients:
+    def test_hammer_no_duplicate_compute(
+        self, make_live, tiny_payload, serial_bytes
+    ):
+        """16 threads, 4 overlapping specs: every cell simulated once.
+
+        Each thread submits one of four payloads (so four threads race
+        on every spec), polls to completion and checks its bytes against
+        the serial executor.  The distributed substrate's cell leases
+        must collapse the overlap: total simulated cells equals the
+        number of unique digests (a tiny slack covers the benign race
+        where a lease expires at the exact moment its result publishes).
+        """
+        live = make_live(workers=2)
+        payloads = [tiny_payload(seeds=[seed]) for seed in range(4)]
+        expected = [serial_bytes(payload) for payload in payloads]
+        failures = []
+        barrier = threading.Barrier(HAMMER_THREADS)
+
+        def hammer(index: int) -> None:
+            payload = payloads[index % len(payloads)]
+            client = live.client(f"hammer-{index}")
+            barrier.wait(timeout=30)
+            try:
+                record = client.submit_and_wait(payload, timeout=120)
+                wire = client.raw_result(record["job_id"])
+                if wire != expected[index % len(payloads)]:
+                    failures.append(f"thread {index}: bytes diverged")
+            except Exception as error:  # noqa: BLE001 — collected below
+                failures.append(f"thread {index}: {type(error).__name__}: {error}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(HAMMER_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=150)
+        assert not failures, failures
+
+        cells = unique_digests(payloads)
+        metrics = live.service.metrics_payload()
+        simulated = metrics["cells"]["simulated"]
+        assert len(cells) <= simulated <= len(cells) + 2
+        # 16 submissions of 4 distinct jobs: 4 created, 12 deduplicated.
+        assert metrics["jobs"]["submitted"] == len(payloads)
+        assert metrics["jobs"]["duplicate"] == HAMMER_THREADS - len(payloads)
+        assert metrics["jobs"]["failed"] == 0
+        assert metrics["queue_depth"] == 0
+
+    def test_hot_cache_hammer_is_all_cache_hits(
+        self, make_live, tiny_payload
+    ):
+        """Once warm, a second hammer simulates nothing at all."""
+        live = make_live(workers=2)
+        payload = tiny_payload(seeds=[11])
+        live.client("warm").submit_and_wait(payload, timeout=120)
+        before = live.service.metrics_payload()["cells"]["simulated"]
+
+        failures = []
+
+        def resubmit(index: int) -> None:
+            try:
+                record = live.client(f"re-{index}").submit(payload)
+                if record["state"] != "done":
+                    failures.append(f"thread {index}: state={record['state']}")
+            except Exception as error:  # noqa: BLE001
+                failures.append(f"thread {index}: {error}")
+
+        threads = [
+            threading.Thread(target=resubmit, args=(index,))
+            for index in range(HAMMER_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures
+        after = live.service.metrics_payload()["cells"]["simulated"]
+        assert after == before  # zero new compute
+
+
+class TestQuotas:
+    def test_burst_emits_429(self, make_live, tiny_payload):
+        """A bursting client is throttled with a real HTTP 429."""
+        live = make_live(quota_capacity=2.0, quota_refill=2.0)
+        client = live.client("bursty")
+        payload = tiny_payload(seeds=[21])
+        throttled = None
+        for _ in range(6):  # burst capacity is 2; this must trip
+            try:
+                client.submit(payload)
+            except QuotaExceededError as error:
+                throttled = error
+                break
+        assert throttled is not None, "burst never hit the quota"
+        assert throttled.retry_after > 0
+        metrics = live.service.metrics_payload()
+        assert metrics["requests"]["throttled"] >= 1
+        kinds = [event["event"] for event in live.event_log()]
+        assert "request_throttled" in kinds
+        # Quotas are per client: an idle client is not throttled.
+        record = live.client("patient").submit(payload)
+        assert record["state"] in ("queued", "leased", "done")
+
+    def test_submit_and_wait_rides_out_the_quota(
+        self, make_live, tiny_payload
+    ):
+        """The client's retry loop converts 429s into a slow success."""
+        live = make_live(quota_capacity=1.0, quota_refill=4.0)
+        client = live.client("steady")
+        for seed in (31, 32, 33):
+            record = client.submit_and_wait(
+                tiny_payload(seeds=[seed]), timeout=120
+            )
+            assert record["state"] == "done"
+        assert live.service.metrics_payload()["requests"]["throttled"] >= 1
+
+
+class TestWorkerDeath:
+    def test_dead_workers_job_is_stolen_and_completes(
+        self, make_live, tiny_payload
+    ):
+        """A job leased by a crashed worker is stolen, then finished.
+
+        The crash is staged exactly as it happens in production: the
+        job record says ``leased`` and a job lease exists on disk, but
+        its owner will never heartbeat again.  Once the lease TTL
+        lapses, a standing worker must steal the lease, requeue the
+        job through the legal ``leased -> queued -> leased`` edges and
+        run it to ``done``.
+        """
+        live = make_live(start_workers=False, lease_ttl=2.0)
+        service = live.service
+        client = live.client("mourner")
+        record = client.submit(tiny_payload(seeds=[41]))
+        job_id = record["job_id"]
+        assert record["state"] == "queued"
+
+        # The zombie claims the job with a short lease and "crashes"
+        # (never heartbeats, never releases).  The lease is still
+        # healthy when the fleet starts, so startup recovery leaves the
+        # job alone — only the runtime steal path may take it, and only
+        # once the heartbeat has been silent past the TTL.
+        zombie = LeaseDirectory(
+            service.job_lease_root, worker_id="zombie", ttl=0.75
+        )
+        assert zombie.try_acquire(job_id)
+        service.store.transition(job_id, J.LEASED, worker="zombie")
+        assert client.status(job_id)["state"] == "leased"
+
+        service.start()
+        time.sleep(0.2)  # fleet is up well before the lease expires
+        assert client.status(job_id)["state"] == "leased"
+        assert service.metrics_payload()["jobs"]["stolen"] == 0
+        final = client.wait(job_id, timeout=120)
+        assert final["state"] == "done"
+        assert final["worker"] != "zombie"
+
+        metrics = service.metrics_payload()
+        assert metrics["jobs"]["stolen"] >= 1
+        assert metrics["jobs"]["completed"] >= 1
+        kinds = [event["event"] for event in live.event_log()]
+        assert "job_stolen" in kinds
+        assert "job_completed" in kinds
+        # The stolen job's results are real: the bytes come back.
+        assert client.raw_result(job_id)
+
+    def test_healthy_lease_is_not_stolen(self, make_live, tiny_payload):
+        """A heartbeating owner keeps its job: no steal, no duplicate."""
+        live = make_live(start_workers=False, lease_ttl=5.0)
+        service = live.service
+        client = live.client("holder")
+        record = client.submit(tiny_payload(seeds=[51]))
+        job_id = record["job_id"]
+
+        holder = LeaseDirectory(
+            service.job_lease_root, worker_id="holder", ttl=5.0
+        )
+        assert holder.try_acquire(job_id)
+        service.store.transition(job_id, J.LEASED, worker="holder")
+        try:
+            service.start()
+            time.sleep(0.5)  # give workers time to (wrongly) pounce
+            assert client.status(job_id)["state"] == "leased"
+            assert service.metrics_payload()["jobs"]["stolen"] == 0
+        finally:
+            # The holder finishes gracefully: requeue and release so a
+            # standing worker can drain the job for real.
+            service.store.transition(job_id, J.QUEUED)
+            holder.release(job_id)
+        final = client.wait(job_id, timeout=120)
+        assert final["state"] == "done"

@@ -1,0 +1,203 @@
+"""Job-state machine and store tests, including hypothesis properties.
+
+The key property (ISSUE satellite): random interleavings of
+submit/lease/publish/fail/expire never reach an illegal transition —
+every walk either follows the transition table exactly or raises
+:class:`IllegalTransition` and leaves the record unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    JOB_STATES,
+    LEASED,
+    PUBLISHED,
+    QUEUED,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    IllegalTransition,
+    JobRecord,
+    JobStore,
+    job_id_for,
+)
+
+
+def record(job_id="a" * 64, state=QUEUED) -> JobRecord:
+    return JobRecord(
+        job_id=job_id,
+        client="test",
+        payload={"scenario": "paper"},
+        spec_name="service:paper",
+        digests=("d1", "d2"),
+        state=state,
+        submitted_at=1.0,
+        updated_at=1.0,
+        history=[(QUEUED, 1.0)],
+    )
+
+
+class TestTransitionTable:
+    def test_table_covers_every_state(self):
+        assert set(TRANSITIONS) == set(JOB_STATES)
+
+    def test_terminal_states_have_no_exits(self):
+        for state in TERMINAL_STATES:
+            assert TRANSITIONS[state] == ()
+
+    def test_happy_path(self):
+        job = record()
+        for step, target in enumerate([LEASED, PUBLISHED, DONE], start=2):
+            job.transition(target, float(step))
+        assert job.state == DONE
+        assert [state for state, _ in job.history] == [
+            QUEUED, LEASED, PUBLISHED, DONE,
+        ]
+
+    def test_lease_expiry_requeues(self):
+        job = record()
+        job.transition(LEASED, 2.0, worker="w0")
+        job.transition(QUEUED, 3.0)  # expiry path
+        assert job.worker is None  # unowned again
+        job.transition(LEASED, 4.0, worker="w1")
+        assert job.worker == "w1"
+
+    def test_illegal_transition_raises_and_names_choices(self):
+        job = record()
+        with pytest.raises(IllegalTransition) as excinfo:
+            job.transition(DONE, 2.0)
+        assert "queued" in str(excinfo.value)
+        assert "leased" in str(excinfo.value)
+        assert job.state == QUEUED  # unchanged
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(IllegalTransition):
+            record().transition("limbo", 2.0)
+
+    @given(
+        steps=st.lists(
+            st.sampled_from(JOB_STATES), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_random_interleavings_never_corrupt_state(self, steps):
+        """The satellite property: arbitrary walks stay on the table.
+
+        Every attempted move either is a legal edge (and the state
+        advances accordingly) or raises and provably changes nothing.
+        Afterwards the recorded history must itself be a legal path —
+        there is no way to smuggle an illegal hop into a record.
+        """
+        job = record()
+        clock = 1.0
+        for target in steps:
+            clock += 1.0
+            before = job.state
+            if target in TRANSITIONS[before]:
+                job.transition(target, clock)
+                assert job.state == target
+                assert job.updated_at == clock
+            else:
+                with pytest.raises(IllegalTransition):
+                    job.transition(target, clock)
+                assert job.state == before
+        states = [state for state, _ in job.history]
+        for current, following in zip(states, states[1:]):
+            assert following in TRANSITIONS[current]
+        if job.terminal:
+            assert job.state in TERMINAL_STATES
+
+
+class TestJobIds:
+    def test_content_addressed(self):
+        assert job_id_for(["d1", "d2"]) == job_id_for(("d1", "d2"))
+
+    def test_order_matters(self):
+        assert job_id_for(["d1", "d2"]) != job_id_for(["d2", "d1"])
+
+    def test_distinct_vectors_distinct_ids(self):
+        assert job_id_for(["d1"]) != job_id_for(["d1", "d1"])
+
+
+class TestJobStore:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return JobStore(tmp_path / "service", clock=lambda: 42.0)
+
+    def test_create_is_idempotent(self, store):
+        first, created = store.create("c", {"x": 1}, "spec", ["d1"])
+        again, created_again = store.create("c", {"x": 1}, "spec", ["d1"])
+        assert created and not created_again
+        assert first.job_id == again.job_id
+
+    def test_failed_job_is_replaced_on_resubmit(self, store):
+        first, _ = store.create("c", {"x": 1}, "spec", ["d1"])
+        store.transition(first.job_id, FAILED, error="boom")
+        fresh, created = store.create("c", {"x": 1}, "spec", ["d1"])
+        assert created
+        assert fresh.state == QUEUED
+        assert fresh.error is None
+
+    def test_round_trips_through_disk(self, store, tmp_path):
+        created, _ = store.create("c", {"scenario": "paper"}, "spec", ["d1"])
+        store.transition(created.job_id, LEASED, worker="w0")
+        reloaded = JobStore(tmp_path / "service")
+        records = reloaded.load_existing()
+        assert len(records) == 1
+        assert records[0].to_dict() == created.to_dict()
+
+    def test_corrupt_record_skipped_on_load(self, store, tmp_path):
+        store.create("c", {"x": 1}, "spec", ["d1"])
+        (tmp_path / "service" / "jobs" / "junk.json").write_text("{nope")
+        reloaded = JobStore(tmp_path / "service")
+        assert len(reloaded.load_existing()) == 1
+
+    def test_records_sorted_by_submission(self, tmp_path):
+        ticks = iter(range(100))
+        store = JobStore(tmp_path / "s", clock=lambda: float(next(ticks)))
+        for n in range(5):
+            store.create("c", {"n": n}, "spec", [f"d{n}"])
+        times = [record.submitted_at for record in store.records()]
+        assert times == sorted(times)
+
+    def test_counts(self, store):
+        a, _ = store.create("c", {"x": 1}, "spec", ["d1"])
+        b, _ = store.create("c", {"x": 2}, "spec", ["d2"])
+        store.transition(a.job_id, LEASED, worker="w")
+        counts = store.counts()
+        assert counts[QUEUED] == 1
+        assert counts[LEASED] == 1
+        assert counts[DONE] == 0
+
+    def test_transition_unknown_job(self, store):
+        with pytest.raises(KeyError):
+            store.transition("f" * 64, LEASED)
+
+    def test_concurrent_leasing_single_winner(self, store):
+        """Exactly one of many racing threads may lease a queued job."""
+        created, _ = store.create("c", {"x": 1}, "spec", ["d1"])
+        outcomes = []
+
+        def lease(name):
+            try:
+                store.transition(created.job_id, LEASED, worker=name)
+                outcomes.append(name)
+            except IllegalTransition:
+                pass
+
+        threads = [
+            threading.Thread(target=lease, args=(f"w{i}",)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(outcomes) == 1
+        assert store.get(created.job_id).worker == outcomes[0]

@@ -1,0 +1,148 @@
+"""End-to-end service roundtrip: the ISSUE-3 invariant on the wire.
+
+The repo's core guarantee is that serial, process-pool and distributed
+executions of one spec are byte-identical.  These tests extend it one
+layer up: a sweep submitted over HTTP to a live server, drained by the
+standing worker fleet and fetched back through the client is
+byte-for-byte the canonical JSON a serial ``SweepExecutor`` produces
+for the same payload.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import spec_from_payload
+from repro.service.client import ServiceError
+
+#: The satellite's headline case: the paper preset at quick scale.
+PAPER_QUICK = {"scenario": "paper", "scale": "quick", "seeds": [0]}
+
+
+class TestRoundtrip:
+    def test_paper_quick_roundtrip_is_byte_identical(
+        self, live_service, serial_bytes
+    ):
+        client = live_service.client("roundtrip")
+        record = client.submit_and_wait(PAPER_QUICK, timeout=300)
+        assert record["state"] == "done"
+        wire = client.raw_result(record["job_id"])
+        assert wire == serial_bytes(PAPER_QUICK)
+
+    def test_decoded_results_align_with_cells(
+        self, live_service, tiny_payload
+    ):
+        payload = tiny_payload(seeds=[0, 1])
+        client = live_service.client("align")
+        record = client.submit_and_wait(payload, timeout=120)
+        results = client.result(record["job_id"])
+        spec = spec_from_payload(payload)
+        assert len(results) == spec.cell_count == 2
+        # Cell order is seed order for a gridless spec.
+        seeds = [result["config"]["seed"] for result in results]
+        assert seeds == [0, 1]
+
+    def test_hot_cache_submission_is_done_immediately(
+        self, live_service, tiny_payload, serial_bytes
+    ):
+        payload = tiny_payload()
+        client = live_service.client("hot")
+        first = client.submit_and_wait(payload, timeout=120)
+        # Same digest vector -> same job, already terminal: the POST
+        # response itself reports done, no polling needed.
+        again = client.submit(payload)
+        assert again["state"] == "done"
+        assert again["job_id"] == first["job_id"]
+        wire = client.raw_result(again["job_id"])
+        assert wire == serial_bytes(payload)
+
+    def test_cold_then_hot_bytes_are_identical(
+        self, live_service, tiny_payload
+    ):
+        payload = tiny_payload(seeds=[3])
+        client = live_service.client("coldhot")
+        record = client.submit_and_wait(payload, timeout=120)
+        cold = client.raw_result(record["job_id"])
+        hot_record = client.submit(payload)
+        assert hot_record["state"] == "done"
+        assert client.raw_result(hot_record["job_id"]) == cold
+
+    def test_validation_error_is_actionable(self, live_service):
+        client = live_service.client("invalid")
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"scenario": "paper", "bogus_field": 1})
+        assert excinfo.value.status == 400
+        assert "bogus_field" in str(excinfo.value)
+        assert "scenario" in str(excinfo.value)  # allowed keys listed
+
+    def test_unknown_scenario_lists_choices(self, live_service):
+        client = live_service.client("unknown")
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"scenario": "papper"})
+        message = str(excinfo.value)
+        assert excinfo.value.status == 400
+        assert "papper" in message
+        assert "did you mean" in message
+
+    def test_result_before_completion_is_202(self, make_live, tiny_payload):
+        # No workers running: the job stays queued forever.
+        live = make_live(start_workers=False)
+        client = live.client("pending")
+        record = client.submit(tiny_payload(seeds=[9]))
+        assert record["state"] == "queued"
+        with pytest.raises(ServiceError) as excinfo:
+            client.raw_result(record["job_id"])
+        assert excinfo.value.status == 202
+
+    def test_unknown_job_is_404(self, live_service):
+        client = live_service.client("missing")
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("deadbeef" * 8)
+        assert excinfo.value.status == 404
+
+    def test_metrics_event_schema(self, live_service, tiny_payload):
+        client = live_service.client("metrics")
+        client.submit_and_wait(tiny_payload(), timeout=120)
+        metrics = client.metrics()
+        assert metrics["event"] == "service_metrics"
+        assert metrics["queue_depth"] == 0
+        assert metrics["jobs"]["submitted"] >= 1
+        assert metrics["jobs"]["completed"] >= 1
+        assert metrics["cells"]["simulated"] >= 1
+        assert metrics["requests"]["total"] >= 2
+        assert metrics["cache"]["entries"] >= 1
+        queue = client.queue()
+        assert queue["event"] == "service_queue"
+        assert queue["depth"] == 0
+        states = {job["state"] for job in queue["jobs"]}
+        assert states == {"done"}
+
+    def test_event_stream_is_json_lines(self, live_service, tiny_payload):
+        client = live_service.client("events")
+        client.submit_and_wait(tiny_payload(seeds=[5]), timeout=120)
+        events = live_service.event_log()
+        kinds = [event["event"] for event in events]
+        assert "service_started" in kinds
+        assert "job_submitted" in kinds
+        assert "job_completed" in kinds
+        for event in events:
+            assert isinstance(event["ts"], float)
+            # Canonical JSON: re-serialising is stable.
+            json.dumps(event)
+
+    def test_server_restart_recovers_jobs(self, make_live, tiny_payload):
+        payload = tiny_payload(seeds=[7])
+        live = make_live()
+        client = live.client("restart")
+        record = client.submit_and_wait(payload, timeout=120)
+        job_id = record["job_id"]
+        baseline = client.raw_result(job_id)
+        live.close()
+        # A fresh server over the same cache directory knows the job.
+        revived = make_live()
+        client = revived.client("restart")
+        record = client.status(job_id)
+        assert record["state"] == "done"
+        assert client.raw_result(job_id) == baseline

@@ -1,0 +1,147 @@
+"""Wire-format validation: JSON submissions -> experiment specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import config_digest
+from repro.scenarios import (
+    Scenario,
+    SpecValidationError,
+    scenario_by_name,
+    scenario_payload,
+    spec_from_payload,
+)
+from repro.experiments.common import scale_by_name
+
+
+class TestSpecFromPayload:
+    def test_minimal_scenario_payload(self):
+        spec = spec_from_payload({"scenario": "paper"})
+        assert spec.name == "service:paper"
+        assert spec.seeds == (0,)
+        assert spec.cell_count == 1
+
+    def test_matches_cli_resolution_pipeline(self):
+        """The payload pipeline and the CLI flags build equal configs.
+
+        Digest equality is the strongest possible form: a service
+        submission and the equivalent ``repro-experiments run`` share
+        cache entries.
+        """
+        payload = {
+            "scenario": "flash_crowd",
+            "scale": "quick",
+            "population": 90,
+            "rounds": 400,
+            "fidelity": "abstract",
+            "seeds": [3],
+        }
+        spec = spec_from_payload(payload)
+        wire_config = spec.cells()[0].config
+        scale = scale_by_name("quick")
+        cli_config = (
+            scenario_by_name("flash_crowd")
+            .with_population(scale.population)
+            .with_rounds(scale.rounds)
+            .with_population(90)
+            .with_rounds(400)
+            .with_fidelity("abstract")
+            .build()
+            .with_seed(3)
+        )
+        assert config_digest(wire_config) == config_digest(cli_config)
+
+    def test_explicit_config_document(self):
+        config = Scenario.scaled(population=50, rounds=100).build()
+        spec = spec_from_payload({"config": config.to_dict(), "seeds": [1]})
+        assert spec.cells()[0].config == config.with_seed(1)
+
+    def test_overrides_escape_hatch(self):
+        spec = spec_from_payload(
+            {"scenario": "paper", "overrides": {"quota": 64}}
+        )
+        assert spec.cells()[0].config.quota == 64
+
+    def test_threshold_and_quota_knobs(self):
+        spec = spec_from_payload(
+            {"scenario": "paper", "threshold": 20, "quota": 100}
+        )
+        config = spec.cells()[0].config
+        assert config.repair_threshold == 20
+        assert config.quota == 100
+
+    def test_seeds_expand_cells(self):
+        spec = spec_from_payload({"scenario": "paper", "seeds": [0, 1, 2]})
+        assert spec.cell_count == 3
+        assert [cell.seed for cell in spec.cells()] == [0, 1, 2]
+
+
+class TestValidationErrors:
+    def test_non_object_payload(self):
+        with pytest.raises(SpecValidationError, match="JSON object"):
+            spec_from_payload([1, 2, 3])
+
+    def test_unknown_key_lists_allowed(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            spec_from_payload({"scenario": "paper", "popsize": 10})
+        message = str(excinfo.value)
+        assert "popsize" in message
+        assert "population" in message  # the allowed-keys table
+
+    def test_scenario_and_config_are_exclusive(self):
+        with pytest.raises(SpecValidationError, match="exactly one"):
+            spec_from_payload({"scenario": "paper", "config": {}})
+        with pytest.raises(SpecValidationError, match="exactly one"):
+            spec_from_payload({"seeds": [0]})
+
+    def test_unknown_scenario_passes_did_you_mean(self):
+        with pytest.raises(SpecValidationError, match="did you mean"):
+            spec_from_payload({"scenario": "papper"})
+
+    def test_unknown_scale(self):
+        with pytest.raises(SpecValidationError, match="scale"):
+            spec_from_payload({"scenario": "paper", "scale": "huge"})
+
+    def test_unknown_fidelity_names_field(self):
+        with pytest.raises(SpecValidationError, match="fidelity"):
+            spec_from_payload({"scenario": "paper", "fidelity": "quantum"})
+
+    def test_bad_population_type(self):
+        with pytest.raises(SpecValidationError, match="population"):
+            spec_from_payload({"scenario": "paper", "population": "many"})
+        with pytest.raises(SpecValidationError, match="population"):
+            spec_from_payload({"scenario": "paper", "population": True})
+
+    def test_bad_seeds(self):
+        with pytest.raises(SpecValidationError, match="seeds"):
+            spec_from_payload({"scenario": "paper", "seeds": []})
+        with pytest.raises(SpecValidationError, match="seeds"):
+            spec_from_payload({"scenario": "paper", "seeds": ["zero"]})
+
+    def test_bad_overrides_field(self):
+        with pytest.raises(SpecValidationError, match="overrides"):
+            spec_from_payload(
+                {"scenario": "paper", "overrides": {"not_a_field": 1}}
+            )
+
+    def test_invalid_built_config_surfaces(self):
+        with pytest.raises(SpecValidationError, match="invalid"):
+            spec_from_payload(
+                {"scenario": "paper", "overrides": {"population": -5}}
+            )
+
+    def test_malformed_config_document(self):
+        with pytest.raises(SpecValidationError, match="config"):
+            spec_from_payload({"config": {"population": 100}})
+
+
+class TestScenarioPayloadHelper:
+    def test_builds_valid_payloads(self):
+        payload = scenario_payload("paper", scale="quick", seeds=[0, 1])
+        assert payload["scenario"] == "paper"
+        assert spec_from_payload(payload).cell_count == 2
+
+    def test_rejects_invalid_client_side(self):
+        with pytest.raises(SpecValidationError):
+            scenario_payload("paper", bogus=1)
