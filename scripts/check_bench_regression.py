@@ -32,12 +32,13 @@ from typing import Dict, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The scenario the bench-smoke lane gates by default: the quick-scale
-#: structure-of-arrays bench.  (The default-scale benches are too slow
-#: for CI, and gating every legacy bench against means committed from
-#: different hardware would make the lane flaky; the gate exists to
-#: keep the ISSUE 6 speedup from quietly eroding.)
-DEFAULT_SCENARIOS = ("paper-soa-quick",)
+#: The scenarios the bench-smoke lane gates by default: the quick-scale
+#: structure-of-arrays bench plus the default-scale soa workload the
+#: ISSUE 10 toggle-kernel work optimised (a few seconds per repeat, so
+#: it fits the lane).  Gating every legacy bench against means committed
+#: from different hardware would make the lane flaky; the gate exists to
+#: keep the ISSUE 6/10 speedups from quietly eroding.
+DEFAULT_SCENARIOS = ("paper-soa-quick", "paper-soa-default-scale")
 
 DEFAULT_TOLERANCE = 1.2
 

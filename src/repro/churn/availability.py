@@ -10,9 +10,45 @@ long-run availability does not depend on it, only the *burstiness* does.
 
 from __future__ import annotations
 
+import math
 from typing import Iterator, List, Tuple
 
 import numpy as np
+
+
+def session_duration_params(
+    availability: float, mean_online: float
+) -> Tuple[bool, float, float]:
+    """Batch-draw constants for one profile's session process.
+
+    Returns ``(always_online, online_log1mp, offline_log1mp)`` where the
+    ``log1mp`` entries are ``log1p(-p)`` for the online/offline geometric
+    duration draws fed to
+    :func:`repro.sim.rng.geometric_from_uniforms`, or ``NaN`` when the
+    corresponding mean is ``<= 1`` round — the scalar path
+    (:func:`geometric_duration`) clamps those to a single round *without
+    consuming a draw*, and the batched path must match.  Both simulation
+    engines derive their per-profile constants here, so the floats (and
+    therefore every duration) are bit-identical across backends.
+    """
+    if not 0.0 < availability <= 1.0:
+        raise ValueError(f"availability must be in (0, 1], got {availability}")
+    if mean_online <= 0:
+        raise ValueError("mean_online must be positive")
+    mean_online = float(mean_online)
+    if availability >= 1.0:
+        mean_offline = 0.0
+    else:
+        mean_offline = mean_online * (1.0 - availability) / availability
+    always_online = mean_offline == 0.0
+    online_log1mp = (
+        math.log1p(-1.0 / mean_online) if mean_online > 1.0 else math.nan
+    )
+    offline_mean = max(mean_offline, 1.0)
+    offline_log1mp = (
+        math.log1p(-1.0 / offline_mean) if offline_mean > 1.0 else math.nan
+    )
+    return always_online, online_log1mp, offline_log1mp
 
 
 def geometric_duration(rng: np.random.Generator, mean: float) -> int:

@@ -724,14 +724,55 @@ def _resolve_scenario(args: argparse.Namespace, command: str):
     return scenario
 
 
+#: Event-dispatch handlers per backend, mapped to the event kind they
+#: execute.  Handlers that wrap one another (the object-graph engine's
+#: JOIN dispatch calls the spawn helper the soa engine dispatches to
+#: directly) share a kind; the breakdown takes the largest cumulative
+#: time per kind, so a wrapper and its callee are never double-counted.
+_KIND_HANDLERS = {
+    "_process_toggle_batch": "toggle",
+    "_handle_check": "check",
+    "_handle_join": "join",
+    "_spawn_peer": "join",
+    "_handle_death": "death",
+    "_handle_sample": "sample",
+    "_handle_top_up": "top-up",
+    "_handle_transfer_done": "transfer",
+}
+
+
+def _kind_breakdown(stats) -> List[tuple]:
+    """``(kind, seconds, dispatches)`` rows from a profile's handlers.
+
+    Reads the raw ``pstats`` table: each event kind is charged the
+    cumulative time of its dispatch handler in ``repro.sim``, which is
+    exactly the time the engine's main loop spent inside events of that
+    kind (the toggle row is the round-batched kernel, so its dispatch
+    count is batches, not individual session flips).
+    """
+    best = {}
+    for (filename, _lineno, funcname), row in stats.stats.items():
+        kind = _KIND_HANDLERS.get(funcname)
+        if kind is None or "sim" not in pathlib.PurePath(filename).parts:
+            continue
+        _cc, dispatches, _tottime, cumtime, _callers = row
+        if cumtime > best.get(kind, (0.0, 0))[0]:
+            best[kind] = (cumtime, dispatches)
+    rows = [(kind, seconds, calls) for kind, (seconds, calls) in best.items()]
+    rows.sort(key=lambda row: -row[1])
+    return rows
+
+
 def _run_profile(args: argparse.Namespace) -> int:
     """The ``profile --scenario NAME`` command: cProfile one simulation.
 
     The run goes straight through the fidelity registry's engine for the
     scenario — no executor, no cache — so the profile shows nothing but
-    the selected backend's hot loop.  ``--mem`` wraps the run in
-    tracemalloc (Python-allocation peak; slows the run, so it is opt-in)
-    and reports the process's peak RSS next to the profile table.
+    the selected backend's hot loop, and the per-event-kind table at the
+    bottom answers "where do the rounds actually go" (toggle vs check vs
+    transfer share).  ``--mem`` wraps the run in tracemalloc
+    (Python-allocation peak; slows the run, so it is opt-in) and reports
+    the process's peak RSS next to the profile table.
     """
     import cProfile
     import pstats
@@ -759,6 +800,23 @@ def _run_profile(args: argparse.Namespace) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort or "cumulative")
     stats.print_stats(args.limit or 25)
+    kinds = _kind_breakdown(stats)
+    if kinds:
+        wall = result.wall_clock_seconds
+        print("[profile] per-event-kind share (handler cumulative time):")
+        for kind, seconds, dispatches in kinds:
+            share = 100.0 * seconds / wall if wall else 0.0
+            print(
+                f"  {kind:<9} {seconds:8.3f}s  {share:5.1f}% of wall"
+                f"  ({dispatches} dispatches)"
+            )
+        remainder = wall - sum(seconds for _, seconds, _ in kinds)
+        if wall:
+            print(
+                f"  {'(loop)':<9} {max(remainder, 0.0):8.3f}s "
+                f" {100.0 * max(remainder, 0.0) / wall:5.1f}% of wall"
+                "  (queue drain, scheduling, bookkeeping)"
+            )
     print(
         f"[profile] {config.population} peers x {config.rounds} rounds "
         f"(fidelity={config.fidelity}): "

@@ -33,7 +33,9 @@ import math
 from itertools import chain
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from ..churn.availability import SessionProcess
+import numpy as np
+
+from ..churn.availability import geometric_duration, session_duration_params
 from ..churn.lifetimes import from_profile
 from ..churn.profiles import Profile
 from ..core.acceptance import (
@@ -50,7 +52,13 @@ from .metrics import MetricsCollector
 from .network import Population
 from .observers import build_observer_peer
 from .peer import Peer
-from .rng import RngStreams
+from .rng import (
+    GEOMETRIC_SCALAR_LIMIT,
+    RngStreams,
+    geometric_from_uniforms,
+    geometric_from_uniforms_scalar,
+    pool_chunk_size,
+)
 
 
 class SimulationDriver:
@@ -77,7 +85,18 @@ class SimulationDriver:
         self.population = Population()
         self.metrics = MetricsCollector(config.categories, config.warmup_rounds)
         self.round = 0
-        self._sessions: Dict[int, SessionProcess] = {}
+        # Per-profile session constants (shared with the SoA backend via
+        # session_duration_params, so batch-drawn durations stay
+        # bit-identical across fidelities) replace the per-peer
+        # SessionProcess objects of earlier releases: the peer's current
+        # ``online`` flag plus these constants fully determine the next
+        # duration draw.
+        self._profile_index = {id(p): i for i, p in enumerate(config.profiles)}
+        self._session_params = [
+            session_duration_params(p.availability, p.mean_online_session)
+            for p in config.profiles
+        ]
+        self._session_draws = self.rng.batched("sessions")
         self._profile_weights = [p.proportion for p in config.profiles]
         self.peers_created = 0
         self.deaths = 0
@@ -179,11 +198,6 @@ class SimulationDriver:
         )
         self.population.insert(peer)
         self.peers_created += 1
-        self._sessions[peer.peer_id] = SessionProcess(
-            availability=profile.availability,
-            mean_online=profile.mean_online_session,
-            rng=self.rng.sessions,
-        )
         if self.config.adaptive_thresholds:
             peer.adaptive = AdaptiveThreshold(self.policy)
         if death_round is not None:
@@ -199,11 +213,19 @@ class SimulationDriver:
     # Scheduling helpers
     # ------------------------------------------------------------------
     def _schedule_toggle(self, peer: Peer, now: int) -> None:
-        session = self._sessions[peer.peer_id]
-        if session.always_online:
-            return
-        duration = session.next_session_length()
-        self.queue.schedule(now + duration, Event(EventKind.TOGGLE, peer.peer_id))
+        """File a fresh peer's first toggle (spawn-time, scalar draw).
+
+        Subsequent toggles are rescheduled in bulk by
+        :meth:`_process_toggle_batch`; only the spawn draw stays scalar,
+        on the same ``sessions`` generator the batch refills come from,
+        so the stream interleaves identically in every backend.
+        """
+        if self._session_params[self._profile_index[id(peer.profile)]][0]:
+            return  # always online: no session process
+        duration = geometric_duration(
+            self.rng.sessions, peer.profile.mean_online_session
+        )
+        self.queue.schedule_toggle(now + duration, peer.peer_id)
 
     def _schedule_check(self, peer: Peer, when: int) -> None:
         """Queue a repair/placement check, deduplicating pending ones.
@@ -302,7 +324,6 @@ class SimulationDriver:
             affected.append(owner)
         peer.hosted.clear()
         peer.hosted_free.clear()
-        self._sessions.pop(peer_id, None)
         self._on_peer_departed(peer, now)
         for owner in affected:
             self._after_block_loss(owner, now)
@@ -329,49 +350,43 @@ class SimulationDriver:
         # placement follows (next round at the earliest).
         self._schedule_check(owner, now + 1)
 
-    def _handle_toggle(self, now: int, peer: Peer) -> None:
-        if not peer.alive:
-            return
-        peer.accumulate_uptime(now)
-        session = self._sessions[peer.peer_id]
-        session.toggle()
-        peer.online = session.online
-        if peer.online:
-            self.population.mark_online(peer)
-            self._set_visibility(peer, now, visible=True)
-            if peer.pending_check:
-                peer.pending_check = False
-                self._schedule_check(peer, now)
-            if peer.archive.placed and self._needs_repair(peer, peer.archive.visible):
-                self._schedule_check(peer, now)
-        else:
-            self.population.mark_offline(peer)
-            self._set_visibility(peer, now, visible=False)
-        self._on_session_flip(peer, now)
-        self._schedule_toggle(peer, now)
+    def _process_toggle_batch(self, now: int, peer_ids: np.ndarray) -> None:
+        """Flip every session toggling this round in one batched pass.
 
-    def _set_visibility(self, holder: Peer, now: int, visible: bool) -> None:
-        """Propagate a holder's online flip to every owner it stores for.
-
-        This runs once per session toggle — the single most frequent
-        event kind — so the owner sets are iterated zero-copy (nothing
-        in the loop mutates them) and the two flip directions are split
-        to keep the per-owner work branch-free.
+        The queue hands over the round's whole toggle bucket (sorted
+        ascending by peer id) and the kernel runs six fixed passes:
+        filter dead peers, flip states, fan the visibility change out to
+        owners, threshold-check affected owners against their *final*
+        visible count, self-service checks for peers coming online, and
+        one bulk duration draw for the reschedules.  The SoA backend
+        implements the identical passes over its columns, which is what
+        keeps the two fidelities metric-identical per seed.
         """
-        holder_id = holder.peer_id
         peers = self.population.peers
-        if visible:
-            for owner_id in chain(holder.hosted, holder.hosted_free):
-                owner = peers[owner_id]
-                if not owner.alive:
-                    continue
-                archive = owner.archive
-                if holder_id not in archive.holders:
-                    continue
-                archive.holders[holder_id] = None
-                archive.visible += 1
-        else:
-            threshold = self._repair_threshold
+        batch: List[Peer] = []
+        for peer_id in peer_ids.tolist():
+            peer = peers[peer_id]
+            if peer.alive:
+                batch.append(peer)
+        if not batch:
+            return
+        going_offline: List[Peer] = []
+        coming_online: List[Peer] = []
+        for peer in batch:
+            peer.accumulate_uptime(now)
+            if peer.online:
+                peer.online = False
+                self.population.mark_offline(peer)
+                going_offline.append(peer)
+            else:
+                peer.online = True
+                self.population.mark_online(peer)
+                coming_online.append(peer)
+        # Visibility fan-out: owners see disappearances first, then
+        # reappearances; repair decisions below read the net result.
+        affected: Dict[int, Peer] = {}
+        for holder in going_offline:
+            holder_id = holder.peer_id
             for owner_id in chain(holder.hosted, holder.hosted_free):
                 owner = peers[owner_id]
                 if not owner.alive:
@@ -381,15 +396,76 @@ class SimulationDriver:
                     continue
                 archive.holders[holder_id] = now
                 archive.visible -= 1
-                if not archive.placed:
+                affected[owner_id] = owner
+        for holder in coming_online:
+            holder_id = holder.peer_id
+            for owner_id in chain(holder.hosted, holder.hosted_free):
+                owner = peers[owner_id]
+                if not owner.alive:
                     continue
-                adaptive = owner.adaptive
-                if (
-                    adaptive.needs_repair(archive.visible)
-                    if adaptive is not None
-                    else archive.visible < threshold
+                archive = owner.archive
+                if holder_id not in archive.holders:
+                    continue
+                archive.holders[holder_id] = None
+                archive.visible += 1
+        threshold = self._repair_threshold
+        for owner_id in sorted(affected):
+            owner = affected[owner_id]
+            archive = owner.archive
+            if not archive.placed:
+                continue
+            adaptive = owner.adaptive
+            if (
+                adaptive.needs_repair(archive.visible)
+                if adaptive is not None
+                else archive.visible < threshold
+            ):
+                self._schedule_check(owner, now + 1)
+        for peer in batch:
+            if peer.online:
+                if peer.pending_check:
+                    peer.pending_check = False
+                    self._schedule_check(peer, now)
+                archive = peer.archive
+                if archive.placed and self._needs_repair(peer, archive.visible):
+                    self._schedule_check(peer, now)
+            self._on_session_flip(peer, now)
+        # Bulk reschedule: one uniform per non-degenerate duration, in
+        # batch (ascending id) order, inverted through the shared
+        # geometric kernel.  Means <= 1 round clamp to a single round
+        # without consuming a draw, mirroring geometric_duration.
+        params = self._session_params
+        index = self._profile_index
+        need_ids: List[int] = []
+        need_log: List[float] = []
+        ones_ids: List[int] = []
+        for peer in batch:
+            always_online, online_log, offline_log = params[index[id(peer.profile)]]
+            if always_online:
+                continue
+            log1mp = online_log if peer.online else offline_log
+            if log1mp == log1mp:  # not NaN: a real geometric draw
+                need_ids.append(peer.peer_id)
+                need_log.append(log1mp)
+            else:
+                ones_ids.append(peer.peer_id)
+        count = len(need_ids)
+        if count:
+            if count < GEOMETRIC_SCALAR_LIMIT:
+                uniforms = self._session_draws.take(count)
+                schedule_toggle = self.queue.schedule_toggle
+                for peer_id, duration in zip(
+                    need_ids, geometric_from_uniforms_scalar(uniforms, need_log)
                 ):
-                    self._schedule_check(owner, now + 1)
+                    schedule_toggle(now + duration, peer_id)
+            else:
+                uniforms = self._session_draws.take_array(count)
+                durations = geometric_from_uniforms(uniforms, np.array(need_log))
+                self.queue.schedule_toggle_batch(
+                    now + durations, np.array(need_ids, dtype=np.int64)
+                )
+        for peer_id in ones_ids:
+            self.queue.schedule_toggle(now + 1, peer_id)
 
     def _handle_check(self, now: int, peer: Peer) -> None:
         peer.check_scheduled = None
@@ -477,7 +553,7 @@ class SimulationDriver:
                 and examined < max_examined
                 and len(accepted) < target_size
             ):
-                chunk_size = 8 * (target_size - len(accepted)) + 16
+                chunk_size = pool_chunk_size(target_size - len(accepted))
                 if chunk_size > sample_budget:
                     chunk_size = sample_budget
                 sample_budget -= chunk_size
@@ -580,8 +656,8 @@ class SimulationDriver:
             EventKind.DEATH: lambda now, event: self._handle_death(
                 now, self.population.get(event.peer_id)
             ),
-            EventKind.TOGGLE: lambda now, event: self._handle_toggle(
-                now, self.population.get(event.peer_id)
+            EventKind.TOGGLE_BATCH: lambda now, event: self._process_toggle_batch(
+                now, self.queue.pop_round_batch()
             ),
             EventKind.REPAIR_CHECK: lambda now, event: self._handle_check(
                 now, self.population.get(event.peer_id)

@@ -11,26 +11,37 @@ full census series) is identical to the abstract backend's for the same
 configuration and seed; ``tests/sim/test_soa_equivalence.py`` pins that
 for every registered scenario preset.
 
-Why it is faster (3-4x at the default benchmark scale, and the layout
-that makes 10^6-peer populations fit in memory):
+Why it is faster (the layout that makes 10^6-peer populations fit in
+memory, and sub-second ``paper`` default-scale runs):
 
-* the per-event hot paths — session-toggle visibility fan-out, the
-  recruitment sampling loop, repair bookkeeping — touch C-backed list
-  slots instead of attribute-walking three heap objects per peer;
+* session toggles — the dominant event kind — are not dispatched one
+  event at a time: the queue keeps each round's toggles in a dense
+  per-round id bucket (:meth:`repro.sim.events.EventQueue.pop_round_batch`)
+  and :meth:`_process_toggle_batch` runs the whole round as array
+  passes — one CSR gather of every affected owner
+  (:meth:`repro.sim.soa_state.StateTables.owners_concat`), one
+  scatter-add on the ``visible`` column, one masked threshold compare,
+  and one vectorised geometric draw for all reschedules
+  (:func:`repro.sim.rng.geometric_from_uniforms`);
+* the remaining scalar handlers (checks, deaths, repair bookkeeping)
+  touch C-backed list slots instead of attribute-walking three heap
+  objects per peer;
 * the recruitment loop inlines the :class:`repro.sim.rng.BatchedDraws`
   buffer arithmetic (one bounds check + one index per draw, no method
   calls) while consuming the exact same draw sequence;
 * the periodic census is one vectorised mask/searchsorted/bincount over
   the numpy mirror columns instead of a Python loop over every peer;
-* per-peer ``SessionProcess``/lifetime objects are replaced by
-  per-profile constants — the geometric/uniform draws are issued
-  directly, in the same order, from the same streams.
+* per-peer ``SessionProcess``/lifetime/``Event`` objects are replaced
+  by per-profile constants and bare ids in the queue's toggle buckets —
+  the draws are issued in the same order, from the same streams.
 
-Exact equivalence leans on one driver-level property: the event queue
+Exact equivalence leans on two driver-level properties: the event queue
 canonicalises each round's bucket before shuffling
 (:meth:`repro.sim.events.EventQueue._activate`), so execution order
-depends only on bucket *content* — never on the order fan-out loops
-appended events, which is the one place the two state layouts differ.
+depends only on bucket *content*; and the batched toggle kernel is the
+same six fixed passes in both backends
+(:meth:`repro.sim.driver.SimulationDriver._process_toggle_batch`), so
+the flips, checks and duration draws happen in the identical order.
 
 What this backend does **not** support is the fidelity axis itself —
 it is the abstract semantics, only faster.  Protocol-level runs keep
@@ -49,13 +60,20 @@ from ..core.acceptance import (
     UniformAcceptancePolicy,
     acceptance_rule,
 )
+from ..churn.availability import session_duration_params
 from ..core.adaptive import AdaptiveThreshold
 from ..core.selection import Candidate, strategy_by_name
 from .config import SimulationConfig
 from .events import Event, EventKind, EventQueue
 from .fidelity import FIDELITY_BACKENDS
 from .metrics import MetricsCollector
-from .rng import RngStreams
+from .rng import (
+    GEOMETRIC_SCALAR_LIMIT,
+    RngStreams,
+    geometric_from_uniforms,
+    geometric_from_uniforms_scalar,
+    pool_chunk_size,
+)
 from .soa_state import StateTables
 
 
@@ -64,6 +82,19 @@ class SoaSimulation:
     """Abstract-fidelity semantics executed over state tables."""
 
     fidelity = "abstract_soa"
+
+    #: population cut-over for the vectorised toggle-kernel branch
+    #: (class attribute so tests can force either branch on micro
+    #: populations).
+    _VECTOR_POPULATION = 50_000
+
+    #: pool-size cut-over between the scalar and vectorised pool fills
+    #: (both are draw-identical, so the cut is purely a speed knob).
+    #: Measured at default scale: numpy dispatch overhead loses to the
+    #: scalar loop for every ordinary pool size, so only swarm-scale
+    #: populations (which take the vector kernel anyway) fill with
+    #: arrays.
+    _SCALAR_POOL_TARGET = 64
 
     def __init__(self, config: SimulationConfig):
         self.config = config
@@ -94,29 +125,25 @@ class SoaSimulation:
         self._selection_draws = self.rng.batched("selection")
         self._acceptance_draws = self.rng.batched("acceptance")
         # Per-profile session/lifetime constants, replacing the per-peer
-        # SessionProcess / LifetimeDistribution objects.  The tuples
-        # reproduce SessionProcess's arithmetic exactly: a geometric
-        # draw parameter of None means "mean <= 1 round, duration is 1
-        # without consuming a draw" (see churn.availability).
+        # SessionProcess / LifetimeDistribution objects.  The log1p(-p)
+        # terms feed the batched duration draw (shared with the driver
+        # via session_duration_params — NaN means "mean <= 1 round,
+        # duration is 1 without consuming a draw"); ``online_p`` keeps
+        # the spawn-time scalar geometric (None for the same clamp).
         self._session_params = []
         for profile in config.profiles:
-            availability = profile.availability
+            always_online, online_log1mp, offline_log1mp = session_duration_params(
+                profile.availability, profile.mean_online_session
+            )
             mean_online = float(profile.mean_online_session)
-            if availability >= 1.0:
-                mean_offline = 0.0
-            else:
-                mean_offline = mean_online * (1.0 - availability) / availability
-            always_online = mean_offline == 0.0
             online_p = 1.0 / mean_online if mean_online > 1.0 else None
-            offline_mean = max(mean_offline, 1.0)
-            offline_p = 1.0 / offline_mean if offline_mean > 1.0 else None
             if profile.life_expectancy is None:
                 lifetime = None
             else:
                 low, high = profile.life_expectancy
                 lifetime = (float(low), float(high))
             self._session_params.append(
-                (always_online, online_p, offline_p, lifetime)
+                (always_online, online_p, lifetime, online_log1mp, offline_log1mp)
             )
         # Finite category upper bounds, for the vectorised census.
         categories = config.categories.categories
@@ -128,33 +155,47 @@ class SoaSimulation:
         self._adaptive: Optional[Dict[int, AdaptiveThreshold]] = (
             {} if config.adaptive_thresholds else None
         )
-        # The online candidate index: a numpy-backed replica of the
-        # driver's ``SampleableSet`` (same swap-pop updates, therefore
-        # the identical item layout at every step — sampling must read
-        # the same ids for the same draws).  The array form is what lets
-        # the pool fill gather a whole chunk of candidates in one fancy
-        # index.
+        # Above this population the toggle kernel runs its vectorised
+        # branch (CSR gather + scatter-add over numpy columns); below
+        # it, per-round batches are a handful of peers and the scalar
+        # branch over list columns is faster.  Both branches execute
+        # the identical passes, so the cut is invisible to results.
+        self._vector_kernel = config.population >= self._VECTOR_POPULATION
+        # The online candidate index: a replica of the driver's
+        # ``SampleableSet`` (same swap-pop updates, therefore the
+        # identical item layout at every step — sampling must read the
+        # same ids for the same draws).  Adaptive like the state
+        # columns: a numpy array at swarm scale, where the pool fill
+        # gathers whole candidate chunks in one fancy index; a plain
+        # list below it, where scalar indexing dominates.
         capacity = config.population + len(config.observers) + 16
-        self._online_items = np.zeros(capacity, dtype=np.int64)
+        if self._vector_kernel:
+            self._online_items = np.zeros(capacity, dtype=np.int64)
+        else:
+            self._online_items = []
         self._online_size = 0
         self._online_pos: List[int] = []
         #: scratch column for the pool fill's skip-set (all False
         #: between fills; see ``_fill_pool_fast``).
         self._pool_marks = np.zeros(capacity, dtype=bool)
-        self.state = StateTables(initial_capacity=capacity)
+        self.state = StateTables(
+            initial_capacity=capacity, vector_columns=self._vector_kernel
+        )
         # Hot-path caches.  Events are frozen value objects, so reusing
         # one instance per (kind, peer) is invisible to the queue; the
         # bound methods skip RngStreams.__getattr__ on every draw; the
         # uptime fold only matters when a selection strategy actually
         # reads availability.
         self._geometric = self.rng.sessions.geometric
+        self._session_draws = self.rng.batched("sessions")
         self._profile_choice = self.rng.profiles.choice
         self._lifetime_uniform = self.rng.lifetimes.uniform
         self._track_uptime = self._needs_availability
         self._join_event = Event(EventKind.JOIN)
         self._sample_event = Event(EventKind.SAMPLE)
-        #: per-peer reusable events, indexed by peer id (ids are dense).
-        self._toggle_events: List[Event] = []
+        #: per-peer reusable check events, indexed by peer id (ids are
+        #: dense).  Toggles need no Event objects at all: the queue's
+        #: dense toggle lane files bare ids.
         self._check_events: List[Event] = []
         self._setup()
 
@@ -174,7 +215,6 @@ class SoaSimulation:
             self.queue.schedule(join_round, self._join_event)
         for spec in config.observers:
             peer_id = state.add_observer(spec.fixed_age, spec.name)
-            self._toggle_events.append(Event(EventKind.TOGGLE, peer_id))
             self._check_events.append(Event(EventKind.REPAIR_CHECK, peer_id))
             self._online_pos.append(-1)  # observers are never candidates
             if self._adaptive is not None:
@@ -204,16 +244,19 @@ class SoaSimulation:
         return visible < self._repair_threshold
 
     def _online_add(self, peer_id: int) -> None:
-        """Mirror of ``SampleableSet.add`` on the array-backed index."""
+        """Mirror of ``SampleableSet.add`` on the adaptive index."""
         if self._online_pos[peer_id] >= 0:
             return
         size = self._online_size
         items = self._online_items
-        if size >= len(items):
-            bigger = np.zeros(len(items) * 2, dtype=np.int64)
-            bigger[:size] = items
-            self._online_items = items = bigger
-        items[size] = peer_id
+        if self._vector_kernel:
+            if size >= len(items):
+                bigger = np.zeros(len(items) * 2, dtype=np.int64)
+                bigger[:size] = items
+                self._online_items = items = bigger
+            items[size] = peer_id
+        else:
+            items.append(peer_id)
         self._online_pos[peer_id] = size
         self._online_size = size + 1
 
@@ -224,10 +267,16 @@ class SoaSimulation:
             return
         size = self._online_size - 1
         items = self._online_items
-        tail = int(items[size])
-        if tail != peer_id:
-            items[position] = tail
-            self._online_pos[tail] = position
+        if self._vector_kernel:
+            tail = int(items[size])
+            if tail != peer_id:
+                items[position] = tail
+                self._online_pos[tail] = position
+        else:
+            tail = items.pop()
+            if tail != peer_id:
+                items[position] = tail
+                self._online_pos[tail] = position
         self._online_pos[peer_id] = -1
         self._online_size = size
 
@@ -246,15 +295,19 @@ class SoaSimulation:
             when, self._check_events[peer_id]
         )
 
-    def _schedule_toggle(self, peer_id: int, now: int, online: int) -> None:
-        always_online, online_p, offline_p, _ = self._session_params[
-            self.state.profile[peer_id]
-        ]
-        if always_online:
-            return
-        p = online_p if online else offline_p
+    def _schedule_toggle(self, peer_id: int, now: int) -> None:
+        """File a fresh peer's first toggle (spawn-time, scalar draw).
+
+        Mirrors ``SimulationDriver._schedule_toggle``: the one scalar
+        geometric left on the ``sessions`` generator, interleaving with
+        the batched refills identically in both backends.
+        """
+        params = self._session_params[self.state.profile[peer_id]]
+        if params[0]:
+            return  # always online: no session process
+        p = params[1]
         duration = 1 if p is None else int(self._geometric(p))
-        self.queue.schedule(now + duration, self._toggle_events[peer_id])
+        self.queue.schedule_toggle(now + duration, peer_id)
 
     def _schedule_top_up(self, peer_id: int, now: int) -> None:
         interval = max(int(round(1.0 / self.config.proactive_rate)), 1)
@@ -268,7 +321,7 @@ class SoaSimulation:
         index = int(
             self._profile_choice(len(config.profiles), p=self._profile_weights)
         )
-        lifetime_bounds = self._session_params[index][3]
+        lifetime_bounds = self._session_params[index][2]
         death_round: Optional[int] = None
         if lifetime_bounds is not None:
             lifetime = float(
@@ -276,7 +329,6 @@ class SoaSimulation:
             )
             death_round = now + max(int(lifetime), 1)
         peer_id = self.state.add_peer(index, now, death_round)
-        self._toggle_events.append(Event(EventKind.TOGGLE, peer_id))
         self._check_events.append(Event(EventKind.REPAIR_CHECK, peer_id))
         self._online_pos.append(-1)
         self.peers_created += 1
@@ -285,7 +337,7 @@ class SoaSimulation:
             self._adaptive[peer_id] = AdaptiveThreshold(self.policy)
         if death_round is not None:
             self.queue.schedule(death_round, Event(EventKind.DEATH, peer_id))
-        self._schedule_toggle(peer_id, now, online=1)
+        self._schedule_toggle(peer_id, now)
         self._schedule_check(peer_id, now)
         if config.proactive_rate > 0:
             self._schedule_top_up(peer_id, now)
@@ -305,7 +357,6 @@ class SoaSimulation:
             state.last_state_change[peer_id] = now
         self._online_discard(peer_id)
         state.mark_dead(peer_id)
-        owners_of = state.owners_of
         holders = state.holders
         quota_used = state.quota_used
 
@@ -316,7 +367,7 @@ class SoaSimulation:
         if row:
             state.quota_np[row] -= 1
         for holder_id in row:
-            owners_of[holder_id].remove(peer_id)
+            state.owners_remove(holder_id, peer_id)
             quota_used[holder_id] -= 1
         row.clear()
 
@@ -324,8 +375,7 @@ class SoaSimulation:
         # detach every link first, then evaluate loss/threshold once per
         # owner against its final post-death counters.
         visible = state.visible
-        affected = owners_of[peer_id]
-        owners_of[peer_id] = []
+        affected = state.owners_clear(peer_id)
         if was_online:
             for owner_id in affected:
                 holders[owner_id].remove(peer_id)
@@ -355,16 +405,15 @@ class SoaSimulation:
             now, self._age(owner_id, now), self._observer_name(owner_id)
         )
         row = state.holders[owner_id]
-        owners_of = state.owners_of
         if owner_id < state.n_observers:
             for holder_id in row:
-                owners_of[holder_id].remove(owner_id)
+                state.owners_remove(holder_id, owner_id)
         else:
             quota_used = state.quota_used
             if row:
                 state.quota_np[row] -= 1
             for holder_id in row:
-                owners_of[holder_id].remove(owner_id)
+                state.owners_remove(holder_id, owner_id)
                 quota_used[holder_id] -= 1
         row.clear()
         state.visible[owner_id] = 0
@@ -375,66 +424,168 @@ class SoaSimulation:
         self._schedule_check(owner_id, now + 1)
 
     # ------------------------------------------------------------------
-    # Session toggles (the most frequent event kind)
+    # Session toggles (the most frequent event kind, batched per round)
     # ------------------------------------------------------------------
-    def _handle_toggle(self, now: int, peer_id: int) -> None:
+    def _process_toggle_batch(self, now: int, peer_ids: np.ndarray) -> None:
+        """Flip every session toggling this round in one batched pass.
+
+        The same six fixed passes as
+        ``SimulationDriver._process_toggle_batch`` — dead filter, state
+        flips, visibility fan-out, owner threshold checks on final
+        counts, self-service checks, bulk duration draw — but the
+        fan-out is one CSR gather + scatter-add and the threshold scan
+        one masked compare instead of per-owner Python loops.
+        """
         state = self.state
-        if not state.alive[peer_id]:
-            return
+        alive = state.alive
         online = state.online
-        if online[peer_id]:
-            if self._track_uptime:
-                state.online_rounds[peer_id] += (
-                    now - state.last_state_change[peer_id]
-                )
-                state.last_state_change[peer_id] = now
-            # Going offline: every owner loses one visible block.
-            online[peer_id] = 0
-            self._online_discard(peer_id)
-            state.last_offline[peer_id] = now
-            visible = state.visible
-            placed = state.placed
-            adaptive = self._adaptive
+        track = self._track_uptime
+        last_offline = state.last_offline
+        params = self._session_params
+        profile = state.profile
+        went_offline: List[int] = []
+        went_online: List[int] = []
+        # Duration lists are accumulated during the flip pass (same
+        # ascending batch order as the driver's separate pass, so the
+        # bulk draw below consumes identical uniforms); the draws
+        # themselves still happen only after every flip has landed.
+        need_ids: List[int] = []
+        need_log: List[float] = []
+        ones_ids: List[int] = []
+        for peer_id in peer_ids.tolist():
+            if not alive[peer_id]:
+                continue
+            p = params[profile[peer_id]]
+            if online[peer_id]:
+                if track:
+                    state.online_rounds[peer_id] += (
+                        now - state.last_state_change[peer_id]
+                    )
+                    state.last_state_change[peer_id] = now
+                online[peer_id] = 0
+                self._online_discard(peer_id)
+                last_offline[peer_id] = now
+                went_offline.append(peer_id)
+                log1mp = p[4]
+            else:
+                if track:
+                    state.last_state_change[peer_id] = now
+                online[peer_id] = 1
+                self._online_add(peer_id)
+                went_online.append(peer_id)
+                log1mp = p[3]
+            if p[0]:
+                continue
+            if log1mp == log1mp:  # not NaN: a real geometric draw
+                need_ids.append(peer_id)
+                need_log.append(log1mp)
+            else:
+                ones_ids.append(peer_id)
+        if not (went_offline or went_online):
+            return
+        # Visibility fan-out and owner threshold checks (against final
+        # post-batch counts, ascending owner order).  Two executions of
+        # the same pass: typical rounds toggle a handful of peers, where
+        # scalar loops over the CSR rows beat array machinery; large
+        # batches (million-peer populations) take one gather of every
+        # touched owner plus one scatter-add per direction.
+        visible = state.visible
+        placed = state.placed
+        adaptive = self._adaptive
+        if not self._vector_kernel:
+            owners_of = state.owners_of
+            affected = set()
+            add = affected.add
             if adaptive is None:
+                # Collect only owners observed below threshold mid-pass.
+                # Exact: increments run after every decrement, so an
+                # owner's post-offline count is its round minimum — any
+                # owner finishing below threshold crossed it here.
                 threshold = self._repair_threshold
-                for owner_id in state.owners_of[peer_id]:
-                    v = visible[owner_id] - 1
-                    visible[owner_id] = v
-                    # threshold test first: it is a local-int compare and
-                    # almost always False, sparing the ``placed`` load.
-                    if v < threshold and placed[owner_id]:
+                for holder_id in went_offline:
+                    for owner_id in owners_of[holder_id]:
+                        count = visible[owner_id] - 1
+                        visible[owner_id] = count
+                        if count < threshold:
+                            add(owner_id)
+            else:
+                # Adaptive thresholds are per-owner state; no cheap
+                # mid-pass filter, so collect every touched owner.
+                for holder_id in went_offline:
+                    for owner_id in owners_of[holder_id]:
+                        visible[owner_id] -= 1
+                        add(owner_id)
+            for holder_id in went_online:
+                for owner_id in owners_of[holder_id]:
+                    visible[owner_id] += 1
+            if adaptive is None:
+                for owner_id in sorted(affected):
+                    if visible[owner_id] < threshold and placed[owner_id]:
                         self._schedule_check(owner_id, now + 1)
             else:
-                for owner_id in state.owners_of[peer_id]:
-                    v = visible[owner_id] - 1
-                    visible[owner_id] = v
-                    if placed[owner_id] and adaptive[owner_id].needs_repair(v):
+                for owner_id in sorted(affected):
+                    if placed[owner_id] and adaptive[owner_id].needs_repair(
+                        int(visible[owner_id])
+                    ):
                         self._schedule_check(owner_id, now + 1)
-            now_online = 0
         else:
-            if self._track_uptime:
-                state.last_state_change[peer_id] = now
-            online[peer_id] = 1
-            self._online_add(peer_id)
-            visible = state.visible
-            for owner_id in state.owners_of[peer_id]:
-                visible[owner_id] += 1
-            if state.pending_check[peer_id]:
-                state.pending_check[peer_id] = 0
+            off_owners = state.owners_concat(went_offline)
+            if len(off_owners):
+                np.subtract.at(visible, off_owners, 1)
+            on_owners = state.owners_concat(went_online)
+            if len(on_owners):
+                np.add.at(visible, on_owners, 1)
+            if len(off_owners):
+                owners = np.unique(off_owners)
+                if adaptive is None:
+                    hits = owners[
+                        (placed[owners] != 0)
+                        & (visible[owners] < self._repair_threshold)
+                    ]
+                    for owner_id in hits.tolist():
+                        self._schedule_check(owner_id, now + 1)
+                else:
+                    for owner_id in owners.tolist():
+                        if placed[owner_id] and adaptive[owner_id].needs_repair(
+                            int(visible[owner_id])
+                        ):
+                            self._schedule_check(owner_id, now + 1)
+        pending_check = state.pending_check
+        placed = state.placed
+        for peer_id in went_online:
+            if pending_check[peer_id]:
+                pending_check[peer_id] = 0
                 self._schedule_check(peer_id, now)
-            if state.placed[peer_id] and self._needs_repair(
-                peer_id, visible[peer_id]
+            if placed[peer_id] and self._needs_repair(
+                peer_id, int(visible[peer_id])
             ):
                 self._schedule_check(peer_id, now)
-            now_online = 1
-        # _schedule_toggle, inlined (this is the most frequent schedule).
-        always_online, online_p, offline_p, _ = self._session_params[
-            state.profile[peer_id]
-        ]
-        if not always_online:
-            p = online_p if now_online else offline_p
-            duration = 1 if p is None else int(self._geometric(p))
-            self.queue.schedule(now + duration, self._toggle_events[peer_id])
+        # Bulk reschedule: one uniform per non-degenerate duration, in
+        # batch (ascending id) order, inverted through the shared
+        # geometric kernel.  Means <= 1 round clamp to a single round
+        # without consuming a draw, mirroring the scalar path.
+        count = len(need_ids)
+        if count:
+            if count < GEOMETRIC_SCALAR_LIMIT:
+                uniforms = self._session_draws.take(count)
+                schedule_toggle = self.queue.schedule_toggle
+                for peer_id, duration in zip(
+                    need_ids, geometric_from_uniforms_scalar(uniforms, need_log)
+                ):
+                    schedule_toggle(now + duration, peer_id)
+            else:
+                uniforms = self._session_draws.take_array(count)
+                durations = geometric_from_uniforms(uniforms, np.array(need_log))
+                if not self._vector_kernel:
+                    schedule_toggle = self.queue.schedule_toggle
+                    for peer_id, duration in zip(need_ids, durations.tolist()):
+                        schedule_toggle(now + duration, peer_id)
+                else:
+                    self.queue.schedule_toggle_batch(
+                        now + durations, np.array(need_ids, dtype=np.int64)
+                    )
+        for peer_id in ones_ids:
+            self.queue.schedule_toggle(now + 1, peer_id)
 
     # ------------------------------------------------------------------
     # Checks, placements and repairs
@@ -503,13 +654,12 @@ class SoaSimulation:
             if not online[holder_id] and now - last_offline[holder_id] >= grace
         ]
         if dropped:
-            owners_of = state.owners_of
             quota_free = owner_id < state.n_observers
             quota_used = state.quota_used
             quota_np = state.quota_np
             for holder_id in dropped:
                 row.remove(holder_id)
-                owners_of[holder_id].remove(owner_id)
+                state.owners_remove(holder_id, owner_id)
                 if not quota_free:
                     quota_used[holder_id] -= 1
                     quota_np[holder_id] -= 1
@@ -553,7 +703,6 @@ class SoaSimulation:
         quota = self.config.quota
         quota_used = state.quota_used
         row = state.holders[owner_id]
-        owners_of = state.owners_of
         added = 0
         for candidate_id in chosen:
             # Quota could have filled between sampling and selection.
@@ -561,7 +710,7 @@ class SoaSimulation:
                 continue
             row.append(candidate_id)
             state.visible[owner_id] += 1
-            owners_of[candidate_id].append(owner_id)
+            state.owners_append(candidate_id, owner_id)
             if check_quota:
                 quota_used[candidate_id] += 1
                 state.quota_np[candidate_id] += 1
@@ -572,7 +721,19 @@ class SoaSimulation:
         pool_target = int(math.ceil(self.config.pool_factor * needed))
         max_examined = int(self.config.max_examined_factor * needed) + 16
         if self._fast_candidates and self._acceptance_kind != "custom":
-            pool = self._fill_pool_fast(owner_id, now, pool_target, max_examined)
+            # Small pools sample a few dozen candidates per chunk, where
+            # the vectorised fill's array machinery costs more than
+            # scalar evaluation; route them to its draw-identical
+            # scalar twin.  Larger pools (hundreds of samples) amortise
+            # the array dispatch and stay on the vector fill.
+            if pool_target < self._SCALAR_POOL_TARGET and not self._vector_kernel:
+                pool = self._fill_pool_small(
+                    owner_id, now, pool_target, max_examined
+                )
+            else:
+                pool = self._fill_pool_fast(
+                    owner_id, now, pool_target, max_examined
+                )
             return self.strategy.select_pairs(pool, needed, self.rng.selection)
         pool = self._fill_pool_generic(owner_id, now, pool_target, max_examined)
         if self._fast_candidates:
@@ -582,7 +743,7 @@ class SoaSimulation:
     def _fill_pool_fast(
         self, owner_id: int, now: int, target_size: int, max_examined: int
     ):
-        """The hot recruitment path: whole chunks as array operations.
+        """Swarm-scale recruitment: whole chunks as array operations.
 
         Replays ``SimulationDriver._fill_pool`` draw for draw — same
         chunk sizes from the same ``BatchedDraws`` buffers — but the
@@ -601,6 +762,11 @@ class SoaSimulation:
             selection_take = self._selection_draws.take_array
             acceptance_take = self._acceptance_draws.take_array
             online_items = self._online_items
+            if not self._vector_kernel:
+                # The adaptive online index is a list at this scale;
+                # one bulk conversion per fill keeps the chunk gathers
+                # below as fancy indexes.
+                online_items = np.array(online_items, dtype=np.int64)
             sample_budget = 8 * n_online + 64
             owner_age = self._age(owner_id, now)
             holder_row = state.holders[owner_id]
@@ -634,7 +800,7 @@ class SoaSimulation:
                 and len(accepted) < target_size
             ):
                 needed = target_size - len(accepted)
-                chunk_size = 8 * needed + 16
+                chunk_size = pool_chunk_size(needed)
                 if chunk_size > sample_budget:
                     chunk_size = sample_budget
                 sample_budget -= chunk_size
@@ -700,6 +866,85 @@ class SoaSimulation:
         self.metrics.record_pool(examined, len(accepted))
         return accepted
 
+    def _fill_pool_small(
+        self, owner_id: int, now: int, target_size: int, max_examined: int
+    ):
+        """Scalar twin of ``_fill_pool_fast`` for sub-vector populations.
+
+        Identical draw consumption and acceptance arithmetic — same
+        chunk sizes from the same ``BatchedDraws`` buffers, the same
+        pre-folded integer acceptance bound — but evaluated candidate
+        by candidate: at a few hundred samples per chunk the numpy
+        dedup/filter/cumsum pipeline costs more than the loop it
+        replaces.  Scalar-kernel mode only (``_online_items`` must be
+        the list representation).
+        """
+        state = self.state
+        n_online = self._online_size
+        accepted: List = []
+        examined = 0
+        if n_online:
+            selection_take = self._selection_draws.take
+            acceptance_take = self._acceptance_draws.take
+            online_items = self._online_items
+            sample_budget = 8 * n_online + 64
+            check_quota = owner_id >= state.n_observers
+            quota = self.config.quota
+            quota_used = state.quota_used
+            join = state.join
+            by_age = self._acceptance_kind == "age"
+            if by_age:
+                cap = self.acceptance.age_cap
+                owner_age = self._age(owner_id, now)
+                s_owner = owner_age if owner_age < cap else cap
+            seen = set(state.holders[owner_id])
+            seen.add(owner_id)
+            last = n_online - 1
+            while (
+                sample_budget > 0
+                and examined < max_examined
+                and len(accepted) < target_size
+            ):
+                chunk_size = pool_chunk_size(target_size - len(accepted))
+                if chunk_size > sample_budget:
+                    chunk_size = sample_budget
+                sample_budget -= chunk_size
+                fresh: List[int] = []
+                for u in selection_take(chunk_size):
+                    index = int(u * n_online)
+                    candidate_id = online_items[index if index < last else last]
+                    if candidate_id in seen:
+                        continue
+                    seen.add(candidate_id)
+                    if check_quota and quota_used[candidate_id] >= quota:
+                        continue
+                    fresh.append(candidate_id)
+                if by_age:
+                    pairs = acceptance_take(2 * len(fresh))
+                    for position, candidate_id in enumerate(fresh):
+                        if len(accepted) >= target_size:
+                            break
+                        examined += 1
+                        age = now - join[candidate_id]
+                        s_cand = age if age < cap else cap
+                        if pairs[2 * position] * cap >= s_cand + (
+                            cap - s_owner + 1
+                        ):
+                            continue
+                        if pairs[2 * position + 1] * cap >= (
+                            cap + s_owner + 1
+                        ) - s_cand:
+                            continue
+                        accepted.append((candidate_id, age))
+                else:
+                    for candidate_id in fresh:
+                        if len(accepted) >= target_size:
+                            break
+                        examined += 1
+                        accepted.append((candidate_id, now - join[candidate_id]))
+        self.metrics.record_pool(examined, len(accepted))
+        return accepted
+
     def _fill_pool_generic(
         self, owner_id: int, now: int, target_size: int, max_examined: int
     ):
@@ -733,11 +978,14 @@ class SoaSimulation:
                 and examined < max_examined
                 and len(accepted) < target_size
             ):
-                chunk_size = 8 * (target_size - len(accepted)) + 16
+                chunk_size = pool_chunk_size(target_size - len(accepted))
                 if chunk_size > sample_budget:
                     chunk_size = sample_budget
                 sample_budget -= chunk_size
-                items = self._online_items[: self._online_size].tolist()
+                if self._vector_kernel:
+                    items = self._online_items[: self._online_size].tolist()
+                else:
+                    items = self._online_items
                 n_items = len(items)
                 chunk = []
                 for u in selection.take(chunk_size):
@@ -833,7 +1081,7 @@ class SoaSimulation:
         started = time.perf_counter()
         queue = self.queue
         last_round = self.config.rounds
-        toggle = EventKind.TOGGLE
+        toggle_batch = EventKind.TOGGLE_BATCH
         check = EventKind.REPAIR_CHECK
         join = EventKind.JOIN
         death = EventKind.DEATH
@@ -847,8 +1095,8 @@ class SoaSimulation:
             now, event = item
             self.round = now
             kind = event.kind
-            if kind is toggle:
-                self._handle_toggle(now, event.peer_id)
+            if kind is toggle_batch:
+                self._process_toggle_batch(now, queue.pop_round_batch())
             elif kind is check:
                 self._handle_check(now, event.peer_id)
             elif kind is join:
@@ -884,7 +1132,7 @@ class SoaSimulation:
             if not state.alive[peer_id]:
                 if state.holders[peer_id]:
                     problems.append(f"peer {peer_id}: dead but still owns links")
-                if state.owners_of[peer_id]:
+                if len(state.owners_row(peer_id)):
                     problems.append(f"peer {peer_id}: dead but still hosts links")
                 continue
             row = state.holders[peer_id]
@@ -899,7 +1147,7 @@ class SoaSimulation:
                     continue
                 if state.online[holder_id]:
                     visible += 1
-                if peer_id not in state.owners_of[holder_id]:
+                if peer_id not in list(state.owners_row(holder_id)):
                     problems.append(
                         f"peer {peer_id}: holder {holder_id} misses back-link"
                     )
@@ -908,8 +1156,11 @@ class SoaSimulation:
                     f"peer {peer_id}: visible counter {state.visible[peer_id]} "
                     f"!= recount {visible}"
                 )
+            own_row = list(state.owners_row(peer_id))
+            if len(set(own_row)) != len(own_row):
+                problems.append(f"peer {peer_id}: duplicate owners in row")
             quota_links = 0
-            for owner_id in state.owners_of[peer_id]:
+            for owner_id in own_row:
                 if not state.alive[owner_id]:
                     problems.append(
                         f"peer {peer_id}: hosts for dead owner {owner_id}"

@@ -20,6 +20,19 @@ queue here keeps the same semantics at a fraction of the cost:
 A small heap of *distinct round numbers* (not events) provides the
 "earliest non-empty bucket" lookup; its size is bounded by the number of
 future rounds that have events, so its cost is negligible.
+
+Session toggles — the dominant event kind — additionally get a *dense
+lane*: :meth:`EventQueue.schedule_toggle` /
+:meth:`EventQueue.schedule_toggle_batch` file bare peer ids into
+per-round integer buckets (no ``Event``, no ``_Handle``, no per-event
+heap traffic), and when such a round activates the queue emits a single
+``TOGGLE_BATCH`` sentinel event *before* the round's shuffled generic
+events.  The consumer must then call :meth:`EventQueue.pop_round_batch`
+to drain the whole batch as one sorted id array.  Toggles are
+order-independent within a round (the engines process the batch as one
+transaction over final state), are never cancelled, and are always
+scheduled at least one round ahead, which is what makes the dense
+representation safe.
 """
 
 from __future__ import annotations
@@ -46,6 +59,7 @@ class EventKind(Enum):
     SAMPLE = auto()          # periodic metrics sampling
     TOP_UP = auto()          # proactive-replication baseline (A4) top-up tick
     TRANSFER_DONE = auto()   # a protocol-fidelity transfer finished
+    TOGGLE_BATCH = auto()    # sentinel: drain the round's dense toggle lane
 
 
 @dataclass(frozen=True)
@@ -95,6 +109,11 @@ class _Handle:
 
 _HANDLE_KEY = operator.attrgetter("key")
 
+#: The one sentinel instance handed out for every dense toggle round
+#: (events are frozen value objects, so sharing it is invisible).
+_TOGGLE_BATCH_EVENT = Event(EventKind.TOGGLE_BATCH)
+_EMPTY_BATCH = np.empty(0, dtype=np.int64)
+
 
 class EventQueue:
     """Calendar queue of events with random intra-round ordering."""
@@ -104,12 +123,20 @@ class EventQueue:
         self._draws = BatchedDraws(rng)
         #: future rounds -> unshuffled buckets of handles.
         self._buckets: Dict[int, List[_Handle]] = {}
-        #: distinct bucket rounds (exactly one heap entry per bucket).
+        #: future rounds -> dense toggle lane (bare peer ids, no handles).
+        self._toggle_buckets: Dict[int, List[int]] = {}
+        #: distinct bucket rounds (exactly one heap entry per round that
+        #: has a generic and/or toggle bucket).
         self._round_heap: List[int] = []
-        #: live (non-cancelled) handles per round, bucket or current.
+        #: live (non-cancelled) *generic* events per round, bucket or
+        #: current.  Dense toggles are not counted: they cannot be
+        #: cancelled, so a round with a toggle bucket is live by
+        #: construction and the lane skips the accounting entirely.
         self._live: Dict[int, int] = {}
         #: the active round's shuffled remainder, consumed from the end.
         self._current: List[_Handle] = []
+        #: the active round's undelivered toggle batch (sorted), if any.
+        self._current_toggles: Optional[List[int]] = None
         self._current_round: Optional[int] = None
         self._size = 0
 
@@ -131,12 +158,86 @@ class EventQueue:
             bucket = self._buckets.get(round_number)
             if bucket is None:
                 self._buckets[round_number] = [handle]
-                heapq.heappush(self._round_heap, round_number)
+                if round_number not in self._toggle_buckets:
+                    heapq.heappush(self._round_heap, round_number)
             else:
                 bucket.append(handle)
         self._live[round_number] = self._live.get(round_number, 0) + 1
         self._size += 1
         return handle
+
+    def schedule_toggle(self, round_number: int, peer_id: int) -> None:
+        """File one peer id into the dense toggle lane of a future round.
+
+        No handle is returned: dense toggles cannot be cancelled (the
+        engines never cancel toggles — stale ones are filtered against
+        the live column when the batch drains).  Scheduling into the
+        round currently executing is an error: the batch for that round
+        has already been delivered (or is being delivered) as one
+        transaction, and durations are always ``>= 1`` round anyway.
+        """
+        if round_number < 0:
+            raise ValueError("cannot schedule in a negative round")
+        if round_number == self._current_round:
+            raise ValueError(
+                "cannot schedule a dense toggle into the executing round"
+            )
+        bucket = self._toggle_buckets.get(round_number)
+        if bucket is None:
+            self._toggle_buckets[round_number] = [peer_id]
+            if round_number not in self._buckets:
+                heapq.heappush(self._round_heap, round_number)
+        else:
+            bucket.append(peer_id)
+        self._size += 1
+
+    def schedule_toggle_batch(self, rounds, peer_ids) -> None:
+        """Bulk-file dense toggles: one target round per peer id.
+
+        ``rounds`` and ``peer_ids`` are equally long integer arrays (or
+        sequences).  Large batches are grouped per round with one argsort
+        instead of a scalar filing per event; the per-bucket append
+        order is irrelevant because :meth:`_activate` sorts each toggle
+        bucket before delivery.
+        """
+        count = len(rounds)
+        if count == 0:
+            return
+        if count <= 32:
+            for round_number, peer_id in zip(
+                np.asarray(rounds).tolist(), np.asarray(peer_ids).tolist()
+            ):
+                self.schedule_toggle(round_number, peer_id)
+            return
+        rounds = np.asarray(rounds)
+        peer_ids = np.asarray(peer_ids)
+        order = np.argsort(rounds, kind="stable")
+        rounds = rounds[order]
+        peer_ids = peer_ids[order]
+        starts = np.flatnonzero(rounds[1:] != rounds[:-1]) + 1
+        round_list = rounds[np.concatenate(([0], starts))].tolist()
+        bounds = starts.tolist() + [count]
+        id_list = peer_ids.tolist()
+        begin = 0
+        for round_number, end in zip(round_list, bounds):
+            self._file_toggles(round_number, id_list[begin:end])
+            begin = end
+
+    def _file_toggles(self, round_number: int, ids: List[int]) -> None:
+        if round_number < 0:
+            raise ValueError("cannot schedule in a negative round")
+        if round_number == self._current_round:
+            raise ValueError(
+                "cannot schedule a dense toggle into the executing round"
+            )
+        bucket = self._toggle_buckets.get(round_number)
+        if bucket is None:
+            self._toggle_buckets[round_number] = list(ids)
+            if round_number not in self._buckets:
+                heapq.heappush(self._round_heap, round_number)
+        else:
+            bucket.extend(ids)
+        self._size += len(ids)
 
     def cancel(self, handle: _Handle) -> None:
         """Lazily cancel a scheduled event (skipped when reached)."""
@@ -150,28 +251,44 @@ class EventQueue:
         heap = self._round_heap
         while heap:
             round_number = heap[0]
-            if self._live.get(round_number, 0) > 0:
+            if (
+                round_number in self._toggle_buckets
+                or self._live.get(round_number, 0) > 0
+            ):
                 return round_number
             heapq.heappop(heap)
             self._buckets.pop(round_number, None)
+            self._toggle_buckets.pop(round_number, None)
             self._live.pop(round_number, None)
         return None
 
     def _activate(self, round_number: int) -> None:
         """Make ``round_number``'s bucket the current (shuffled) round."""
         heapq.heappop(self._round_heap)  # == round_number by construction
-        bucket = self._buckets.pop(round_number)
+        bucket = self._buckets.pop(round_number, None)
+        toggles = self._toggle_buckets.pop(round_number, None)
         previous = self._current_round
+        push_back = False
         if self._current:
             # An earlier round was scheduled while ``previous`` was still
             # executing: push the remainder back as a future bucket (it
             # is re-shuffled on reactivation, which keeps the intra-round
             # order uniform).
             self._buckets[previous] = self._current
+            push_back = True
+        if self._current_toggles is not None:
+            # Same preemption case for an undelivered toggle batch: it
+            # returns to the dense lane untouched (re-sorted on
+            # reactivation, which is a no-op).
+            self._toggle_buckets[previous] = self._current_toggles
+            push_back = True
+        if push_back:
             heapq.heappush(self._round_heap, previous)
         elif previous is not None and self._live.get(previous) == 0:
             del self._live[previous]
-        if len(bucket) > 1:
+        if bucket is None:
+            bucket = []
+        elif len(bucket) > 1:
             # Canonicalise before shuffling: the execution order must be
             # a pure function of the bucket's *content* (plus the one
             # permutation draw), never of the order the events happened
@@ -184,14 +301,29 @@ class EventQueue:
             order = self._rng.permutation(len(bucket))
             bucket = [bucket[i] for i in order]
         self._current = bucket
+        if toggles is not None:
+            # Canonical batch order: ascending peer id.  The batch is
+            # processed as one transaction, so any fixed order works —
+            # sorting makes it a pure function of the bucket's content,
+            # like the generic shuffle (without consuming a draw).
+            toggles.sort()
+        self._current_toggles = toggles
         self._current_round = round_number
 
     def pop(self) -> Optional[Tuple[int, Event]]:
-        """Remove and return the next live event as ``(round, event)``."""
+        """Remove and return the next live event as ``(round, event)``.
+
+        A round with a dense toggle bucket yields one ``TOGGLE_BATCH``
+        sentinel *before* its generic events; the caller must drain it
+        with :meth:`pop_round_batch` before popping again.
+        """
         while True:
             upcoming = self._next_bucket_round()
             current = self._current
-            if current and (upcoming is None or self._current_round <= upcoming):
+            in_round = self._current_toggles is not None or bool(current)
+            if in_round and (upcoming is None or self._current_round <= upcoming):
+                if self._current_toggles is not None:
+                    return self._current_round, _TOGGLE_BATCH_EVENT
                 handle = current.pop()
                 if handle.cancelled:
                     continue
@@ -211,15 +343,23 @@ class EventQueue:
         current round still has events: buckets are keyed by the round
         they will execute in, and :meth:`schedule` only ever files into
         the current round's remainder (``d == 0``) or a future bucket
-        (``d >= 1``), so while ``_current`` is non-empty every bucket in
-        the heap is strictly later than the current round.  (Scheduling
-        into a *past* round mid-execution would break this; use
-        :meth:`pop` for that exotic case.)  Events past ``last_round``
-        stay in the queue untouched.
+        (``d >= 1``), so while the current round is non-empty every
+        bucket in the heap is strictly later than the current round.
+        (Scheduling into a *past* round mid-execution would break this;
+        use :meth:`pop` for that exotic case.)  Events past
+        ``last_round`` stay in the queue untouched.
+
+        Like :meth:`pop`, a round with dense toggles yields one
+        ``TOGGLE_BATCH`` sentinel first; the caller must drain it with
+        :meth:`pop_round_batch` before the next ``pop_until`` call.
         """
-        current = self._current
         live = self._live
         while True:
+            if self._current_toggles is not None:
+                if self._current_round > last_round:
+                    return None
+                return self._current_round, _TOGGLE_BATCH_EVENT
+            current = self._current
             if current:
                 if self._current_round > last_round:
                     return None
@@ -234,12 +374,28 @@ class EventQueue:
             if upcoming is None or upcoming > last_round:
                 return None
             self._activate(upcoming)
-            current = self._current
+
+    def pop_round_batch(self) -> np.ndarray:
+        """Drain the delivered toggle batch as one sorted id array.
+
+        Valid right after :meth:`pop` / :meth:`pop_until` returned the
+        ``TOGGLE_BATCH`` sentinel; returns an empty array when no batch
+        is pending.  The ids are ascending and unique (at most one
+        pending toggle per peer, an engine invariant).
+        """
+        toggles = self._current_toggles
+        if toggles is None:
+            return _EMPTY_BATCH
+        self._current_toggles = None
+        self._size -= len(toggles)
+        return np.array(toggles, dtype=np.int64)
 
     def peek_round(self) -> Optional[int]:
         """Round of the next live event without removing it."""
         upcoming = self._next_bucket_round()
-        if self._current and self._live.get(self._current_round, 0) > 0:
+        if self._current_toggles is not None or (
+            self._current and self._live.get(self._current_round, 0) > 0
+        ):
             if upcoming is None or self._current_round <= upcoming:
                 return self._current_round
         return upcoming

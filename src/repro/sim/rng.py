@@ -9,7 +9,8 @@ only in, say, the repair threshold still share their churn trajectory.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import math
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -149,6 +150,64 @@ class BatchedDraws:
             n -= grab
         self._position = position
         return np.concatenate(parts) if parts else np.empty(0)
+
+
+def geometric_from_uniforms(uniforms: np.ndarray, log1mp: np.ndarray) -> np.ndarray:
+    """Vectorised inverse-CDF geometric draws on ``{1, 2, ...}``.
+
+    ``log1mp`` holds ``log1p(-p)`` per draw (precomputed once per
+    profile); ``uniforms`` come from :meth:`BatchedDraws.take_array`.
+    Inverting the CDF — ``d = 1 + floor(log1p(-u) / log1p(-p))`` — gives
+    the same distribution as ``Generator.geometric`` with mean ``1/p``
+    while consuming plain uniforms, which is what lets every engine
+    draw a whole toggle batch's durations with one call *and* stay
+    bit-identical across backends: both feed the identical uniform
+    vector through this one function, so no scalar-vs-SIMD libm
+    divergence can creep in.  ``u == 0`` maps to 1 (``floor(-0.0)`` is
+    ``-0.0``) and ``u < 1`` always holds for numpy uniforms, so the
+    result is a finite integer ``>= 1``.
+    """
+    return np.floor(np.log1p(-uniforms) / log1mp).astype(np.int64) + 1
+
+
+def pool_chunk_size(remaining: int) -> int:
+    """Selection draws one pool-fill pass takes for ``remaining`` slots.
+
+    Sized so dedup losses and the ~one-half mutual-acceptance rate still
+    fill the pool in a single pass almost always, without sampling far
+    past what the pass can use (the examined cut stops early anyway).
+    Chunk boundaries decide which uniforms map to which candidate, so
+    engines only stay draw-identical by sharing this exact formula.
+    """
+    return 4 * remaining + 16
+
+
+#: Batches below this many draws invert the geometric CDF with scalar
+#: ``math`` calls instead of numpy vectors (``geometric_from_uniforms``
+#: pays several microseconds of array dispatch per call, which dominates
+#: single-digit batches).  Every engine must branch on the same constant
+#: so both sides of an equivalence run take the same code path for the
+#: same batch.
+GEOMETRIC_SCALAR_LIMIT = 32
+
+
+def geometric_from_uniforms_scalar(
+    uniforms: Sequence[float], log1mp: Sequence[float]
+) -> List[int]:
+    """Scalar twin of :func:`geometric_from_uniforms` for tiny batches.
+
+    Consumes the same uniforms (from :meth:`BatchedDraws.take`, which
+    returns exactly the values ``take_array`` would) and computes the
+    same inversion with ``math.log1p`` / ``math.floor``.  Both engines
+    route batches under :data:`GEOMETRIC_SCALAR_LIMIT` through this
+    function, so the backends stay bit-identical by construction even
+    where libm and numpy's vector loops disagree in the last ulp (no
+    such disagreement flips a duration in practice: ``floor`` only
+    notices when the quotient lands exactly on an integer).
+    """
+    floor = math.floor
+    log1p = math.log1p
+    return [floor(log1p(-u) / l) + 1 for u, l in zip(uniforms, log1mp)]
 
 
 #: Stable stream names used by the engine; listed here so tests can

@@ -44,9 +44,12 @@ from repro.experiments.fig4_cumulative_losses import (
 #: Smaller than QUICK: the test suite must stay fast.  The code width
 #: stays at n = 32 (narrower codes lose the stratification signal in
 #: placement luck) but the population, horizon and seed count shrink.
+#: 240 peers is the floor where figure 3's age stratification stays
+#: readable: below that, the observers' archives hover at the repair
+#: threshold and single recruitment streaks dominate the totals.
 TEST_SCALE = ExperimentScale(
     name="quick",  # reuse the lenient shape thresholds
-    population=180,
+    population=240,
     rounds=3000,
     data_blocks=16,
     parity_blocks=16,

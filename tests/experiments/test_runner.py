@@ -170,6 +170,34 @@ class TestRunCommand:
         assert "cumtime" in output  # pstats table header
         assert "[profile]" in output
 
+    @pytest.mark.parametrize("fidelity", ["abstract", "abstract_soa"])
+    def test_profile_reports_per_kind_breakdown(self, capsys, fidelity):
+        code = main([
+            "profile", "--scenario", "paper",
+            "--population", "50", "--rounds", "200",
+            "--fidelity", fidelity, "--limit", "3",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "per-event-kind share" in output
+        # The workload's staple kinds must be attributed on both
+        # backends, with dispatch counts and a loop remainder line.
+        assert "toggle" in output
+        assert "check" in output
+        assert "dispatches)" in output
+        assert "(loop)" in output
+
+    def test_profile_breakdown_includes_transfer_share(self, capsys):
+        code = main([
+            "profile", "--scenario", "paper",
+            "--population", "60", "--rounds", "300",
+            "--fidelity", "protocol", "--limit", "3",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "per-event-kind share" in output
+        assert "transfer" in output
+
     def test_fidelity_flag_parses(self):
         args = build_parser().parse_args(
             ["run", "--scenario", "paper", "--fidelity", "protocol"]

@@ -1,0 +1,54 @@
+"""Soak lane: the full equivalence contract at real default scale.
+
+The tier-1 equivalence grid (``test_soa_equivalence.py``) shrinks every
+preset to seconds; this module runs the actual ISSUE 3/10 acceptance
+workload — the ``paper`` preset at the ``default`` experiment scale,
+800 peers over 14 000 rounds — on both engines and requires the entire
+serialized result to agree, per seed.  It is the evidence base for the
+ROADMAP question "can ``abstract_soa`` become the default fidelity":
+a green soak lane means the swarm backend is indistinguishable from
+the reference engine on the exact configuration the figures use.
+
+Marked both ``slow`` and ``soak``: the run costs minutes, so only the
+dedicated CI soak lane (``-m soak``) executes it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import scenario_by_name
+from repro.sim.engine import run_simulation
+
+pytestmark = [pytest.mark.slow, pytest.mark.soak]
+
+POPULATION = 800
+ROUNDS = 14_000
+
+SEEDS = (0, 1, 2)
+
+
+def _default_scale(seed: int):
+    return (
+        scenario_by_name("paper")
+        .with_population(POPULATION)
+        .with_rounds(ROUNDS)
+        .with_seed(seed)
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_full_result_matches_at_default_scale(seed):
+    scenario = _default_scale(seed)
+    reference = run_simulation(scenario.with_fidelity("abstract").build())
+    vectorized = run_simulation(scenario.with_fidelity("abstract_soa").build())
+
+    expected = reference.to_dict()
+    actual = vectorized.to_dict()
+    # The configs differ by construction (the fidelity knob itself).
+    expected.pop("config"), actual.pop("config")
+    assert actual == expected
+    # The workload must actually exercise the machinery being vouched
+    # for: churn, repairs, losses-or-not, observer activity.
+    assert vectorized.metrics.total_repairs > 0
+    assert vectorized.deaths > 0
